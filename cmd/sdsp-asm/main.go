@@ -1,0 +1,60 @@
+// sdsp-asm assembles SDSP-32 source and reports the object layout.
+//
+// Usage:
+//
+//	sdsp-asm prog.s          # assemble, print segment sizes and symbols
+//	sdsp-asm -run prog.s     # assemble and execute functionally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/sdsp"
+)
+
+func main() {
+	var (
+		run     = flag.Bool("run", false, "execute the program on the functional simulator")
+		threads = flag.Int("threads", 1, "threads for -run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdsp-asm [-run] [-threads N] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	obj, err := sdsp.Assemble(string(src))
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("text: %d instructions (%d bytes)\n", len(obj.Text), len(obj.Text)*4)
+	fmt.Printf("data: %d words (%d bytes)\n", len(obj.Data), len(obj.Data)*4)
+	fmt.Printf("flags: %d bytes\n", obj.FlagLen)
+	fmt.Printf("entry: %#x\n", obj.Entry)
+	names := make([]string, 0, len(obj.Symbols))
+	for n := range obj.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return obj.Symbols[names[i]] < obj.Symbols[names[j]] })
+	for _, n := range names {
+		fmt.Printf("  %#08x %s\n", obj.Symbols[n], n)
+	}
+	if *run {
+		s, err := sdsp.RunFunctional(obj, *threads)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("executed %d instructions on %d threads\n", s.InstCount(), *threads)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdsp-asm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// sdsp-dis disassembles the text segment of an assembled program, or of
+// a built-in benchmark (useful for inspecting the generated kernels).
+//
+// Usage:
+//
+//	sdsp-dis prog.s
+//	sdsp-dis -bench LL5 -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/sdsp"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "disassemble a built-in benchmark instead of a file")
+		threads = flag.Int("threads", 4, "thread count for -bench codegen")
+	)
+	flag.Parse()
+
+	var obj *sdsp.Object
+	var err error
+	switch {
+	case *bench != "":
+		obj, err = sdsp.Workload(*bench, sdsp.WorkloadParams{Threads: *threads})
+	case flag.NArg() == 1:
+		var src []byte
+		if src, err = os.ReadFile(flag.Arg(0)); err == nil {
+			obj, err = sdsp.Assemble(string(src))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sdsp-dis [-bench NAME] [file.s]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsp-dis:", err)
+		os.Exit(1)
+	}
+	for i, line := range sdsp.Disassemble(obj) {
+		fmt.Printf("%08x  %s\n", i*4, line)
+	}
+}

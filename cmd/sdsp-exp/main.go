@@ -1,0 +1,82 @@
+// sdsp-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sdsp-exp                  # run everything at paper scale
+//	sdsp-exp -exp fig3,fig4   # selected experiments
+//	sdsp-exp -scale small     # quick problem sizes
+//	sdsp-exp -v               # per-simulation progress on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+)
+
+func main() {
+	var (
+		expNames = flag.String("exp", "all", "comma-separated experiment names (see -list), or 'all'")
+		scale    = flag.String("scale", "paper", "problem scale: paper or small")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		verbose  = flag.Bool("v", false, "log each fresh simulation to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	var sc kernels.Scale
+	switch *scale {
+	case "paper":
+		sc = kernels.Paper
+	case "small":
+		sc = kernels.Small
+	default:
+		fmt.Fprintf(os.Stderr, "sdsp-exp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	runner := experiments.NewRunner(sc)
+	if *verbose {
+		runner.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var selected []experiments.Experiment
+	if *expNames == "all" {
+		selected = experiments.Registry()
+	} else {
+		for _, name := range strings.Split(*expNames, ",") {
+			e, err := experiments.Get(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sdsp-exp:", err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		tables, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdsp-exp: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "sdsp-exp:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// sdsp-sim runs one workload (a built-in benchmark or an assembly file)
+// on the cycle-level simulator and prints its statistics.
+//
+// Usage:
+//
+//	sdsp-sim -bench Matrix -threads 4
+//	sdsp-sim -bench LL5 -threads 2 -policy masked -su 64 -cache direct
+//	sdsp-sim -file prog.s -threads 1 -functional
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/sdsp"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "", "built-in benchmark name (see -list)")
+		file       = flag.String("file", "", "SDSP-32 assembly file to run instead of a benchmark")
+		threads    = flag.Int("threads", 4, "number of resident threads (1-6)")
+		policy     = flag.String("policy", "truerr", "fetch policy: truerr, masked, cswitch, or icount")
+		commit     = flag.String("commit", "flexible", "commit policy: flexible or lowest")
+		su         = flag.Int("su", 32, "scheduling unit entries")
+		cacheKind  = flag.String("cache", "assoc", "data cache: assoc or direct")
+		enhanced   = flag.Bool("enhanced", false, "use the enhanced functional unit configuration")
+		noBypass   = flag.Bool("no-bypass", false, "disable result bypassing")
+		scoreboard = flag.Bool("scoreboard", false, "use 1-bit scoreboarding instead of renaming")
+		paperScale = flag.Bool("paper-scale", false, "use the experiment-harness problem sizes")
+		functional = flag.Bool("functional", false, "also run the functional simulator and verify memory")
+		list       = flag.Bool("list", false, "list benchmark names and exit")
+		forward    = flag.Bool("forward", false, "enable store-to-load forwarding (extension)")
+		ports      = flag.Int("ports", 0, "data cache ports per cycle (0 = unlimited)")
+		predBits   = flag.Int("pred-bits", 2, "branch predictor counter bits (1-4)")
+		privateBTB = flag.Bool("private-btb", false, "per-thread BTB instead of the shared one")
+		trace      = flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(sdsp.Workloads(), "\n"))
+		return
+	}
+
+	cfg := sdsp.DefaultConfig(*threads)
+	switch *policy {
+	case "truerr":
+		cfg.FetchPolicy = sdsp.TrueRR
+	case "masked":
+		cfg.FetchPolicy = sdsp.MaskedRR
+	case "cswitch":
+		cfg.FetchPolicy = sdsp.CondSwitch
+	case "icount":
+		cfg.FetchPolicy = sdsp.ICount
+	default:
+		fatal("unknown fetch policy %q", *policy)
+	}
+	switch *commit {
+	case "flexible":
+	case "lowest":
+		cfg.CommitPolicy = sdsp.LowestOnly
+		cfg.CommitWindow = 1
+	default:
+		fatal("unknown commit policy %q", *commit)
+	}
+	cfg.SUEntries = *su
+	if *cacheKind == "direct" {
+		cfg.Cache.Ways = 1
+	} else if *cacheKind != "assoc" {
+		fatal("unknown cache kind %q", *cacheKind)
+	}
+	if *enhanced {
+		cfg.FUs = sdsp.EnhancedFUs()
+	}
+	cfg.Bypassing = !*noBypass
+	cfg.Renaming = !*scoreboard
+	cfg.StoreForwarding = *forward
+	cfg.Cache.Ports = *ports
+	cfg.PredictorBits = *predBits
+	cfg.PerThreadBTB = *privateBTB
+
+	var obj *sdsp.Object
+	var err error
+	name := *bench
+	switch {
+	case *bench != "" && *file != "":
+		fatal("-bench and -file are mutually exclusive")
+	case *bench != "":
+		obj, err = sdsp.Workload(*bench, sdsp.WorkloadParams{Threads: *threads, PaperScale: *paperScale})
+	case *file != "":
+		var src []byte
+		src, err = os.ReadFile(*file)
+		if err == nil {
+			obj, err = sdsp.Assemble(string(src))
+		}
+		name = *file
+	default:
+		fatal("one of -bench or -file is required (try -list)")
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	m, err := sdsp.NewMachine(obj, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *trace > 0 {
+		limit := *trace
+		m.Trace = func(format string, args ...any) {
+			if m.Now() <= limit {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+	}
+	st, err := m.Run()
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *bench != "" {
+		p := sdsp.WorkloadParams{Threads: *threads, PaperScale: *paperScale}
+		if err := sdsp.CheckWorkload(*bench, m, obj, p); err != nil {
+			fatal("result validation failed: %v", err)
+		}
+	}
+	if *functional {
+		if err := sdsp.Verify(obj, cfg); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println("functional verification: OK")
+	}
+
+	printStats(name, cfg, st)
+}
+
+func printStats(name string, cfg core.Config, st *core.Stats) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintf(w, "workload\t%s\n", name)
+	fmt.Fprintf(w, "threads\t%d\tfetch policy\t%v\n", cfg.Threads, cfg.FetchPolicy)
+	fmt.Fprintf(w, "cycles\t%d\tIPC\t%.3f\n", st.Cycles, st.IPC())
+	fmt.Fprintf(w, "committed\t%d\tsquashed\t%d\n", st.Committed, st.Squashed)
+	fmt.Fprintf(w, "mispredicts\t%d\tprediction accuracy\t%.1f%%\n",
+		st.Mispredicts, 100*st.Branch.Accuracy())
+	fmt.Fprintf(w, "cache accesses\t%d\thit rate\t%.1f%%\n",
+		st.Cache.Hits+st.Cache.Misses, 100*st.Cache.HitRate())
+	fmt.Fprintf(w, "SU stalls\t%d\tavg SU occupancy\t%.1f\n", st.SUStalls, st.AvgSUOccupancy())
+	fmt.Fprintf(w, "fetch idle cycles\t%d\tdispatch stalls\t%d\n", st.FetchIdle, st.DispatchStall)
+	fmt.Fprintf(w, "load blocked\t%d\tstore buffer full\t%d\n", st.LoadBlocked, st.StoreBufferFull)
+	for t, c := range st.CommittedByThread {
+		fmt.Fprintf(w, "thread %d committed\t%d\n", t, c)
+	}
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		var cells []string
+		for u := range st.FUUsage[cl] {
+			cells = append(cells, fmt.Sprintf("%.1f%%", 100*st.FUUtilization(cl, u)))
+		}
+		fmt.Fprintf(w, "%v utilization\t%s\n", cl, strings.Join(cells, " "))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdsp-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Custom program: write an SDSP-32 parallel program from scratch —
+// a multithreaded dot product with a software barrier over the flag
+// segment — assemble it, verify it against the functional reference
+// simulator, and time it on the pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/sdsp"
+)
+
+// The program follows the paper's homogeneous multitasking model: all
+// threads execute the same code on different slices of the data.
+const src = `
+; dot product of two 256-element vectors across N threads
+main:   tid   r1
+        nth   r2
+        ; slice [lo, hi) of [0, 256)
+        addi  r3, r0, 256
+        div   r4, r3, r2       ; chunk
+        mul   r3, r1, r4       ; lo
+        add   r4, r3, r4       ; hi
+        addi  r5, r2, -1
+        bne   r1, r5, go
+        addi  r4, r0, 256      ; last thread takes the remainder
+go:     fli   r6, 0.0          ; accumulator
+        slli  r7, r3, 2
+        li    r8, xs
+        add   r8, r8, r7
+        li    r9, ys
+        add   r9, r9, r7
+loop:   lw    r10, 0(r8)
+        lw    r11, 0(r9)
+        fmul  r10, r10, r11
+        fadd  r6, r6, r10
+        addi  r8, r8, 4
+        addi  r9, r9, 4
+        addi  r3, r3, 1
+        blt   r3, r4, loop
+        ; publish the partial sum, then barrier
+        slli  r7, r1, 2
+        li    r8, partial
+        add   r8, r8, r7
+        sw    r6, 0(r8)
+        li    r12, arrivals
+        fai   r13, 0(r12)
+spin:   fldw  r13, 0(r12)
+        bne   r13, r2, spin
+        ; thread 0 reduces
+        bne   r1, r0, done
+        fli   r6, 0.0
+        li    r8, partial
+        addi  r3, r0, 0
+red:    lw    r10, 0(r8)
+        fadd  r6, r6, r10
+        addi  r8, r8, 4
+        addi  r3, r3, 1
+        bne   r3, r2, red
+        li    r8, result
+        sw    r6, 0(r8)
+done:   halt
+.data
+xs:       .space 1024
+ys:       .space 1024
+partial:  .space 24
+result:   .word 0
+.flags
+arrivals: .space 4
+`
+
+func main() {
+	obj, err := sdsp.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d instructions\n", len(obj.Text))
+
+	// Vectors are zero here (data segments initialize to zero); real
+	// programs would use .float directives. Expected dot product: 0.
+	const threads = 4
+	cfg := sdsp.DefaultConfig(threads)
+
+	// First make sure the program is architecturally correct: the
+	// pipeline and the in-order reference simulator must agree.
+	if err := sdsp.Verify(obj, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pipeline matches the functional reference simulator")
+
+	m, err := sdsp.NewMachine(obj, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	result := math.Float32frombits(m.Memory().LoadWord(obj.MustSymbol("result")))
+	fmt.Printf("dot product = %v (expected 0 for zero vectors)\n", result)
+	fmt.Printf("%d cycles, %d instructions committed, IPC %.2f\n",
+		st.Cycles, st.Committed, st.IPC())
+	fmt.Printf("branch prediction accuracy %.1f%%, cache hit rate %.1f%%\n",
+		100*st.Branch.Accuracy(), 100*st.Cache.HitRate())
+}

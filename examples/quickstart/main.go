@@ -1,0 +1,39 @@
+// Quickstart: run one of the paper's benchmarks single- and
+// multi-threaded and report the multithreading speedup — the paper's
+// headline experiment in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sdsp"
+)
+
+func main() {
+	const bench = "Matrix"
+
+	// Single-threaded base case (paper §5: "it is essential to establish
+	// a base case of superscalar operation at the outset").
+	base := run(bench, 1)
+
+	fmt.Printf("%-10s %10s %8s %10s\n", "threads", "cycles", "IPC", "speedup")
+	fmt.Printf("%-10d %10d %8.2f %10s\n", 1, base.Cycles, base.IPC(), "—")
+	for _, n := range []int{2, 4, 6} {
+		st := run(bench, n)
+		fmt.Printf("%-10d %10d %8.2f %9.1f%%\n",
+			n, st.Cycles, st.IPC(), 100*sdsp.Speedup(st.Cycles, base.Cycles))
+	}
+}
+
+func run(bench string, threads int) *sdsp.Stats {
+	obj, err := sdsp.Workload(bench, sdsp.WorkloadParams{Threads: threads, PaperScale: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := sdsp.Run(obj, sdsp.DefaultConfig(threads))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}

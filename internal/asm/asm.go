@@ -1,0 +1,410 @@
+// Package asm implements a two-pass assembler for SDSP-32.
+//
+// Source syntax:
+//
+//	; comment (also #)
+//	label:  add   r1, r2, r3
+//	        lw    r4, 8(r5)
+//	        beq   r1, r0, done
+//	        li    r6, table        ; pseudo: expands to lui+ori
+//	        .data
+//	table:  .word 1, 2, 3
+//	vec:    .float 1.5, 2.5
+//	buf:    .space 64
+//	        .flags
+//	lock:   .space 4
+//
+// Segments: .text (default), .data, .flags. Labels are absolute byte
+// addresses after linking against the loader's address map. The flag
+// segment is zero-initialized and may contain only .space and .align.
+//
+// Pseudo-instructions: li (load 32-bit immediate or address), fli (load
+// float32 constant), mv (register move), b (unconditional branch).
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/loader"
+)
+
+// fetchBlockBytes is the SDSP fetch block size .balign pads to.
+const fetchBlockBytes = 16
+
+type segment int
+
+const (
+	segText segment = iota
+	segData
+	segFlags
+)
+
+type stmt struct {
+	line     int
+	mnemonic string
+	args     []string
+	addr     uint32 // absolute address, assigned in pass 1
+	size     uint32 // size in bytes
+	seg      segment
+	dirData  []string // operand list for data directives
+}
+
+type assembler struct {
+	stmts   []stmt
+	symbols map[string]uint32
+	text    []uint32
+	data    []uint32
+	flagLen uint32
+}
+
+// Assemble translates SDSP-32 assembly source into a linked object.
+func Assemble(src string) (*loader.Object, error) {
+	a := &assembler{symbols: map[string]uint32{}}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	if err := a.emit(); err != nil {
+		return nil, err
+	}
+	obj := &loader.Object{
+		Text:    a.text,
+		Data:    a.data,
+		FlagLen: a.flagLen,
+		Symbols: a.symbols,
+	}
+	if entry, ok := a.symbols["main"]; ok {
+		obj.Entry = entry
+	}
+	if err := obj.Validate(); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// MustAssemble is Assemble but panics on error; for generated kernels.
+func MustAssemble(src string) *loader.Object {
+	obj, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return obj
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// parse splits the source into labeled statements (pass 0).
+func (a *assembler) parse(src string) error {
+	seg := segText
+	pendingLabels := []string{}
+	labelLines := map[string]int{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !validLabel(label) {
+				return errAt(lineNo+1, "invalid label %q", label)
+			}
+			if _, dup := labelLines[label]; dup {
+				return errAt(lineNo+1, "duplicate label %q (first defined on line %d)", label, labelLines[label])
+			}
+			labelLines[label] = lineNo + 1
+			pendingLabels = append(pendingLabels, label)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.ToLower(fields[0])
+		var rest string
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		switch mnemonic {
+		case ".text":
+			seg = segText
+			continue
+		case ".data":
+			seg = segData
+			continue
+		case ".flags":
+			seg = segFlags
+			continue
+		}
+		s := stmt{line: lineNo + 1, mnemonic: mnemonic, seg: seg}
+		if strings.HasPrefix(mnemonic, ".") {
+			s.dirData = splitArgs(rest)
+		} else {
+			s.args = splitArgs(rest)
+		}
+		// Pending labels bind to this statement's eventual address.
+		a.stmts = append(a.stmts, s)
+		for _, l := range pendingLabels {
+			a.symbols[l] = uint32(len(a.stmts) - 1) // temporarily: statement index
+		}
+		pendingLabels = pendingLabels[:0]
+	}
+	if len(pendingLabels) > 0 {
+		// Trailing labels bind to the end of their segment; append an
+		// empty marker statement.
+		a.stmts = append(a.stmts, stmt{line: -1, mnemonic: ".space", seg: seg, dirData: []string{"0"}})
+		for _, l := range pendingLabels {
+			a.symbols[l] = uint32(len(a.stmts) - 1)
+		}
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// layout assigns addresses (pass 1). Statement sizes must not depend on
+// symbol values; li/fli with symbolic operands have a fixed 2-word
+// expansion. .balign's size depends only on the running text offset.
+func (a *assembler) layout() error {
+	var textOff, dataOff, flagOff uint32
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		var size uint32
+		var err error
+		if s.mnemonic == ".balign" {
+			if s.seg != segText {
+				return errAt(s.line, ".balign is only supported in .text")
+			}
+			size = (fetchBlockBytes - textOff%fetchBlockBytes) % fetchBlockBytes
+		} else {
+			size, err = a.stmtSize(s)
+		}
+		if err != nil {
+			return err
+		}
+		s.size = size
+		switch s.seg {
+		case segText:
+			s.addr = loader.TextBase + textOff
+			textOff += size
+		case segData:
+			s.addr = loader.DataBase + dataOff
+			dataOff += size
+		case segFlags:
+			s.addr = loader.FlagBase + flagOff
+			flagOff += size
+		}
+	}
+	// Resolve symbols from statement indexes to addresses.
+	for name, idx := range a.symbols {
+		a.symbols[name] = a.stmts[idx].addr
+	}
+	a.flagLen = flagOff
+	return nil
+}
+
+func (a *assembler) stmtSize(s *stmt) (uint32, error) {
+	if strings.HasPrefix(s.mnemonic, ".") {
+		return a.directiveSize(s)
+	}
+	if s.seg != segText {
+		return 0, errAt(s.line, "instruction %q outside .text", s.mnemonic)
+	}
+	switch s.mnemonic {
+	case "li", "fli":
+		if len(s.args) != 2 {
+			return 0, errAt(s.line, "%s needs 2 operands", s.mnemonic)
+		}
+		v, numeric, err := a.constOperand(s)
+		if err != nil {
+			return 0, err
+		}
+		if !numeric {
+			return 2 * 4, nil // symbolic address: lui+ori
+		}
+		return uint32(len(liExpansion(0, v))) * 4, nil
+	case "mv", "b":
+		return 4, nil
+	}
+	if _, ok := mnemonicOps[s.mnemonic]; !ok {
+		return 0, errAt(s.line, "unknown mnemonic %q", s.mnemonic)
+	}
+	return 4, nil
+}
+
+// constOperand evaluates a li/fli operand if it is a pure constant.
+func (a *assembler) constOperand(s *stmt) (uint32, bool, error) {
+	arg := s.args[1]
+	if s.mnemonic == "fli" {
+		f, err := strconv.ParseFloat(arg, 32)
+		if err != nil {
+			return 0, false, errAt(s.line, "fli operand %q is not a float", arg)
+		}
+		return math.Float32bits(float32(f)), true, nil
+	}
+	if v, err := parseInt(arg); err == nil {
+		return uint32(v), true, nil
+	}
+	return 0, false, nil // symbolic
+}
+
+func (a *assembler) directiveSize(s *stmt) (uint32, error) {
+	switch s.mnemonic {
+	case ".word", ".float":
+		if s.seg == segFlags {
+			return 0, errAt(s.line, "%s not allowed in .flags (zero-initialized)", s.mnemonic)
+		}
+		if s.seg == segText {
+			return 0, errAt(s.line, "%s not allowed in .text", s.mnemonic)
+		}
+		return uint32(len(s.dirData)) * 4, nil
+	case ".space":
+		if len(s.dirData) != 1 {
+			return 0, errAt(s.line, ".space needs one operand")
+		}
+		n, err := parseInt(s.dirData[0])
+		if err != nil || n < 0 {
+			return 0, errAt(s.line, ".space operand %q invalid", s.dirData[0])
+		}
+		if n > loader.FlagBase { // larger than any segment could hold
+			return 0, errAt(s.line, ".space %d exceeds the segment size", n)
+		}
+		return uint32(n+3) &^ 3, nil
+	case ".align":
+		return 0, errAt(s.line, "use .balign to pad to a fetch-block boundary")
+	}
+	return 0, errAt(s.line, "unknown directive %q", s.mnemonic)
+}
+
+// emit encodes statements (pass 2).
+func (a *assembler) emit() error {
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		if s.mnemonic == ".balign" {
+			// Pad to the next fetch-block boundary with NOPs so branch
+			// targets land on block starts (the paper's improvement #2).
+			for n := uint32(0); n < s.size; n += 4 {
+				a.text = append(a.text, isa.MustEncode(isa.Inst{Op: isa.NOP}))
+			}
+			continue
+		}
+		if strings.HasPrefix(s.mnemonic, ".") {
+			if err := a.emitDirective(s); err != nil {
+				return err
+			}
+			continue
+		}
+		insts, err := a.encodeStmt(s)
+		if err != nil {
+			return err
+		}
+		if uint32(len(insts))*4 != s.size {
+			return errAt(s.line, "internal: expansion size changed between passes")
+		}
+		for _, in := range insts {
+			w, err := isa.Encode(in)
+			if err != nil {
+				return errAt(s.line, "%v", err)
+			}
+			a.text = append(a.text, w)
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emitDirective(s *stmt) error {
+	switch s.mnemonic {
+	case ".word":
+		for _, arg := range s.dirData {
+			v, err := a.eval(arg, s.line)
+			if err != nil {
+				return err
+			}
+			a.data = append(a.data, uint32(v))
+		}
+	case ".float":
+		for _, arg := range s.dirData {
+			f, err := strconv.ParseFloat(arg, 32)
+			if err != nil {
+				return errAt(s.line, ".float operand %q: %v", arg, err)
+			}
+			a.data = append(a.data, math.Float32bits(float32(f)))
+		}
+	case ".space":
+		if s.seg == segData {
+			for n := uint32(0); n < s.size; n += 4 {
+				a.data = append(a.data, 0)
+			}
+		}
+		// .space in .flags only advances the offset (already done in layout).
+	}
+	return nil
+}
+
+// eval resolves an integer expression: number, label, label+n, label-n.
+func (a *assembler) eval(arg string, line int) (int64, error) {
+	if arg == "" {
+		return 0, errAt(line, "empty operand")
+	}
+	if v, err := parseInt(arg); err == nil {
+		return v, nil
+	}
+	base := arg
+	var off int64
+	if i := strings.LastIndexAny(arg[1:], "+-"); i >= 0 {
+		i++ // index into arg
+		v, err := parseInt(arg[i:])
+		if err == nil {
+			base = strings.TrimSpace(arg[:i])
+			off = v
+		}
+	}
+	addr, ok := a.symbols[base]
+	if !ok {
+		return 0, errAt(line, "undefined symbol %q", base)
+	}
+	return int64(addr) + off, nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}

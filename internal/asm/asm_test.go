@@ -1,0 +1,354 @@
+package asm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/loader"
+)
+
+func mustAssemble(t *testing.T, src string) *loader.Object {
+	t.Helper()
+	obj, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return obj
+}
+
+func decodeAll(t *testing.T, text []uint32) []isa.Inst {
+	t.Helper()
+	out := make([]isa.Inst, len(text))
+	for i, w := range text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("decode word %d: %v", i, err)
+		}
+		out[i] = in
+	}
+	return out
+}
+
+func TestBasicProgram(t *testing.T) {
+	obj := mustAssemble(t, `
+		; a tiny program
+		main:   add  r1, r2, r3
+		        addi r4, r1, -5
+		        nop
+		        halt
+	`)
+	insts := decodeAll(t, obj.Text)
+	want := []isa.Inst{
+		{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.ADDI, Rd: 4, Rs1: 1, Imm: -5},
+		{Op: isa.NOP},
+		{Op: isa.HALT},
+	}
+	if len(insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(insts), len(want))
+	}
+	for i := range want {
+		if insts[i] != want[i] {
+			t.Errorf("inst %d = %v, want %v", i, insts[i], want[i])
+		}
+	}
+	if obj.Entry != 0 {
+		t.Errorf("entry = %#x, want 0", obj.Entry)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	obj := mustAssemble(t, `
+		main:  addi r1, r0, 3
+		loop:  addi r1, r1, -1
+		       bne  r1, r0, loop
+		       b    done
+		       nop
+		done:  halt
+	`)
+	insts := decodeAll(t, obj.Text)
+	if insts[2].Op != isa.BNE || insts[2].Imm != -1 {
+		t.Errorf("bne = %v, want offset -1", insts[2])
+	}
+	if insts[3].Op != isa.JAL || insts[3].Rd != 0 || insts[3].Imm != 2 {
+		t.Errorf("b = %v, want jal r0 offset 2", insts[3])
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	obj := mustAssemble(t, `
+		main: lw  r1, 8(r2)
+		      sw  r1, -4(r3)
+		      lw  r4, (r5)
+		      halt
+	`)
+	insts := decodeAll(t, obj.Text)
+	if insts[0] != (isa.Inst{Op: isa.LW, Rd: 1, Rs1: 2, Imm: 8}) {
+		t.Errorf("lw = %v", insts[0])
+	}
+	if insts[1] != (isa.Inst{Op: isa.SW, Rs2: 1, Rs1: 3, Imm: -4}) {
+		t.Errorf("sw = %v", insts[1])
+	}
+	if insts[2] != (isa.Inst{Op: isa.LW, Rd: 4, Rs1: 5}) {
+		t.Errorf("lw no-offset = %v", insts[2])
+	}
+}
+
+func TestDataSegmentAndSymbols(t *testing.T) {
+	obj := mustAssemble(t, `
+		main:   li r1, table
+		        lw r2, 0(r1)
+		        halt
+		.data
+		table:  .word 10, 20, 0x1F
+		vec:    .float 1.5
+		buf:    .space 8
+		end:    .space 0
+	`)
+	table := obj.MustSymbol("table")
+	if table != loader.DataBase {
+		t.Errorf("table = %#x, want %#x", table, uint32(loader.DataBase))
+	}
+	if got := obj.MustSymbol("vec"); got != table+12 {
+		t.Errorf("vec = %#x, want %#x", got, table+12)
+	}
+	if got := obj.MustSymbol("end"); got != table+24 {
+		t.Errorf("end = %#x, want %#x", got, table+24)
+	}
+	if len(obj.Data) != 6 {
+		t.Fatalf("data length = %d, want 6", len(obj.Data))
+	}
+	if obj.Data[0] != 10 || obj.Data[1] != 20 || obj.Data[2] != 0x1F {
+		t.Errorf("data words = %v", obj.Data[:3])
+	}
+	if obj.Data[3] != math.Float32bits(1.5) {
+		t.Errorf("float word = %#x", obj.Data[3])
+	}
+	// li of a data address must expand to lui+ori producing the address.
+	insts := decodeAll(t, obj.Text)
+	if insts[0].Op != isa.LUI || insts[1].Op != isa.ORI {
+		t.Fatalf("li expansion = %v, %v", insts[0], insts[1])
+	}
+	v := isa.EvalOp(isa.LUI, 0, uint32(insts[0].Imm))
+	v = isa.EvalOp(isa.ORI, v, isa.EvalImmOperand(isa.ORI, insts[1].Imm))
+	if v != table {
+		t.Errorf("li materializes %#x, want %#x", v, table)
+	}
+}
+
+func TestFlagsSegment(t *testing.T) {
+	obj := mustAssemble(t, `
+		main: halt
+		.flags
+		lock:    .space 4
+		barrier: .space 8
+	`)
+	if got := obj.MustSymbol("lock"); got != loader.FlagBase {
+		t.Errorf("lock = %#x, want %#x", got, uint32(loader.FlagBase))
+	}
+	if got := obj.MustSymbol("barrier"); got != loader.FlagBase+4 {
+		t.Errorf("barrier = %#x", got)
+	}
+	if obj.FlagLen != 12 {
+		t.Errorf("FlagLen = %d, want 12", obj.FlagLen)
+	}
+}
+
+// materialize runs a register-only instruction sequence, tracking just
+// the register file; enough to check li expansions.
+func materialize(insts []isa.Inst) [128]uint32 {
+	var regs [128]uint32
+	for _, in := range insts {
+		var b uint32
+		if isa.HasImmOperand(in.Op) {
+			b = isa.EvalImmOperand(in.Op, in.Imm)
+		} else {
+			b = regs[in.Rs2]
+		}
+		regs[in.Rd] = isa.EvalOp(in.Op, regs[in.Rs1], b)
+	}
+	return regs
+}
+
+func TestLiExpansionValues(t *testing.T) {
+	neg := func(v int32) uint32 { return uint32(v) }
+	cases := []uint32{0, 1, 5, 2047, 2048, 0xFFF, 0x1000, 0x12345, 0x7FFFFFFF,
+		0x80000000, 0xFFFFFFFF, 0xDEADBEEF, neg(-2048), neg(-2049)}
+	for _, v := range cases {
+		insts := liExpansion(3, v)
+		regs := materialize(insts)
+		if regs[3] != v {
+			t.Errorf("li r3, %#x materializes %#x (%d insts)", v, regs[3], len(insts))
+		}
+	}
+}
+
+func TestLiExpansionProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		regs := materialize(liExpansion(7, v))
+		return regs[7] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFliExpansion(t *testing.T) {
+	for _, f := range []float32{0, 1.5, -2.25, 3.14159, -1e-7, 6.02e23} {
+		src := "main: fli r2, " + strconv.FormatFloat(float64(f), 'g', -1, 32) + "\n halt"
+		obj := mustAssemble(t, src)
+		insts := decodeAll(t, obj.Text)
+		regs := materialize(insts[:len(insts)-1]) // drop halt
+		if regs[2] != math.Float32bits(f) {
+			t.Errorf("fli %v materializes %#x, want %#x", f, regs[2], math.Float32bits(f))
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "main: frobnicate r1", "unknown mnemonic"},
+		{"undefined symbol", "main: beq r0, r0, nowhere", "undefined symbol"},
+		{"duplicate label", "x: nop\nx: nop", "duplicate label"},
+		{"imm range", "main: addi r1, r0, 5000", "out of 12-bit range"},
+		{"bad register", "main: add r1, r2, r999", "out of range"},
+		{"data in text", "main: .word 5", "not allowed in .text"},
+		{"word in flags", ".flags\nf: .word 1", "not allowed in .flags"},
+		{"instr in data", ".data\nadd r1, r2, r3", "outside .text"},
+		{"bad mem operand", "main: lw r1, r2", "expected imm(reg)"},
+		{"wrong arity", "main: add r1, r2", "needs 3 operands"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestTrailingLabel(t *testing.T) {
+	obj := mustAssemble(t, `
+		main: nop
+		      halt
+		.data
+		a:    .word 1
+		end_of_data:
+	`)
+	if got := obj.MustSymbol("end_of_data"); got != loader.DataBase+4 {
+		t.Errorf("trailing label = %#x, want %#x", got, loader.DataBase+4)
+	}
+}
+
+func TestLabelPlusOffset(t *testing.T) {
+	obj := mustAssemble(t, `
+		main: li r1, table+8
+		      halt
+		.data
+		table: .word 1, 2, 3
+	`)
+	insts := decodeAll(t, obj.Text)
+	regs := materialize(insts[:2])
+	if want := obj.MustSymbol("table") + 8; regs[1] != want {
+		t.Errorf("li table+8 = %#x, want %#x", regs[1], want)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		main:  addi r1, r0, 10
+		loop:  addi r1, r1, -1
+		       mul  r2, r1, r1
+		       bne  r1, r0, loop
+		       halt
+	`
+	obj := mustAssemble(t, src)
+	lines := Disassemble(obj.Text)
+	if len(lines) != len(obj.Text) {
+		t.Fatalf("disassembled %d lines for %d words", len(lines), len(obj.Text))
+	}
+	// Reassembling the disassembly (branch offsets become absolute
+	// targets, so rebuild with explicit offsets checked textually).
+	if !strings.Contains(lines[0], "addi r1, r0, 10") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "bne") {
+		t.Errorf("line 3 = %q", lines[3])
+	}
+}
+
+func TestEntryDefaultsToZeroWithoutMain(t *testing.T) {
+	obj := mustAssemble(t, "start: nop\n halt")
+	if obj.Entry != 0 {
+		t.Errorf("entry = %#x, want 0", obj.Entry)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	obj := mustAssemble(t, `
+		# full line comment
+
+		main: nop ; trailing comment
+		      halt # another
+	`)
+	if len(obj.Text) != 2 {
+		t.Errorf("text length = %d, want 2", len(obj.Text))
+	}
+}
+
+func TestBalign(t *testing.T) {
+	obj := mustAssemble(t, `
+		main:  nop
+		       nop
+		       .balign
+		loop:  addi r1, r1, 1
+		       bne  r1, r0, loop
+		       halt
+	`)
+	if got := obj.MustSymbol("loop"); got != 16 {
+		t.Errorf("loop = %#x, want 16 (block-aligned)", got)
+	}
+	insts := decodeAll(t, obj.Text)
+	// Padding NOPs fill slots 2 and 3.
+	if insts[2].Op != isa.NOP || insts[3].Op != isa.NOP {
+		t.Errorf("padding = %v, %v; want nops", insts[2], insts[3])
+	}
+	// The branch at aligned+1 must target the aligned label.
+	if insts[5].Op != isa.BNE || insts[5].Imm != -1 {
+		t.Errorf("branch = %v", insts[5])
+	}
+}
+
+func TestBalignAlreadyAligned(t *testing.T) {
+	obj := mustAssemble(t, `
+		main: nop
+		      nop
+		      nop
+		      nop
+		      .balign
+		l:    halt
+	`)
+	if got := obj.MustSymbol("l"); got != 16 {
+		t.Errorf("already-aligned .balign moved the label to %#x", got)
+	}
+	if len(obj.Text) != 5 {
+		t.Errorf("text length %d, want 5 (no padding inserted)", len(obj.Text))
+	}
+}
+
+func TestBalignOutsideTextRejected(t *testing.T) {
+	_, err := Assemble("main: halt\n.data\n.balign\nx: .word 1")
+	if err == nil || !strings.Contains(err.Error(), ".balign") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,332 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// mnemonicOps maps assembler mnemonics to opcodes.
+var mnemonicOps = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		m[op.Name()] = op
+	}
+	return m
+}()
+
+// operand shape groups drive parsing.
+var (
+	r2Ops   = map[isa.Op]bool{isa.FNEG: true, isa.FABS: true, isa.CVTIF: true, isa.CVTFI: true}
+	r1Ops   = map[isa.Op]bool{isa.TID: true, isa.NTH: true}
+	loadOps = map[isa.Op]bool{isa.LW: true, isa.FLDW: true, isa.FAI: true}
+	storOps = map[isa.Op]bool{isa.SW: true, isa.FSTW: true}
+)
+
+// encodeStmt expands one statement into instructions (pass 2).
+func (a *assembler) encodeStmt(s *stmt) ([]isa.Inst, error) {
+	switch s.mnemonic {
+	case "li", "fli":
+		rd, err := parseReg(s.args[0], s.line)
+		if err != nil {
+			return nil, err
+		}
+		v, numeric, err := a.constOperand(s)
+		if err != nil {
+			return nil, err
+		}
+		if numeric {
+			return liExpansion(rd, v), nil
+		}
+		val, err := a.eval(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		if val < 0 || val > 1<<31-1 {
+			return nil, errAt(s.line, "symbolic li value %#x outside 31-bit range", val)
+		}
+		return liAddr(rd, uint32(val)), nil
+	case "mv":
+		if len(s.args) != 2 {
+			return nil, errAt(s.line, "mv needs 2 operands")
+		}
+		rd, err1 := parseReg(s.args[0], s.line)
+		rs, err2 := parseReg(s.args[1], s.line)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%v%v", orNil(err1), orNil(err2))
+		}
+		return []isa.Inst{{Op: isa.ADDI, Rd: rd, Rs1: rs}}, nil
+	case "b":
+		if len(s.args) != 1 {
+			return nil, errAt(s.line, "b needs a target")
+		}
+		off, err := a.ctOffset(s.args[0], s, isa.Imm19Fits)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.JAL, Rd: 0, Imm: off}}, nil
+	}
+
+	op, ok := mnemonicOps[s.mnemonic]
+	if !ok {
+		return nil, errAt(s.line, "unknown mnemonic %q", s.mnemonic)
+	}
+	in := isa.Inst{Op: op}
+	var err error
+	switch {
+	case op == isa.NOP || op == isa.HALT:
+		if len(s.args) != 0 {
+			return nil, errAt(s.line, "%s takes no operands", op)
+		}
+	case r1Ops[op]:
+		in.Rd, err = a.oneReg(s)
+	case r2Ops[op]:
+		in.Rd, in.Rs1, err = a.twoRegs(s)
+	case loadOps[op]:
+		in.Rd, in.Rs1, in.Imm, err = a.memOperands(s)
+	case storOps[op]:
+		in.Rs2, in.Rs1, in.Imm, err = a.memOperands(s)
+	case op.IsBranch():
+		err = a.branchOperands(s, &in)
+	case op == isa.JAL:
+		err = a.jalOperands(s, &in)
+	case op == isa.JALR:
+		in.Rd, in.Rs1, in.Imm, err = a.regRegImm(s)
+	case op == isa.LUI:
+		in.Rd, in.Imm, err = a.regImm(s, isa.LUIImmFits)
+	case isa.HasImmOperand(op):
+		in.Rd, in.Rs1, in.Imm, err = a.regRegImm(s)
+	default: // three-register ops
+		in.Rd, in.Rs1, in.Rs2, err = a.threeRegs(s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return []isa.Inst{in}, nil
+}
+
+func orNil(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// imm12Raw reinterprets the low 12 bits of v as a signed immediate so
+// the encoder accepts it; logical ops zero-extend at evaluation time,
+// recovering the original bits.
+func imm12Raw(v uint32) int32 { return int32(v<<20) >> 20 }
+
+// liExpansion builds the shortest sequence loading constant v into rd.
+func liExpansion(rd uint8, v uint32) []isa.Inst {
+	if isa.Imm12Fits(int32(v)) {
+		return []isa.Inst{{Op: isa.ADDI, Rd: rd, Imm: int32(v)}}
+	}
+	if v>>31 == 0 {
+		return liAddr(rd, v)
+	}
+	// Bit 31 set: build v>>1, shift left, then or in the low bit.
+	h := v >> 1
+	return []isa.Inst{
+		{Op: isa.LUI, Rd: rd, Imm: int32(h >> 12)},
+		{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: imm12Raw(h)},
+		{Op: isa.SLLI, Rd: rd, Rs1: rd, Imm: 1},
+		{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: int32(v & 1)},
+	}
+}
+
+// liAddr is the fixed two-instruction form used for symbolic operands,
+// valid for any value below 2^31.
+func liAddr(rd uint8, v uint32) []isa.Inst {
+	return []isa.Inst{
+		{Op: isa.LUI, Rd: rd, Imm: int32(v >> 12)},
+		{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: imm12Raw(v)},
+	}
+}
+
+func parseReg(s string, line int) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, errAt(line, "expected register, got %q", s)
+	}
+	n := 0
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return 0, errAt(line, "expected register, got %q", s)
+		}
+		n = n*10 + int(c-'0')
+		if n > 127 {
+			return 0, errAt(line, "register %q out of range", s)
+		}
+	}
+	return uint8(n), nil
+}
+
+func (a *assembler) oneReg(s *stmt) (uint8, error) {
+	if len(s.args) != 1 {
+		return 0, errAt(s.line, "%s needs 1 operand", s.mnemonic)
+	}
+	return parseReg(s.args[0], s.line)
+}
+
+func (a *assembler) twoRegs(s *stmt) (rd, rs1 uint8, err error) {
+	if len(s.args) != 2 {
+		return 0, 0, errAt(s.line, "%s needs 2 operands", s.mnemonic)
+	}
+	if rd, err = parseReg(s.args[0], s.line); err != nil {
+		return
+	}
+	rs1, err = parseReg(s.args[1], s.line)
+	return
+}
+
+func (a *assembler) threeRegs(s *stmt) (rd, rs1, rs2 uint8, err error) {
+	if len(s.args) != 3 {
+		return 0, 0, 0, errAt(s.line, "%s needs 3 operands", s.mnemonic)
+	}
+	if rd, err = parseReg(s.args[0], s.line); err != nil {
+		return
+	}
+	if rs1, err = parseReg(s.args[1], s.line); err != nil {
+		return
+	}
+	rs2, err = parseReg(s.args[2], s.line)
+	return
+}
+
+func (a *assembler) regRegImm(s *stmt) (rd, rs1 uint8, imm int32, err error) {
+	if len(s.args) != 3 {
+		return 0, 0, 0, errAt(s.line, "%s needs 3 operands", s.mnemonic)
+	}
+	if rd, err = parseReg(s.args[0], s.line); err != nil {
+		return
+	}
+	if rs1, err = parseReg(s.args[1], s.line); err != nil {
+		return
+	}
+	v, err := a.eval(s.args[2], s.line)
+	if err != nil {
+		return
+	}
+	op := mnemonicOps[s.mnemonic]
+	logical := op == isa.ANDI || op == isa.ORI || op == isa.XORI
+	if logical && v >= 0 && v <= 0xFFF {
+		imm = imm12Raw(uint32(v)) // zero-extended logical immediate
+		return
+	}
+	if !isa.Imm12Fits(int32(v)) || int64(int32(v)) != v {
+		err = errAt(s.line, "immediate %d out of 12-bit range", v)
+		return
+	}
+	imm = int32(v)
+	return
+}
+
+func (a *assembler) regImm(s *stmt, fits func(int32) bool) (rd uint8, imm int32, err error) {
+	if len(s.args) != 2 {
+		return 0, 0, errAt(s.line, "%s needs 2 operands", s.mnemonic)
+	}
+	if rd, err = parseReg(s.args[0], s.line); err != nil {
+		return
+	}
+	v, err := a.eval(s.args[1], s.line)
+	if err != nil {
+		return
+	}
+	if !fits(int32(v)) || int64(int32(v)) != v {
+		err = errAt(s.line, "immediate %d out of range", v)
+		return
+	}
+	imm = int32(v)
+	return
+}
+
+// memOperands parses "rX, imm(rY)" into (reg, base, offset).
+func (a *assembler) memOperands(s *stmt) (reg, base uint8, imm int32, err error) {
+	if len(s.args) != 2 {
+		return 0, 0, 0, errAt(s.line, "%s needs 2 operands", s.mnemonic)
+	}
+	if reg, err = parseReg(s.args[0], s.line); err != nil {
+		return
+	}
+	arg := s.args[1]
+	open := strings.IndexByte(arg, '(')
+	if open < 0 || !strings.HasSuffix(arg, ")") {
+		err = errAt(s.line, "expected imm(reg), got %q", arg)
+		return
+	}
+	if base, err = parseReg(arg[open+1:len(arg)-1], s.line); err != nil {
+		return
+	}
+	if open > 0 {
+		var v int64
+		if v, err = a.eval(strings.TrimSpace(arg[:open]), s.line); err != nil {
+			return
+		}
+		if !isa.Imm12Fits(int32(v)) || int64(int32(v)) != v {
+			err = errAt(s.line, "offset %d out of 12-bit range", v)
+			return
+		}
+		imm = int32(v)
+	}
+	return
+}
+
+// ctOffset resolves a branch/jump target into an instruction-count
+// offset from the statement's own address.
+func (a *assembler) ctOffset(arg string, s *stmt, fits func(int32) bool) (int32, error) {
+	v, err := a.eval(arg, s.line)
+	if err != nil {
+		return 0, err
+	}
+	delta := v - int64(s.addr)
+	if delta%4 != 0 {
+		return 0, errAt(s.line, "target %q not instruction-aligned", arg)
+	}
+	off := delta / 4
+	if int64(int32(off)) != off || !fits(int32(off)) {
+		return 0, errAt(s.line, "target %q out of range (offset %d instructions)", arg, off)
+	}
+	return int32(off), nil
+}
+
+func (a *assembler) branchOperands(s *stmt, in *isa.Inst) error {
+	if len(s.args) != 3 {
+		return errAt(s.line, "%s needs 3 operands", s.mnemonic)
+	}
+	var err error
+	if in.Rs1, err = parseReg(s.args[0], s.line); err != nil {
+		return err
+	}
+	if in.Rs2, err = parseReg(s.args[1], s.line); err != nil {
+		return err
+	}
+	in.Imm, err = a.ctOffset(s.args[2], s, isa.Imm12Fits)
+	return err
+}
+
+func (a *assembler) jalOperands(s *stmt, in *isa.Inst) error {
+	if len(s.args) != 2 {
+		return errAt(s.line, "jal needs 2 operands (rd, target)")
+	}
+	var err error
+	if in.Rd, err = parseReg(s.args[0], s.line); err != nil {
+		return err
+	}
+	in.Imm, err = a.ctOffset(s.args[1], s, isa.Imm19Fits)
+	return err
+}
+
+// Disassemble renders encoded text as assembly, one line per word.
+func Disassemble(text []uint32) []string {
+	out := make([]string, len(text))
+	for i, w := range text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			out[i] = fmt.Sprintf(".word %#08x ; %v", w, err)
+			continue
+		}
+		out[i] = in.String()
+	}
+	return out
+}

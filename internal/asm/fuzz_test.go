@@ -1,0 +1,68 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzAssemble: arbitrary source must either assemble into a valid
+// object or return an error — never panic, never emit undecodable text.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"main: halt",
+		"main: add r1, r2, r3\n halt",
+		"main: li r1, 123456\nloop: addi r1, r1, -1\n bne r1, r0, loop\n halt",
+		".data\nx: .word 1, 2\n.flags\nf: .space 4",
+		"main: lw r1, 4(r2)\n sw r1, -4(r3)\n .balign\n halt",
+		"main: beq r0, r0, main",
+		"; comment only",
+		"a: b: c: nop",
+		"main: li r1, 0x7FFFFFFF\n fli r2, -1.5e-3\n halt",
+		".data\nx: .space 999999999",
+		"main: jal r1, main\n jalr r0, r1, 0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		obj, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// A successful assembly must produce decodable text and a valid
+		// object.
+		if err := obj.Validate(); err != nil {
+			t.Fatalf("assembled object invalid: %v", err)
+		}
+		for i, w := range obj.Text {
+			if _, err := isa.Decode(w); err != nil {
+				t.Fatalf("word %d undecodable: %v", i, err)
+			}
+		}
+	})
+}
+
+// FuzzDisassemble: any 32-bit word either decodes (and re-encodes to
+// the same bits) or errors cleanly.
+func FuzzDisassemble(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(isa.MustEncode(isa.Inst{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3}))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return
+		}
+		// Unused low bits of FmtR/FmtN make decode non-injective, so mask
+		// a re-encode against the canonical fields only.
+		re, err := isa.Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %v, which does not re-encode: %v", w, in, err)
+		}
+		back, err := isa.Decode(re)
+		if err != nil || back != in {
+			t.Fatalf("re-encode of %v not stable: %v, %v", in, back, err)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+// Package bpred implements the SDSP's hardware branch predictor:
+// n-bit saturating counters (2-bit in the paper's configuration) with a
+// branch target buffer.
+//
+// Per the paper, a single predictor and BTB are shared by all threads
+// (every thread executes the same code, so shared history helps rather
+// than hurts — the paper reports >80% accuracy with this arrangement),
+// and prediction state is updated only at result commit, when the branch
+// is shifted out of the scheduling unit.
+package bpred
+
+// Counter states of the default 2-bit saturating counter.
+const (
+	StrongNotTaken = 0
+	WeakNotTaken   = 1
+	WeakTaken      = 2
+	StrongTaken    = 3
+)
+
+// Predictor is a direct-mapped BTB with an n-bit saturating counter per
+// entry.
+type Predictor struct {
+	entries []btbEntry
+	mask    uint32
+	max     uint8 // counter saturation value (2^bits - 1)
+	taken   uint8 // counter threshold predicting taken (2^(bits-1))
+
+	// Statistics.
+	lookups     uint64
+	hits        uint64
+	predictions uint64
+	correct     uint64
+}
+
+type btbEntry struct {
+	tag     uint32
+	target  uint32
+	counter uint8
+	valid   bool
+}
+
+// New returns a 2-bit predictor with the given number of BTB entries
+// (must be a power of two).
+func New(entries int) *Predictor { return NewBits(entries, 2) }
+
+// NewBits returns a predictor with n-bit saturating counters (1 <= bits
+// <= 4). The paper uses 2 bits; 1-bit is the classic last-outcome
+// predictor kept as an ablation.
+func NewBits(entries, bits int) *Predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: entry count must be a positive power of two")
+	}
+	if bits < 1 || bits > 4 {
+		panic("bpred: counter bits must be 1..4")
+	}
+	return &Predictor{
+		entries: make([]btbEntry, entries),
+		mask:    uint32(entries - 1),
+		max:     uint8(1<<bits - 1),
+		taken:   uint8(1 << (bits - 1)),
+	}
+}
+
+func (p *Predictor) index(pc uint32) uint32 { return (pc >> 2) & p.mask }
+
+// Lookup predicts the branch at pc. It returns whether the branch is
+// predicted taken and, if so, the predicted target. A BTB miss predicts
+// not-taken (fall through).
+func (p *Predictor) Lookup(pc uint32) (taken bool, target uint32) {
+	p.lookups++
+	e := &p.entries[p.index(pc)]
+	if !e.valid || e.tag != pc {
+		return false, 0
+	}
+	p.hits++
+	if e.counter >= p.taken {
+		return true, e.target
+	}
+	return false, 0
+}
+
+// Update trains the predictor with a resolved branch outcome. The core
+// calls this at result commit (delayed update is one of the paper's
+// explanations for deep-SU slowdowns). correct reports whether the
+// earlier prediction matched the outcome, for accuracy accounting.
+func (p *Predictor) Update(pc uint32, taken bool, target uint32, correct bool) {
+	p.predictions++
+	if correct {
+		p.correct++
+	}
+	e := &p.entries[p.index(pc)]
+	if !e.valid || e.tag != pc {
+		// Allocate on taken branches only; a never-taken branch needs no
+		// BTB entry to be predicted correctly.
+		if !taken {
+			return
+		}
+		*e = btbEntry{tag: pc, target: target, counter: p.taken, valid: true}
+		return
+	}
+	if taken {
+		if e.counter < p.max {
+			e.counter++
+		}
+		e.target = target
+	} else if e.counter > 0 {
+		e.counter--
+	}
+}
+
+// Stats reports lookup and accuracy counters.
+type Stats struct {
+	Lookups, BTBHits     uint64
+	Predictions, Correct uint64
+}
+
+// Accuracy returns the fraction of resolved branches whose prediction
+// was correct, or 1 if none have resolved.
+func (s Stats) Accuracy() float64 {
+	if s.Predictions == 0 {
+		return 1
+	}
+	return float64(s.Correct) / float64(s.Predictions)
+}
+
+// Stats returns a copy of the predictor's counters.
+func (p *Predictor) Stats() Stats {
+	return Stats{Lookups: p.lookups, BTBHits: p.hits, Predictions: p.predictions, Correct: p.correct}
+}

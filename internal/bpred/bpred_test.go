@@ -1,0 +1,176 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdLookupPredictsNotTaken(t *testing.T) {
+	p := New(64)
+	if taken, _ := p.Lookup(0x100); taken {
+		t.Error("cold lookup predicted taken")
+	}
+}
+
+func TestTrainTaken(t *testing.T) {
+	p := New(64)
+	p.Update(0x100, true, 0x200, false)
+	taken, target := p.Lookup(0x100)
+	if !taken || target != 0x200 {
+		t.Errorf("after one taken update: taken=%v target=%#x", taken, target)
+	}
+}
+
+func TestTwoBitHysteresis(t *testing.T) {
+	p := New(64)
+	pc, tgt := uint32(0x100), uint32(0x200)
+	p.Update(pc, true, tgt, false) // WeakTaken
+	p.Update(pc, true, tgt, true)  // StrongTaken
+	p.Update(pc, false, 0, false)  // WeakTaken: one not-taken shouldn't flip
+	if taken, _ := p.Lookup(pc); !taken {
+		t.Error("strong-taken entry flipped after a single not-taken")
+	}
+	p.Update(pc, false, 0, false) // WeakNotTaken
+	if taken, _ := p.Lookup(pc); taken {
+		t.Error("entry still predicts taken after two not-taken updates")
+	}
+}
+
+func TestCounterSaturates(t *testing.T) {
+	p := New(64)
+	pc, tgt := uint32(0x100), uint32(0x200)
+	for i := 0; i < 10; i++ {
+		p.Update(pc, true, tgt, true)
+	}
+	// Saturated at StrongTaken: exactly two not-taken flips the prediction.
+	p.Update(pc, false, 0, false)
+	p.Update(pc, false, 0, false)
+	if taken, _ := p.Lookup(pc); taken {
+		t.Error("counter did not saturate at strong-taken")
+	}
+}
+
+func TestNotTakenBranchesDontAllocate(t *testing.T) {
+	p := New(64)
+	p.Update(0x100, false, 0, true)
+	if p.entries[p.index(0x100)].valid {
+		t.Error("not-taken branch allocated a BTB entry")
+	}
+}
+
+func TestAliasingEviction(t *testing.T) {
+	p := New(4) // indexes collide every 16 bytes
+	p.Update(0x0, true, 0x40, false)
+	p.Update(0x10, true, 0x80, false) // same index, different tag: evicts
+	if taken, _ := p.Lookup(0x0); taken {
+		t.Error("evicted entry still predicts taken")
+	}
+	taken, target := p.Lookup(0x10)
+	if !taken || target != 0x80 {
+		t.Error("new entry not installed after eviction")
+	}
+}
+
+func TestTargetUpdatesOnTaken(t *testing.T) {
+	p := New(64)
+	p.Update(0x100, true, 0x200, false)
+	p.Update(0x100, true, 0x300, true) // indirect branch changed target
+	if _, target := p.Lookup(0x100); target != 0x300 {
+		t.Errorf("target = %#x, want latest", target)
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := New(64)
+	p.Lookup(0x100)
+	p.Update(0x100, true, 0x200, false)
+	p.Lookup(0x100)
+	p.Update(0x100, true, 0x200, true)
+	s := p.Stats()
+	if s.Lookups != 2 || s.BTBHits != 1 || s.Predictions != 2 || s.Correct != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if acc := s.Accuracy(); acc != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", acc)
+	}
+	if (Stats{}).Accuracy() != 1 {
+		t.Error("empty accuracy should be 1")
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+// Property: a branch trained with a constant outcome is predicted with
+// that outcome after two updates, regardless of prior state.
+func TestConvergenceProperty(t *testing.T) {
+	f := func(pcRaw uint16, history []bool) bool {
+		pc := uint32(pcRaw) &^ 3
+		p := New(64)
+		for _, h := range history {
+			p.Update(pc, h, pc+64, false)
+		}
+		p.Update(pc, true, pc+64, false)
+		p.Update(pc, true, pc+64, false)
+		taken, target := p.Lookup(pc)
+		return taken && target == pc+64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOneBitPredictorFlipsImmediately(t *testing.T) {
+	p := NewBits(64, 1)
+	pc, tgt := uint32(0x100), uint32(0x200)
+	p.Update(pc, true, tgt, false)
+	if taken, _ := p.Lookup(pc); !taken {
+		t.Error("1-bit predictor not taken after taken update")
+	}
+	p.Update(pc, false, 0, false) // single not-taken must flip it
+	if taken, _ := p.Lookup(pc); taken {
+		t.Error("1-bit predictor did not flip after one not-taken")
+	}
+}
+
+func TestBitWidthValidation(t *testing.T) {
+	for _, bits := range []int{0, 5, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBits(64, %d) did not panic", bits)
+				}
+			}()
+			NewBits(64, bits)
+		}()
+	}
+}
+
+func TestThreeBitHysteresis(t *testing.T) {
+	p := NewBits(64, 3)
+	pc, tgt := uint32(0x100), uint32(0x200)
+	for i := 0; i < 10; i++ {
+		p.Update(pc, true, tgt, true) // saturate at 7
+	}
+	// Three not-taken updates leave the counter at 4 — still taken.
+	for i := 0; i < 3; i++ {
+		p.Update(pc, false, 0, false)
+	}
+	if taken, _ := p.Lookup(pc); !taken {
+		t.Error("3-bit counter flipped too early")
+	}
+	p.Update(pc, false, 0, false)
+	if taken, _ := p.Lookup(pc); taken {
+		t.Error("3-bit counter did not flip at threshold")
+	}
+}

@@ -1,0 +1,299 @@
+// Package cache models the SDSP data cache: 8 KB with 32-byte lines,
+// either direct-mapped or 2-way set associative with perfect LRU,
+// write-back and write-allocate.
+//
+// Timing follows the paper's description: the cache can service one line
+// refill while simultaneously providing data for hits, but a second miss
+// renders it incapable of servicing any requests until the outstanding
+// refills complete. The cache is uniform — shared by all threads without
+// partitioning.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Config sizes the cache.
+type Config struct {
+	SizeBytes   uint32 // total capacity (default 8 KiB)
+	LineBytes   uint32 // line size (default 32)
+	Ways        int    // 1 = direct-mapped, 2 = 2-way set associative
+	MissPenalty uint64 // cycles to refill a line from memory
+	// Ports caps accesses serviced per cycle; 0 is unlimited. The paper
+	// lists "employ more cache ports" among its improvements (§6.1 #1).
+	Ports int
+}
+
+// DefaultConfig is the paper's default data cache: 8 KB, 2-way, LRU.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 8 * 1024, LineBytes: 32, Ways: 2, MissPenalty: 12}
+}
+
+// DirectMapped is the comparison configuration from the paper.
+func DirectMapped() Config {
+	c := DefaultConfig()
+	c.Ways = 1
+	return c
+}
+
+// Result is the outcome of a cache request this cycle.
+type Result int
+
+const (
+	// Hit: the request completed; data is valid.
+	Hit Result = iota
+	// Miss: the request started a line refill; retry until it hits.
+	Miss
+	// Busy: the cache cannot service the request this cycle (its line is
+	// being refilled, or a second miss has blocked the cache). Retry.
+	Busy
+)
+
+func (r Result) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Busy:
+		return "busy"
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// Stats counts cache activity. Hit rate is Hits/(Hits+Misses): each
+// architectural access is counted once (the core sets count only on an
+// access's first attempt).
+type Stats struct {
+	Reads, Writes  uint64
+	Hits, Misses   uint64
+	Refills        uint64
+	Writebacks     uint64
+	BlockedRejects uint64 // requests refused while the cache was blocked
+	PortRejects    uint64 // requests refused for lack of a free port
+}
+
+// HitRate returns the fraction of counted accesses that hit.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type line struct {
+	tag      uint32
+	words    []uint32
+	valid    bool
+	dirty    bool
+	lastUsed uint64 // for LRU
+}
+
+type refill struct {
+	addr    uint32 // line-aligned address
+	readyAt uint64
+}
+
+// Cache is a cycle-level data cache model backed by main memory.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	backing  *mem.Memory
+	nsets    uint32
+	useClock uint64
+
+	active  *refill // refill in progress
+	pending *refill // second miss waiting; its presence blocks the cache
+
+	portsUsed int    // accesses serviced this cycle
+	portCycle uint64 // cycle portsUsed refers to
+
+	stats Stats
+}
+
+// New builds a cache over backing memory.
+func New(cfg Config, backing *mem.Memory) *Cache {
+	if cfg.SizeBytes == 0 || cfg.LineBytes == 0 || cfg.Ways <= 0 {
+		panic("cache: zero-valued config")
+	}
+	if cfg.SizeBytes%(cfg.LineBytes*uint32(cfg.Ways)) != 0 {
+		panic("cache: size not divisible by line*ways")
+	}
+	if cfg.LineBytes%4 != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size must be a power-of-two multiple of 4")
+	}
+	nsets := cfg.SizeBytes / cfg.LineBytes / uint32(cfg.Ways)
+	if nsets&(nsets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+		for w := range sets[i] {
+			sets[i][w].words = make([]uint32, cfg.LineBytes/4)
+		}
+	}
+	return &Cache{cfg: cfg, sets: sets, backing: backing, nsets: nsets}
+}
+
+func (c *Cache) lineAddr(addr uint32) uint32 { return addr &^ (c.cfg.LineBytes - 1) }
+func (c *Cache) setIndex(addr uint32) uint32 { return (addr / c.cfg.LineBytes) % c.nsets }
+
+// lookup returns the way holding addr's line, or nil.
+func (c *Cache) lookup(addr uint32) *line {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.lineAddr(addr)
+	for w := range set {
+		if set[w].valid && set[w].tag == tag {
+			return &set[w]
+		}
+	}
+	return nil
+}
+
+// Tick completes any refill that is due. Call once per cycle before
+// issuing requests.
+func (c *Cache) Tick(now uint64) {
+	for c.active != nil && now >= c.active.readyAt {
+		finished := c.active.readyAt
+		c.install(c.active.addr)
+		c.active = c.pending
+		c.pending = nil
+		if c.active != nil {
+			// The queued second miss starts its memory access only once
+			// the first refill has finished.
+			c.active.readyAt = finished + c.cfg.MissPenalty
+		}
+	}
+}
+
+// install fills addr's line from memory, evicting the LRU victim.
+func (c *Cache) install(addr uint32) {
+	set := c.sets[c.setIndex(addr)]
+	victim := &set[0]
+	for w := 1; w < len(set); w++ {
+		if !set[w].valid {
+			victim = &set[w]
+			break
+		}
+		if set[w].lastUsed < victim.lastUsed && victim.valid {
+			victim = &set[w]
+		}
+	}
+	if victim.valid && victim.dirty {
+		c.writeback(victim)
+	}
+	base := c.lineAddr(addr)
+	for i := range victim.words {
+		victim.words[i] = c.backing.LoadWord(base + uint32(i)*4)
+	}
+	victim.tag = base
+	victim.valid = true
+	victim.dirty = false
+	victim.lastUsed = c.useClock
+	c.stats.Refills++
+}
+
+func (c *Cache) writeback(l *line) {
+	for i, w := range l.words {
+		c.backing.StoreWord(l.tag+uint32(i)*4, w)
+	}
+	l.dirty = false
+	c.stats.Writebacks++
+}
+
+// blocked reports whether a second miss has wedged the cache.
+func (c *Cache) blocked() bool { return c.pending != nil }
+
+// request implements the shared hit/miss/busy state machine.
+func (c *Cache) request(addr uint32, now uint64, count bool) (*line, Result) {
+	if c.blocked() {
+		c.stats.BlockedRejects++
+		return nil, Busy
+	}
+	if c.cfg.Ports > 0 {
+		if now != c.portCycle {
+			c.portCycle, c.portsUsed = now, 0
+		}
+		if c.portsUsed >= c.cfg.Ports {
+			c.stats.PortRejects++
+			return nil, Busy
+		}
+		c.portsUsed++
+	}
+	if l := c.lookup(addr); l != nil {
+		c.useClock++
+		l.lastUsed = c.useClock
+		if count {
+			c.stats.Hits++
+		}
+		return l, Hit
+	}
+	la := c.lineAddr(addr)
+	if c.active != nil {
+		if c.active.addr == la {
+			return nil, Busy // our line is on its way
+		}
+		// Second miss: queue it and block the cache.
+		c.pending = &refill{addr: la}
+		if count {
+			c.stats.Misses++
+		}
+		return nil, Miss
+	}
+	c.active = &refill{addr: la, readyAt: now + c.cfg.MissPenalty}
+	if count {
+		c.stats.Misses++
+	}
+	return nil, Miss
+}
+
+// Read requests the word at addr. count marks an access's first attempt
+// for hit-rate accounting; retries pass false.
+func (c *Cache) Read(addr uint32, now uint64, count bool) (uint32, Result) {
+	if count {
+		c.stats.Reads++
+	}
+	l, res := c.request(addr, now, count)
+	if res != Hit {
+		return 0, res
+	}
+	return l.words[(addr%c.cfg.LineBytes)/4], Hit
+}
+
+// Write requests a word store at addr (write-allocate: a miss refills
+// the line first; the caller retries until Hit).
+func (c *Cache) Write(addr, val uint32, now uint64, count bool) Result {
+	if count {
+		c.stats.Writes++
+	}
+	l, res := c.request(addr, now, count)
+	if res != Hit {
+		return res
+	}
+	l.words[(addr%c.cfg.LineBytes)/4] = val
+	l.dirty = true
+	return Hit
+}
+
+// FlushAll writes every dirty line back to memory; used when a run ends
+// so memory reflects the architectural state.
+func (c *Cache) FlushAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if l := &c.sets[s][w]; l.valid && l.dirty {
+				c.writeback(l)
+			}
+		}
+	}
+}
+
+// Pending reports whether any refill is outstanding (used to decide when
+// a run has fully drained).
+func (c *Cache) Pending() bool { return c.active != nil || c.pending != nil }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }

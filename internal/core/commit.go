@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// commit retires at most one block per cycle. Under FlexibleCommit the
+// bottom CommitWindow blocks are examined; a block may commit ahead of a
+// stalled older block iff its thread differs from every uncommitted
+// block below it (paper §3.5, Figure 2). Committing writes results to
+// the register file, releases stores to drain, trains the branch
+// predictor, and pops the block so new entries can be made.
+func (m *Machine) commit() {
+	window := m.cfg.CommitWindow
+	if m.cfg.CommitPolicy == LowestOnly {
+		window = 1
+	}
+	if window > len(m.su) {
+		window = len(m.su)
+	}
+
+	chosen := -1
+	for i := 0; i < window; i++ {
+		b := m.su[i]
+		if !b.done() {
+			continue
+		}
+		clash := false
+		for j := 0; j < i; j++ {
+			if m.su[j].thread == b.thread {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			chosen = i
+			break
+		}
+	}
+
+	// MaskedRR bookkeeping: the thread stalling the bottom block is
+	// masked until that block commits.
+	if len(m.su) > 0 && chosen != 0 {
+		m.maskedThread = m.su[0].thread
+	} else {
+		m.maskedThread = -1
+	}
+
+	if chosen < 0 {
+		if len(m.su) == m.suCap {
+			m.stats.SUStalls++
+		}
+		return
+	}
+
+	m.stats.CommitsPerWin[chosen]++
+	b := m.su[chosen]
+	m.trace("commit   t%d block from window slot %d", b.thread, chosen)
+	for _, e := range b.entries {
+		if e == nil || !e.valid || e.squashed {
+			continue
+		}
+		m.commitEntry(e)
+	}
+	m.su = append(m.su[:chosen], m.su[chosen+1:]...)
+}
+
+func (m *Machine) commitEntry(e *suEntry) {
+	if e.badAddr {
+		panic(fmt.Sprintf("core: committed instruction with illegal address %#08x: %v", e.addr, e))
+	}
+	if e.writesReg() {
+		m.regs[m.physReg(e.thread, e.inst.Rd)] = e.result
+	}
+	switch {
+	case e.inst.Op == isa.SW || e.inst.Op == isa.FSTW:
+		m.releaseStore(e)
+	case e.inst.Op.IsBranch() || e.inst.Op == isa.JALR:
+		correct := e.actualTaken == e.predTaken &&
+			(!e.actualTaken || e.actualTarget == e.predTarget)
+		m.predFor(e.thread).Update(e.pc, e.actualTaken, e.actualTarget, correct)
+	case e.inst.Op == isa.HALT:
+		m.halted[e.thread] = true
+	}
+	m.stats.Committed++
+	m.stats.CommittedByThread[e.thread]++
+}
+
+// releaseStore marks e's store buffer entry committed and queues it for
+// draining in commit order.
+func (m *Machine) releaseStore(e *suEntry) {
+	for _, so := range m.storeBuf {
+		if so.entry == e {
+			so.committed = true
+			m.drainQueue = append(m.drainQueue, so)
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: committed store %v has no store buffer entry", e))
+}

@@ -1,0 +1,230 @@
+// Package core implements the cycle-level model of the multithreaded
+// SDSP superscalar processor: a 4-wide fetch/decode front end with
+// per-thread program counters, a shared FIFO scheduling unit (combined
+// reorder buffer + instruction window) with globally unique renaming
+// tags, thread-blind oldest-first issue to shared functional units,
+// selective same-thread squash on mispredicts, and Flexible Result
+// Commit from the bottom blocks of the scheduling unit.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// FetchPolicy selects which thread fetches each cycle (paper §5.1).
+type FetchPolicy int
+
+const (
+	// TrueRR allocates one fetch cycle to each thread in strict cyclic
+	// order via a modulo-N counter that advances every clock tick,
+	// irrespective of thread state. The simplest policy to build, and the
+	// paper's default.
+	TrueRR FetchPolicy = iota
+	// MaskedRR is round robin that skips ("masks") a thread while it
+	// fails to commit from the lowermost block of the reorder buffer.
+	MaskedRR
+	// CondSwitch keeps fetching one thread until the decoder sees a
+	// long-latency trigger (integer divide, FP multiply/divide, or a
+	// synchronization primitive), then rotates to the next thread.
+	CondSwitch
+	// ICount is the "judicious fetch policy" the paper sketches as
+	// future work (§6.1 #3): fetch for the eligible thread with the
+	// fewest instructions resident in the scheduling unit, slowing down
+	// fetch for threads in regions of low execution rate. (The same idea
+	// later became Tullsen's ICOUNT.)
+	ICount
+)
+
+func (p FetchPolicy) String() string {
+	switch p {
+	case TrueRR:
+		return "TrueRR"
+	case MaskedRR:
+		return "MaskedRR"
+	case CondSwitch:
+		return "CondSwitch"
+	case ICount:
+		return "ICount"
+	}
+	return fmt.Sprintf("FetchPolicy(%d)", int(p))
+}
+
+// CommitPolicy selects the result-commit scheme (paper §5.6).
+type CommitPolicy int
+
+const (
+	// FlexibleCommit examines the bottom CommitWindow blocks and commits
+	// the lowest ready block whose thread differs from every uncommitted
+	// block below it.
+	FlexibleCommit CommitPolicy = iota
+	// LowestOnly commits only from the lowermost block, as in a
+	// conventional single-threaded reorder buffer.
+	LowestOnly
+)
+
+func (p CommitPolicy) String() string {
+	switch p {
+	case FlexibleCommit:
+		return "Flexible"
+	case LowestOnly:
+		return "LowestOnly"
+	}
+	return fmt.Sprintf("CommitPolicy(%d)", int(p))
+}
+
+// FUConfig sizes the functional unit pools (paper Table 1). Latencies
+// are substitutions documented in DESIGN.md: the OCR of the paper lost
+// the original numbers, so era-typical values are used.
+type FUConfig struct {
+	Count     [isa.NumClasses]int
+	Latency   [isa.NumClasses]uint64
+	Pipelined [isa.NumClasses]bool
+}
+
+// DefaultFUs is the paper's default configuration: four integer ALUs and
+// one of everything else, plus the FP units the paper adds for its
+// benchmarks and a 2-port synchronization controller.
+func DefaultFUs() FUConfig {
+	var c FUConfig
+	set := func(cl isa.Class, n int, lat uint64, pipe bool) {
+		c.Count[cl], c.Latency[cl], c.Pipelined[cl] = n, lat, pipe
+	}
+	set(isa.ClassALU, 4, 1, true)
+	set(isa.ClassIMul, 1, 3, true)
+	set(isa.ClassIDiv, 1, 10, false)
+	set(isa.ClassLoad, 1, 2, true) // cache-hit latency; misses add refill time
+	set(isa.ClassStore, 1, 1, true)
+	set(isa.ClassCT, 1, 1, true)
+	set(isa.ClassFPAdd, 1, 2, true)
+	set(isa.ClassFPMul, 1, 3, true)
+	set(isa.ClassFPDiv, 1, 10, false)
+	set(isa.ClassSync, 2, 3, true)
+	return c
+}
+
+// EnhancedFUs is the paper's "++" configuration: two of each scarce unit
+// and six ALUs.
+func EnhancedFUs() FUConfig {
+	c := DefaultFUs()
+	c.Count[isa.ClassALU] = 6
+	c.Count[isa.ClassIMul] = 2
+	c.Count[isa.ClassIDiv] = 2
+	c.Count[isa.ClassLoad] = 2
+	c.Count[isa.ClassStore] = 2
+	c.Count[isa.ClassFPAdd] = 2
+	c.Count[isa.ClassFPMul] = 2
+	c.Count[isa.ClassFPDiv] = 2
+	return c
+}
+
+// BlockSize is the fetch/decode/commit granularity: four contiguous
+// instructions, fixed by the SDSP design.
+const BlockSize = 4
+
+// Config assembles a full machine configuration (paper Table 2).
+type Config struct {
+	Threads      int          // simultaneously resident threads (1..6 in the paper)
+	FetchPolicy  FetchPolicy  // TrueRR by default
+	CommitPolicy CommitPolicy // Flexible by default
+	CommitWindow int          // blocks examined by flexible commit (4)
+
+	SUEntries      int // scheduling unit depth in instructions (32)
+	IssueWidth     int // instructions issued per cycle (8)
+	WritebackWidth int // results written back per cycle (8)
+	StoreBuffer    int // store buffer entries (8)
+
+	BTBEntries    int  // branch target buffer entries (power of two)
+	PredictorBits int  // saturating counter width; 0 means the paper's 2
+	PerThreadBTB  bool // ablation: private predictor+BTB per thread (paper shares one)
+
+	Renaming  bool // true: full renaming; false: 1-bit scoreboarding
+	Bypassing bool // true: results usable the cycle after writeback
+
+	// StoreForwarding is an extension ablation: forward store data to
+	// aliasing younger loads instead of the paper's restricted policy of
+	// making the load wait for the drain.
+	StoreForwarding bool
+
+	Cache cache.Config
+	// ICache, when non-nil, models a real instruction cache; nil is the
+	// paper's perfect (100% hit) instruction cache.
+	ICache *cache.Config
+	FUs    FUConfig
+
+	MaxCycles uint64 // runaway guard; 0 means a generous default
+}
+
+// DefaultConfig is the paper's default hardware configuration.
+func DefaultConfig() Config {
+	return Config{
+		Threads:        4,
+		FetchPolicy:    TrueRR,
+		CommitPolicy:   FlexibleCommit,
+		CommitWindow:   4,
+		SUEntries:      32,
+		IssueWidth:     8,
+		WritebackWidth: 8,
+		StoreBuffer:    8,
+		BTBEntries:     512,
+		Renaming:       true,
+		Bypassing:      true,
+		Cache:          cache.DefaultConfig(),
+		FUs:            DefaultFUs(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Threads < 1 || c.Threads > isa.NumPhysRegs/8:
+		return fmt.Errorf("core: thread count %d out of range", c.Threads)
+	case c.SUEntries < BlockSize || c.SUEntries%BlockSize != 0:
+		return fmt.Errorf("core: SU depth %d must be a positive multiple of %d", c.SUEntries, BlockSize)
+	case c.IssueWidth < 1:
+		return fmt.Errorf("core: issue width %d", c.IssueWidth)
+	case c.WritebackWidth < 1:
+		return fmt.Errorf("core: writeback width %d", c.WritebackWidth)
+	case c.StoreBuffer < BlockSize:
+		// A block with BlockSize stores can only commit once all of them
+		// are buffered, so smaller buffers deadlock by construction.
+		return fmt.Errorf("core: store buffer %d must be at least %d", c.StoreBuffer, BlockSize)
+	case c.BTBEntries < 1 || c.BTBEntries&(c.BTBEntries-1) != 0:
+		return fmt.Errorf("core: BTB entries %d must be a power of two", c.BTBEntries)
+	case c.CommitWindow < 1:
+		return fmt.Errorf("core: commit window %d", c.CommitWindow)
+	}
+	if c.CommitPolicy == LowestOnly && c.CommitWindow != 1 {
+		return fmt.Errorf("core: LowestOnly commit requires window 1, got %d", c.CommitWindow)
+	}
+	if c.PredictorBits < 0 || c.PredictorBits > 4 {
+		return fmt.Errorf("core: predictor bits %d out of range", c.PredictorBits)
+	}
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		if c.FUs.Count[cl] < 1 {
+			return fmt.Errorf("core: no %v units configured", cl)
+		}
+		if c.FUs.Latency[cl] < 1 {
+			return fmt.Errorf("core: %v latency must be at least 1", cl)
+		}
+	}
+	return nil
+}
+
+// predictorBits returns the counter width with its default applied.
+func (c *Config) predictorBits() int {
+	if c.PredictorBits == 0 {
+		return 2
+	}
+	return c.PredictorBits
+}
+
+// maxCycles returns the runaway guard with its default applied.
+func (c *Config) maxCycles() uint64 {
+	if c.MaxCycles != 0 {
+		return c.MaxCycles
+	}
+	return 500_000_000
+}

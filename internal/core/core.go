@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/loader"
+	"repro/internal/mem"
+	"repro/internal/syncctl"
+)
+
+// Machine is one configured SDSP core with a loaded program and N
+// resident threads. Create with New, drive with Run (or Cycle for
+// fine-grained control), then read Stats and architectural state.
+type Machine struct {
+	cfg   Config
+	kregs int // logical registers per thread
+
+	memory *mem.Memory
+	dcache *cache.Cache
+	icache *cache.Cache // nil: perfect instruction cache (paper default)
+	sync   *syncctl.Controller
+	preds  []*bpred.Predictor // one shared (paper) or one per thread
+	text   []isa.Inst         // predecoded text segment
+
+	regs [isa.NumPhysRegs]uint32
+
+	// Scheduling unit: su[0] is the bottom (oldest) block.
+	su      []*block
+	suCap   int // capacity in blocks
+	nextTag uint64
+
+	// Front end.
+	latch        *fetchBlock
+	pc           []uint32
+	fetchStopped []bool // a fetched HALT stops the thread's fetch
+	halted       []bool // HALT committed; thread is finished
+	rrCounter    int
+	curThread    int // CondSwitch's active thread
+	maskedThread int // MaskedRR: thread stalling the bottom block, or -1
+
+	pools        []fuPool
+	completions  []*suEntry
+	pendingLoads []*suEntry
+
+	storeBuf   []*storeOp // all undrained stores, for occupancy and alias checks
+	drainQueue []*storeOp // committed stores in commit order
+
+	// Scoreboard mode (Renaming=false): tag+1 of the in-flight writer of
+	// each physical register, 0 when free.
+	busyReg [isa.NumPhysRegs]uint64
+
+	now   uint64
+	stats Stats
+
+	// Trace, when set, receives one line per pipeline event (fetch,
+	// dispatch, issue, writeback, mispredict, commit), prefixed with the
+	// cycle number. Heavy; intended for debugging and teaching.
+	Trace func(format string, args ...any)
+}
+
+// trace emits a pipeline event when tracing is enabled.
+func (m *Machine) trace(format string, args ...any) {
+	if m.Trace != nil {
+		m.Trace("%8d  "+format, append([]any{m.now}, args...)...)
+	}
+}
+
+// New builds a machine for obj under cfg.
+func New(obj *loader.Object, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m0, err := obj.Load()
+	if err != nil {
+		return nil, err
+	}
+	text := make([]isa.Inst, len(obj.Text))
+	for i, w := range obj.Text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: text word %d: %w", i, err)
+		}
+		text[i] = in
+	}
+	npred := 1
+	if cfg.PerThreadBTB {
+		npred = cfg.Threads
+	}
+	preds := make([]*bpred.Predictor, npred)
+	for i := range preds {
+		preds[i] = bpred.NewBits(cfg.BTBEntries, cfg.predictorBits())
+	}
+	m := &Machine{
+		cfg:          cfg,
+		kregs:        isa.RegsPerThread(cfg.Threads),
+		memory:       m0,
+		dcache:       cache.New(cfg.Cache, m0),
+		sync:         syncctl.New(m0),
+		preds:        preds,
+		text:         text,
+		suCap:        cfg.SUEntries / BlockSize,
+		pc:           make([]uint32, cfg.Threads),
+		fetchStopped: make([]bool, cfg.Threads),
+		halted:       make([]bool, cfg.Threads),
+		maskedThread: -1,
+		pools:        newPools(cfg.FUs),
+	}
+	if cfg.ICache != nil {
+		m.icache = cache.New(*cfg.ICache, m0)
+	}
+	for t := range m.pc {
+		m.pc[t] = obj.Entry
+	}
+	m.stats.CommittedByThread = make([]uint64, cfg.Threads)
+	for cl := range m.stats.FUUsage {
+		m.stats.FUUsage[cl] = make([]uint64, cfg.FUs.Count[cl])
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Memory exposes architectural memory; call after Run (the run drains
+// the cache) or use FlushCache first.
+func (m *Machine) Memory() *mem.Memory { return m.memory }
+
+// Reg reads thread t's logical register r as of the committed state.
+func (m *Machine) Reg(t, r int) uint32 {
+	if r == 0 {
+		return 0
+	}
+	return m.regs[t*m.kregs+r]
+}
+
+// Now returns the current cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Done reports whether every thread has committed HALT and the pipeline
+// has fully drained.
+func (m *Machine) Done() bool {
+	for _, h := range m.halted {
+		if !h {
+			return false
+		}
+	}
+	return len(m.su) == 0 && m.latch == nil && len(m.storeBuf) == 0 &&
+		len(m.drainQueue) == 0 && len(m.completions) == 0 && len(m.pendingLoads) == 0
+}
+
+// Run executes cycles until done. It errors out if the runaway guard
+// trips, including a state dump for debugging.
+func (m *Machine) Run() (*Stats, error) {
+	limit := m.cfg.maxCycles()
+	for !m.Done() {
+		if m.now >= limit {
+			return nil, fmt.Errorf("core: exceeded %d cycles without finishing\n%s", limit, m.dump())
+		}
+		m.Cycle()
+	}
+	m.dcache.FlushAll()
+	m.finishStats()
+	return &m.stats, nil
+}
+
+// Stats returns the statistics gathered so far.
+func (m *Machine) Stats() *Stats {
+	m.finishStats()
+	return &m.stats
+}
+
+// predFor returns the predictor serving thread t.
+func (m *Machine) predFor(t int) *bpred.Predictor {
+	if len(m.preds) == 1 {
+		return m.preds[0]
+	}
+	return m.preds[t]
+}
+
+func (m *Machine) finishStats() {
+	m.stats.Cycles = m.now
+	m.stats.Branch = bpred.Stats{}
+	for _, p := range m.preds {
+		s := p.Stats()
+		m.stats.Branch.Lookups += s.Lookups
+		m.stats.Branch.BTBHits += s.BTBHits
+		m.stats.Branch.Predictions += s.Predictions
+		m.stats.Branch.Correct += s.Correct
+	}
+	m.stats.Cache = m.dcache.Stats()
+	if m.icache != nil {
+		m.stats.ICache = m.icache.Stats()
+	}
+	m.stats.Sync = m.sync.Stats()
+	for cl := range m.pools {
+		for u := range m.pools[cl].units {
+			m.stats.FUUsage[cl][u] = m.pools[cl].units[u].usedCyc
+		}
+	}
+}
+
+// Cycle advances the machine one clock. Stages run commit-first so data
+// moves at most one stage per cycle.
+func (m *Machine) Cycle() {
+	m.now++
+	m.dcache.Tick(m.now)
+	if m.icache != nil {
+		m.icache.Tick(m.now)
+	}
+	m.commit()
+	m.drainStores()
+	m.serviceLoads()
+	m.writeback()
+	m.issue()
+	m.dispatch()
+	m.fetch()
+	m.cycleStats()
+}
+
+func (m *Machine) cycleStats() {
+	occ := 0
+	for _, b := range m.su {
+		for _, e := range b.entries {
+			if e != nil && e.valid && !e.squashed {
+				occ++
+			}
+		}
+	}
+	m.stats.SUOccupancy += uint64(occ)
+	if len(m.su) == m.suCap {
+		m.stats.SUFullCycles++
+	}
+	// Held units (loads waiting on the cache) accrue occupancy here.
+	for cl := range m.pools {
+		for u := range m.pools[cl].units {
+			if m.pools[cl].units[u].holder != nil {
+				m.pools[cl].units[u].usedCyc++
+			}
+		}
+	}
+}
+
+// physReg maps thread t's logical register to its physical register, or
+// -1 for the hardwired zero register.
+func (m *Machine) physReg(t int, r uint8) int {
+	if r == 0 {
+		return -1
+	}
+	if int(r) >= m.kregs {
+		panic(fmt.Sprintf("core: thread %d uses r%d but budget is %d registers", t, r, m.kregs))
+	}
+	return t*m.kregs + int(r)
+}
+
+// writesReg reports whether e architecturally writes a register.
+func (e *suEntry) writesReg() bool { return e.inst.Op.WritesRd() && e.inst.Rd != 0 }
+
+// dump renders machine state for runaway diagnostics.
+func (m *Machine) dump() string {
+	s := fmt.Sprintf("cycle %d; SU %d/%d blocks; latch=%v\n", m.now, len(m.su), m.suCap, m.latch != nil)
+	for t := 0; t < m.cfg.Threads; t++ {
+		s += fmt.Sprintf("  thread %d: pc=%#x halted=%v stopped=%v\n", t, m.pc[t], m.halted[t], m.fetchStopped[t])
+	}
+	for i, b := range m.su {
+		for _, e := range b.entries {
+			if e != nil && e.valid {
+				sq := ""
+				if e.squashed {
+					sq = " SQUASHED"
+				}
+				s += fmt.Sprintf("  su[%d] %v%s src0=%+v src1=%+v\n", i, e, sq, e.src[0], e.src[1])
+			}
+		}
+	}
+	s += fmt.Sprintf("  storeBuf=%d drainQueue=%d completions=%d pendingLoads=%d\n",
+		len(m.storeBuf), len(m.drainQueue), len(m.completions), len(m.pendingLoads))
+	for _, so := range m.storeBuf {
+		s += fmt.Sprintf("  storeBuf: %v addr=%#x committed=%v drained=%v squashed=%v\n",
+			so.entry, so.entry.addr, so.committed, so.drained, so.entry.squashed)
+	}
+	return s
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/funcsim"
+	"repro/internal/loader"
+)
+
+// runSrc assembles src and runs it to completion on a machine with the
+// given thread count (other config default), returning the machine.
+func runSrc(t *testing.T, src string, threads int) (*Machine, *Stats) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Threads = threads
+	cfg.MaxCycles = 2_000_000
+	return runSrcCfg(t, src, cfg)
+}
+
+func runSrcCfg(t *testing.T, src string, cfg Config) (*Machine, *Stats) {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	m, err := New(obj, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m, st
+}
+
+func TestTrivialProgram(t *testing.T) {
+	m, st := runSrc(t, `
+		main: addi r1, r0, 7
+		      li   r2, out
+		      sw   r1, 0(r2)
+		      halt
+		.data
+		out: .word 0
+	`, 1)
+	if got := m.Memory().LoadWord(loader.DataBase); got != 7 {
+		t.Errorf("out = %d, want 7", got)
+	}
+	if st.Committed != 5 { // addi, lui, ori, sw, halt
+		t.Errorf("committed = %d, want 5", st.Committed)
+	}
+	if st.Cycles == 0 || st.Cycles > 100 {
+		t.Errorf("cycles = %d, want small positive", st.Cycles)
+	}
+}
+
+func TestLoopProgram(t *testing.T) {
+	m, st := runSrc(t, `
+		main:  addi r1, r0, 50
+		       addi r2, r0, 0
+		loop:  add  r2, r2, r1
+		       addi r1, r1, -1
+		       bne  r1, r0, loop
+		       li   r3, out
+		       sw   r2, 0(r3)
+		       halt
+		.data
+		out: .word 0
+	`, 1)
+	if got := m.Memory().LoadWord(loader.DataBase); got != 1275 {
+		t.Errorf("sum = %d, want 1275", got)
+	}
+	if st.Mispredicts == 0 {
+		t.Error("a loop exit should mispredict at least once")
+	}
+}
+
+func TestMultithreadedPartitionedStore(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		m, _ := runSrc(t, `
+			main: tid  r1
+			      addi r2, r1, 1
+			      mul  r3, r2, r2
+			      slli r4, r1, 2
+			      li   r5, out
+			      add  r5, r5, r4
+			      sw   r3, 0(r5)
+			      halt
+			.data
+			out: .space 24
+		`, n)
+		for tid := 0; tid < n; tid++ {
+			want := uint32((tid + 1) * (tid + 1))
+			if got := m.Memory().LoadWord(loader.DataBase + uint32(tid)*4); got != want {
+				t.Errorf("n=%d out[%d] = %d, want %d", n, tid, got, want)
+			}
+		}
+	}
+}
+
+// oracle compares the pipeline's architectural memory and registers
+// against the functional simulator for the same program.
+func oracle(t *testing.T, src string, threads int, cfg Config) {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	ref, err := funcsim.RunProgram(obj, threads, 50_000_000)
+	if err != nil {
+		t.Fatalf("funcsim: %v", err)
+	}
+	cfg.Threads = threads
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 5_000_000
+	}
+	m, err := New(obj, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	refMem := ref.Memory().Snapshot()
+	gotMem := m.Memory().Snapshot()
+	mismatches := 0
+	for i := range refMem {
+		if refMem[i] != gotMem[i] {
+			t.Errorf("mem[%#x] = %#x, funcsim %#x", i*4, gotMem[i], refMem[i])
+			if mismatches++; mismatches > 10 {
+				t.Fatal("too many mismatches")
+			}
+		}
+	}
+	for tid := 0; tid < threads; tid++ {
+		for r := 1; r < ref.RegsPerThread(); r++ {
+			if got, want := m.Reg(tid, r), ref.Reg(tid, r); got != want {
+				t.Errorf("thread %d r%d = %#x, funcsim %#x", tid, r, got, want)
+			}
+		}
+	}
+}
+
+const mixedKernel = `
+	; per-thread: sum integers, do some FP, exercise div/mul, store results
+	main:   tid   r1
+	        nth   r2
+	        addi  r3, r0, 20      ; loop count
+	        addi  r4, r0, 0       ; int accumulator
+	        fli   r5, 0.0         ; fp accumulator
+	        fli   r6, 1.5
+	loop:   add   r4, r4, r3
+	        mul   r7, r3, r3
+	        add   r4, r4, r7
+	        cvtif r8, r3
+	        fmul  r9, r8, r6
+	        fadd  r5, r5, r9
+	        addi  r3, r3, -1
+	        bne   r3, r0, loop
+	        ; divide accumulated by (tid+2)
+	        addi  r10, r1, 2
+	        div   r11, r4, r10
+	        rem   r12, r4, r10
+	        ; store per-thread results
+	        slli  r13, r1, 4      ; 4 words per thread
+	        li    r14, out
+	        add   r14, r14, r13
+	        sw    r4, 0(r14)
+	        sw    r11, 4(r14)
+	        sw    r12, 8(r14)
+	        sw    r5, 12(r14)
+	        halt
+	.data
+	out: .space 96
+`
+
+func TestOracleMixedKernel(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		oracle(t, mixedKernel, n, DefaultConfig())
+	}
+}
+
+const memKernel = `
+	; per-thread: write a strided pattern, then read it back transformed
+	main:   tid   r1
+	        addi  r3, r0, 64      ; elements per thread
+	        li    r4, buf
+	        ; base = buf + tid*64*4
+	        slli  r5, r1, 8
+	        add   r4, r4, r5
+	        addi  r6, r0, 0       ; i
+	w:      add   r7, r6, r1
+	        mul   r8, r7, r7
+	        slli  r9, r6, 2
+	        add   r10, r4, r9
+	        sw    r8, 0(r10)
+	        addi  r6, r6, 1
+	        bne   r6, r3, w
+	        ; second pass: out[i] = buf[i] + buf[i==0?0:i-1]
+	        addi  r6, r0, 0
+	        addi  r11, r0, 0      ; running sum
+	r:      slli  r9, r6, 2
+	        add   r10, r4, r9
+	        lw    r12, 0(r10)
+	        add   r11, r11, r12
+	        sw    r11, 0(r10)
+	        addi  r6, r6, 1
+	        bne   r6, r3, r
+	        halt
+	.data
+	buf: .space 1536
+`
+
+func TestOracleMemoryKernel(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		oracle(t, memKernel, n, DefaultConfig())
+	}
+}
+
+const syncKernel = `
+	; threads cooperate: each FAIs a counter 10 times, then barrier, then
+	; thread 0 stores the counter value into data memory.
+	main:   tid   r1
+	        nth   r2
+	        addi  r3, r0, 10
+	        li    r4, counter
+	loop:   fai   r5, 0(r4)
+	        addi  r3, r3, -1
+	        bne   r3, r0, loop
+	        ; barrier
+	        li    r6, arrivals
+	        fai   r5, 0(r6)
+	wait:   fldw  r5, 0(r6)
+	        bne   r5, r2, wait
+	        bne   r1, r0, done
+	        fldw  r7, 0(r4)
+	        li    r8, out
+	        sw    r7, 0(r8)
+	done:   halt
+	.data
+	out: .word 0
+	.flags
+	counter:  .space 4
+	arrivals: .space 4
+`
+
+func TestOracleSyncKernel(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		oracle(t, syncKernel, n, DefaultConfig())
+	}
+}
+
+func TestSyncCounterValue(t *testing.T) {
+	m, _ := runSrc(t, syncKernel, 4)
+	if got := m.Memory().LoadWord(loader.DataBase); got != 40 {
+		t.Errorf("counter = %d, want 40", got)
+	}
+}
+
+// All fetch policies and both commit policies must preserve semantics.
+func TestOracleAcrossConfigs(t *testing.T) {
+	base := DefaultConfig()
+	configs := map[string]func(Config) Config{
+		"maskedRR":   func(c Config) Config { c.FetchPolicy = MaskedRR; return c },
+		"condSwitch": func(c Config) Config { c.FetchPolicy = CondSwitch; return c },
+		"lowestOnly": func(c Config) Config { c.CommitPolicy = LowestOnly; c.CommitWindow = 1; return c },
+		"smallSU":    func(c Config) Config { c.SUEntries = 16; return c },
+		"deepSU":     func(c Config) Config { c.SUEntries = 64; return c },
+		"directMap":  func(c Config) Config { c.Cache.Ways = 1; return c },
+		"enhanced":   func(c Config) Config { c.FUs = EnhancedFUs(); return c },
+		"noBypass":   func(c Config) Config { c.Bypassing = false; return c },
+		"scoreboard": func(c Config) Config { c.Renaming = false; return c },
+		"narrow":     func(c Config) Config { c.IssueWidth = 2; c.WritebackWidth = 2; return c },
+		"tinyStores": func(c Config) Config { c.StoreBuffer = 4; return c },
+	}
+	for name, mod := range configs {
+		t.Run(name, func(t *testing.T) {
+			oracle(t, mixedKernel, 4, mod(base))
+			oracle(t, memKernel, 2, mod(base))
+			oracle(t, syncKernel, 4, mod(base))
+		})
+	}
+}

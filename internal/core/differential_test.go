@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/funcsim"
+	"repro/internal/progen"
+)
+
+// Differential testing: randomly generated SPMD programs must leave
+// identical architectural memory on the functional simulator and the
+// pipeline, across machine configurations. This is the repository's
+// broadest correctness net — it has no idea what the programs compute,
+// only that the two simulators must agree.
+
+func diffConfigs() map[string]Config {
+	mk := func(threads int, mod func(*Config)) Config {
+		c := DefaultConfig()
+		c.Threads = threads
+		c.MaxCycles = 5_000_000
+		if mod != nil {
+			mod(&c)
+		}
+		return c
+	}
+	return map[string]Config{
+		"default4":   mk(4, nil),
+		"single":     mk(1, nil),
+		"six":        mk(6, nil),
+		"masked":     mk(4, func(c *Config) { c.FetchPolicy = MaskedRR }),
+		"cswitch":    mk(3, func(c *Config) { c.FetchPolicy = CondSwitch }),
+		"lowest":     mk(4, func(c *Config) { c.CommitPolicy = LowestOnly; c.CommitWindow = 1 }),
+		"tinySU":     mk(4, func(c *Config) { c.SUEntries = 8 }),
+		"deepSU":     mk(4, func(c *Config) { c.SUEntries = 64 }),
+		"direct":     mk(4, func(c *Config) { c.Cache.Ways = 1 }),
+		"noBypass":   mk(4, func(c *Config) { c.Bypassing = false }),
+		"scoreboard": mk(4, func(c *Config) { c.Renaming = false }),
+		"narrow":     mk(2, func(c *Config) { c.IssueWidth = 1; c.WritebackWidth = 1 }),
+		"tinyBuf":    mk(5, func(c *Config) { c.StoreBuffer = 4 }),
+		"enhanced":   mk(4, func(c *Config) { c.FUs = EnhancedFUs() }),
+		"icount":     mk(4, func(c *Config) { c.FetchPolicy = ICount }),
+		"forwarding": mk(4, func(c *Config) { c.StoreForwarding = true }),
+		"onebit":     mk(4, func(c *Config) { c.PredictorBits = 1 }),
+		"privateBTB": mk(4, func(c *Config) { c.PerThreadBTB = true }),
+		"realICache": mk(4, func(c *Config) {
+			ic := cache.Config{SizeBytes: 2048, LineBytes: 32, Ways: 2, MissPenalty: 8}
+			c.ICache = &ic
+		}),
+	}
+}
+
+func diffOne(t *testing.T, seed int64, cfgName string, cfg Config) {
+	t.Helper()
+	p := progen.New(seed)
+	obj, err := asm.Assemble(p.Source)
+	if err != nil {
+		t.Fatalf("seed %d: assemble: %v\n%s", seed, err, p.Source)
+	}
+	ref, err := funcsim.RunProgram(obj, cfg.Threads, 100_000_000)
+	if err != nil {
+		t.Fatalf("seed %d: funcsim: %v", seed, err)
+	}
+	m, err := New(obj, cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("seed %d cfg %s: %v", seed, cfgName, err)
+	}
+	refMem := ref.Memory().Snapshot()
+	gotMem := m.Memory().Snapshot()
+	for i := range refMem {
+		if refMem[i] != gotMem[i] {
+			t.Fatalf("seed %d cfg %s: memory diverges at %#x: pipeline %#x, funcsim %#x",
+				seed, cfgName, i*4, gotMem[i], refMem[i])
+		}
+	}
+	for tid := 0; tid < cfg.Threads; tid++ {
+		for r := 1; r < ref.RegsPerThread(); r++ {
+			if got, want := m.Reg(tid, r), ref.Reg(tid, r); got != want {
+				t.Fatalf("seed %d cfg %s: thread %d r%d = %#x, funcsim %#x",
+					seed, cfgName, tid, r, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomPrograms sweeps seeds under the default config
+// and a rotating alternate config per seed.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	cfgs := diffConfigs()
+	names := make([]string, 0, len(cfgs))
+	for name := range cfgs {
+		names = append(names, name)
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			t.Parallel()
+			diffOne(t, seed, "default4", cfgs["default4"])
+			alt := names[int(seed)%len(names)]
+			diffOne(t, seed, alt, cfgs[alt])
+		})
+	}
+}
+
+// TestDifferentialAllConfigsOneSeed runs one program through every
+// configuration, so each knob gets direct differential coverage.
+func TestDifferentialAllConfigsOneSeed(t *testing.T) {
+	for name, cfg := range diffConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			diffOne(t, 424242, name, cfg)
+			diffOne(t, 31337, name, cfg)
+		})
+	}
+}

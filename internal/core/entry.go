@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// entryState tracks an instruction's life inside the scheduling unit.
+type entryState uint8
+
+const (
+	stWaiting entryState = iota // in the window, operands may be pending
+	stIssued                    // executing on a functional unit
+	stDone                      // result written back, awaiting commit
+)
+
+// operand is a renamed source: either a captured value or a tag naming
+// the in-flight producer.
+type operand struct {
+	ready   bool
+	value   uint32
+	tag     uint64 // producer's tag when !ready
+	readyAt uint64 // earliest cycle the value may feed issue (bypassing)
+}
+
+// suEntry is one instruction's scheduling unit slot. All cross-stage
+// state lives here; stages communicate only through these entries.
+type suEntry struct {
+	valid    bool // false: empty fetch slot or squashed hole
+	squashed bool
+	blk      *block // owning block (same-block forwarding checks)
+	tag      uint64
+	thread   int
+	pc       uint32
+	inst     isa.Inst
+	state    entryState
+
+	src  [2]operand
+	nsrc int
+
+	result     uint32
+	completeAt uint64
+	wbCycle    uint64 // cycle the result was written back
+	fuUnit     int    // unit index within its class pool, for usage stats
+	badAddr    bool   // speculative wrong-path address; fatal if committed
+
+	// Control transfer bookkeeping.
+	predTaken    bool
+	predTarget   uint32
+	actualTaken  bool
+	actualTarget uint32
+	resolved     bool // CT outcome known
+
+	// Memory reference bookkeeping.
+	addr      uint32
+	addrValid bool
+	counted   bool // first cache attempt already counted for hit rate
+	storeData uint32
+}
+
+func (e *suEntry) String() string {
+	return fmt.Sprintf("t%d#%d %v@%#x %v", e.thread, e.tag, e.inst, e.pc, e.state)
+}
+
+// ready reports whether the entry may issue at cycle now given the
+// bypassing rule.
+func (e *suEntry) ready(now uint64) bool {
+	if e.state != stWaiting {
+		return false
+	}
+	for i := 0; i < e.nsrc; i++ {
+		if !e.src[i].ready || e.src[i].readyAt > now {
+			return false
+		}
+	}
+	return true
+}
+
+// block is a fetch-aligned group of BlockSize entries, all from one
+// thread. Invalid slots are holes (pre-PC slots, post-taken-branch
+// slots, or squashed instructions).
+type block struct {
+	thread  int
+	entries [BlockSize]*suEntry
+}
+
+// done reports whether every live entry has its result.
+func (b *block) done() bool {
+	for _, e := range b.entries {
+		if e != nil && e.valid && !e.squashed && e.state != stDone {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchBlock is the decode latch: one fetched block awaiting dispatch.
+type fetchBlock struct {
+	thread int
+	pcs    [BlockSize]uint32
+	insts  [BlockSize]isa.Inst
+	valid  [BlockSize]bool
+	pred   [BlockSize]predInfo
+}
+
+type predInfo struct {
+	taken  bool
+	target uint32
+}
+
+// storeOp is a store buffer entry. A store occupies the buffer from
+// issue until it drains to the cache after its block commits (the
+// paper's restricted load/store policy).
+type storeOp struct {
+	entry     *suEntry
+	committed bool
+	drained   bool
+	counted   bool // cache access counted on first drain attempt
+}

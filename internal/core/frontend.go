@@ -1,0 +1,332 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// fetch selects a thread under the configured policy and brings one
+// aligned block of four contiguous instructions into the decode latch.
+func (m *Machine) fetch() {
+	if m.latch != nil {
+		return // latch still waiting for dispatch
+	}
+	t := m.selectThread()
+	if t < 0 {
+		m.stats.FetchIdle++
+		return
+	}
+	m.fetchBlockFor(t)
+}
+
+// eligible reports whether thread t can fetch this cycle.
+func (m *Machine) eligible(t int) bool {
+	return !m.halted[t] && !m.fetchStopped[t]
+}
+
+// selectThread implements the three fetch policies of paper §5.1.
+func (m *Machine) selectThread() int {
+	n := m.cfg.Threads
+	switch m.cfg.FetchPolicy {
+	case TrueRR:
+		// The modulo-N counter advances every clock tick irrespective of
+		// thread state; an ineligible thread's slot is simply wasted.
+		t := m.rrCounter % n
+		m.rrCounter++
+		if !m.eligible(t) {
+			return -1
+		}
+		return t
+	case MaskedRR:
+		for i := 0; i < n; i++ {
+			t := (m.rrCounter + i) % n
+			if m.eligible(t) && t != m.maskedThread {
+				m.rrCounter = t + 1
+				return t
+			}
+		}
+		return -1
+	case CondSwitch:
+		for i := 0; i < n; i++ {
+			t := (m.curThread + i) % n
+			if m.eligible(t) {
+				if t != m.curThread {
+					m.stats.CondSwitches++
+					m.curThread = t
+				}
+				return t
+			}
+		}
+		return -1
+	case ICount:
+		// Judicious fetch: favour the eligible thread with the fewest
+		// instructions in flight, so a stalled thread stops consuming
+		// fetch slots and window space. Ties rotate round-robin.
+		counts := make([]int, n)
+		for _, b := range m.su {
+			for _, e := range b.entries {
+				if e != nil && e.valid && !e.squashed {
+					counts[b.thread]++
+				}
+			}
+		}
+		if m.latch != nil {
+			counts[m.latch.thread] += BlockSize
+		}
+		best, bestCount := -1, 0
+		for i := 0; i < n; i++ {
+			t := (m.rrCounter + i) % n
+			if !m.eligible(t) {
+				continue
+			}
+			if best < 0 || counts[t] < bestCount {
+				best, bestCount = t, counts[t]
+			}
+		}
+		if best >= 0 {
+			m.rrCounter = best + 1
+		}
+		return best
+	}
+	panic("core: unknown fetch policy")
+}
+
+// rotateThread moves CondSwitch to the next thread (called when the
+// decoder sees a switch trigger).
+func (m *Machine) rotateThread() {
+	n := m.cfg.Threads
+	for i := 1; i <= n; i++ {
+		t := (m.curThread + i) % n
+		if m.eligible(t) {
+			m.curThread = t
+			m.stats.CondSwitches++
+			return
+		}
+	}
+}
+
+// fetchBlockFor reads the aligned 4-instruction block containing thread
+// t's PC, predicting control transfers with the shared BTB. Slots before
+// the PC and after a predicted-taken CT are invalid (the fetch-slot
+// waste the paper's alignment improvement addresses).
+func (m *Machine) fetchBlockFor(t int) {
+	pc := m.pc[t]
+	base := pc &^ (BlockSize*4 - 1)
+	if m.icache != nil {
+		// One I-cache access covers the aligned block (the 32-byte line
+		// always contains the whole 16-byte block). A miss wastes the
+		// fetch slot while the line refills.
+		if base/4 < uint32(len(m.text)) {
+			if _, res := m.icache.Read(base, m.now, true); res != cache.Hit {
+				m.stats.ICacheStalls++
+				return
+			}
+		}
+	}
+	fb := &fetchBlock{thread: t}
+	next := base + BlockSize*4
+	anyValid := false
+	for s := 0; s < BlockSize; s++ {
+		addr := base + uint32(s)*4
+		if addr < pc {
+			continue // pre-PC slot of the aligned block
+		}
+		idx := addr / 4
+		if idx >= uint32(len(m.text)) {
+			break // wrong-path fetch beyond text: empty slots
+		}
+		in := m.text[idx]
+		fb.insts[s] = in
+		fb.pcs[s] = addr
+		fb.valid[s] = true
+		anyValid = true
+
+		if in.Op == isa.HALT {
+			// Predecode stops fetch at HALT; resumed only by a squash.
+			m.fetchStopped[t] = true
+			next = addr + 4
+			break
+		}
+		if !in.Op.IsCT() {
+			continue
+		}
+		taken, target := m.predictCT(t, in, addr)
+		fb.pred[s] = predInfo{taken: taken, target: target}
+		if taken {
+			next = target
+			break
+		}
+	}
+	m.pc[t] = next
+	if !anyValid {
+		return // wrong-path fetch produced nothing; PC still advances
+	}
+	m.latch = fb
+	m.trace("fetch   t%d block @%#x (next pc %#x)", t, base, next)
+	m.stats.FetchedBlocks++
+	for s := 0; s < BlockSize; s++ {
+		if fb.valid[s] {
+			m.stats.FetchedInsts++
+		}
+	}
+}
+
+// predictCT predicts a control transfer at fetch time. JAL targets are
+// computable by predecode and never mispredict; branches and JALR use
+// the shared 2-bit predictor and BTB.
+func (m *Machine) predictCT(t int, in isa.Inst, pc uint32) (bool, uint32) {
+	switch {
+	case in.Op == isa.JAL:
+		return true, isa.CTTarget(in, pc, 0)
+	case in.Op == isa.JALR:
+		taken, target := m.predFor(t).Lookup(pc)
+		if !taken {
+			return false, 0 // predict fall-through; will mispredict and train
+		}
+		return true, target
+	case in.Op.IsBranch():
+		return m.predFor(t).Lookup(pc)
+	}
+	return false, 0 // HALT handled by caller
+}
+
+// dispatch decodes the latch block into the scheduling unit: one entry
+// per valid instruction, renamed with globally unique tags, operands
+// resolved against the SU (newest first) then the register file.
+func (m *Machine) dispatch() {
+	if m.latch == nil {
+		return
+	}
+	if len(m.su) == m.suCap {
+		m.stats.DispatchStall++
+		return
+	}
+	fb := m.latch
+
+	// Scoreboard mode: a block stalls while any of its destination
+	// registers has an in-flight writer (the 1-bit WAW stall).
+	if !m.cfg.Renaming {
+		for s := 0; s < BlockSize; s++ {
+			if !fb.valid[s] {
+				continue
+			}
+			in := fb.insts[s]
+			if in.Op.WritesRd() && in.Rd != 0 {
+				if p := m.physReg(fb.thread, in.Rd); p >= 0 && m.busyReg[p] != 0 {
+					m.stats.DispatchStall++
+					return
+				}
+			}
+		}
+	}
+
+	b := &block{thread: fb.thread}
+	trigger := false
+	for s := 0; s < BlockSize; s++ {
+		if !fb.valid[s] {
+			continue
+		}
+		in := fb.insts[s]
+		m.nextTag++
+		e := &suEntry{
+			valid:      true,
+			tag:        m.nextTag,
+			thread:     fb.thread,
+			pc:         fb.pcs[s],
+			inst:       in,
+			predTaken:  fb.pred[s].taken,
+			predTarget: fb.pred[s].target,
+		}
+		m.renameSources(e, b)
+		e.blk = b
+		b.entries[s] = e
+		if in.Op.WritesRd() && in.Rd != 0 {
+			if p := m.physReg(fb.thread, in.Rd); p >= 0 {
+				m.busyReg[p] = e.tag + 1
+			}
+		}
+		if in.Op.SwitchTrigger() {
+			trigger = true
+		}
+	}
+	m.su = append(m.su, b)
+	if m.Trace != nil {
+		for _, e := range b.entries {
+			if e != nil {
+				m.trace("dispatch %v", e)
+			}
+		}
+	}
+	m.latch = nil
+	if trigger && m.cfg.FetchPolicy == CondSwitch {
+		m.rotateThread()
+	}
+}
+
+// renameSources resolves e's source operands: first against older slots
+// of the block being dispatched, then the SU newest-to-oldest, then the
+// register file.
+func (m *Machine) renameSources(e *suEntry, current *block) {
+	r1, r2, n := e.inst.SrcRegs()
+	e.nsrc = n
+	regs := [2]uint8{r1, r2}
+	for i := 0; i < n; i++ {
+		e.src[i] = m.lookupOperand(e.thread, regs[i], current)
+	}
+	// Immediate-operand ALU forms carry the immediate as the second
+	// operand value. LUI has no register source at all.
+	if isa.HasImmOperand(e.inst.Op) {
+		if e.nsrc == 0 {
+			e.src[0] = operand{ready: true}
+		}
+		e.src[1] = operand{ready: true, value: isa.EvalImmOperand(e.inst.Op, e.inst.Imm)}
+		e.nsrc = 2
+	}
+}
+
+// lookupOperand performs the decoder's associative lookup: the most
+// recent in-flight producer of (thread, reg) wins; otherwise the value
+// comes from the register file.
+func (m *Machine) lookupOperand(thread int, reg uint8, current *block) operand {
+	if reg == 0 {
+		return operand{ready: true, value: 0}
+	}
+	// Earlier slots of the block being dispatched are the newest.
+	if p := newestWriter(current, thread, reg); p != nil {
+		return producerOperand(p, m.cfg.Bypassing)
+	}
+	for i := len(m.su) - 1; i >= 0; i-- {
+		if p := newestWriter(m.su[i], thread, reg); p != nil {
+			return producerOperand(p, m.cfg.Bypassing)
+		}
+	}
+	return operand{ready: true, value: m.regs[m.physReg(thread, reg)]}
+}
+
+// newestWriter scans a block's slots from newest to oldest for a live
+// producer of (thread, reg).
+func newestWriter(b *block, thread int, reg uint8) *suEntry {
+	if b == nil || b.thread != thread {
+		return nil
+	}
+	for s := BlockSize - 1; s >= 0; s-- {
+		e := b.entries[s]
+		if e != nil && e.valid && !e.squashed && e.writesReg() && e.inst.Rd == reg {
+			return e
+		}
+	}
+	return nil
+}
+
+// producerOperand captures a value from a completed producer or a tag
+// from an in-flight one.
+func producerOperand(p *suEntry, bypassing bool) operand {
+	if p.state == stDone {
+		readyAt := p.wbCycle
+		if !bypassing {
+			readyAt++
+		}
+		return operand{ready: true, value: p.result, readyAt: readyAt}
+	}
+	return operand{tag: p.tag}
+}

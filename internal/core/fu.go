@@ -1,0 +1,75 @@
+package core
+
+import "repro/internal/isa"
+
+// fuUnit is one functional unit instance.
+type fuUnit struct {
+	busyUntil uint64   // unpipelined units: busy through this cycle
+	lastIssue uint64   // pipelined units: accept one op per cycle
+	issued    bool     // lastIssue is meaningful
+	holder    *suEntry // loads hold their unit until data returns
+	usedCyc   uint64   // occupancy, for Table 4 utilisation
+}
+
+// fuPool is all units of one class.
+type fuPool struct {
+	class     isa.Class
+	latency   uint64
+	pipelined bool
+	units     []fuUnit
+}
+
+func newPools(cfg FUConfig) []fuPool {
+	pools := make([]fuPool, isa.NumClasses)
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		pools[cl] = fuPool{
+			class:     cl,
+			latency:   cfg.Latency[cl],
+			pipelined: cfg.Pipelined[cl],
+			units:     make([]fuUnit, cfg.Count[cl]),
+		}
+	}
+	return pools
+}
+
+// free reports whether unit i can accept an op at cycle now.
+func (p *fuPool) freeUnit(i int, now uint64) bool {
+	u := &p.units[i]
+	if u.holder != nil {
+		return false
+	}
+	if p.pipelined {
+		return !u.issued || u.lastIssue != now
+	}
+	return u.busyUntil <= now
+}
+
+// tryAcquire finds the lowest-numbered free unit, or -1.
+func (p *fuPool) tryAcquire(now uint64) int {
+	for i := range p.units {
+		if p.freeUnit(i, now) {
+			return i
+		}
+	}
+	return -1
+}
+
+// issue occupies unit i at cycle now and returns the completion cycle.
+func (p *fuPool) issue(i int, now uint64) uint64 {
+	u := &p.units[i]
+	if p.pipelined {
+		u.lastIssue = now
+		u.issued = true
+		u.usedCyc++
+	} else {
+		u.busyUntil = now + p.latency
+		u.usedCyc += p.latency
+	}
+	return now + p.latency
+}
+
+// hold parks entry e on unit i until release (variable-latency loads).
+func (p *fuPool) hold(i int, e *suEntry) { p.units[i].holder = e }
+
+// release frees a held unit.
+func (p *fuPool) release(i int) { p.units[i].holder = nil }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// CheckInvariants validates the machine's internal consistency; tests
+// call it between cycles to catch state corruption early. It returns
+// the first violation found.
+func (m *Machine) CheckInvariants() error {
+	if len(m.su) > m.suCap {
+		return fmt.Errorf("SU holds %d blocks, capacity %d", len(m.su), m.suCap)
+	}
+
+	// Tags are unique and strictly increase in SU order; every block is
+	// single-threaded; per-thread tags appear in program order.
+	seen := map[uint64]bool{}
+	lastTag := uint64(0)
+	for bi, b := range m.su {
+		if b.thread < 0 || b.thread >= m.cfg.Threads {
+			return fmt.Errorf("block %d has thread %d", bi, b.thread)
+		}
+		for si, e := range b.entries {
+			if e == nil || !e.valid {
+				continue
+			}
+			if e.thread != b.thread {
+				return fmt.Errorf("entry %v in block %d of thread %d", e, bi, b.thread)
+			}
+			if seen[e.tag] {
+				return fmt.Errorf("duplicate tag %d at block %d slot %d", e.tag, bi, si)
+			}
+			seen[e.tag] = true
+			if e.tag <= lastTag {
+				return fmt.Errorf("tag %d out of order after %d", e.tag, lastTag)
+			}
+			lastTag = e.tag
+			if e.tag > m.nextTag {
+				return fmt.Errorf("tag %d beyond allocator %d", e.tag, m.nextTag)
+			}
+			// Operand tags must reference an older in-flight producer.
+			for i := 0; i < e.nsrc; i++ {
+				if !e.src[i].ready && e.src[i].tag >= e.tag {
+					return fmt.Errorf("%v waits on non-older tag %d", e, e.src[i].tag)
+				}
+			}
+			// Issued memory references must have validated addresses.
+			if e.state != stWaiting && e.inst.Op.IsMemRef() && !e.addrValid && !e.squashed {
+				return fmt.Errorf("%v issued without an address", e)
+			}
+		}
+	}
+
+	// Store buffer: within capacity; entries are stores; the drain queue
+	// holds only committed, undrained operations in commit order.
+	if len(m.storeBuf) > m.cfg.StoreBuffer {
+		return fmt.Errorf("store buffer holds %d entries, capacity %d", len(m.storeBuf), m.cfg.StoreBuffer)
+	}
+	for _, so := range m.storeBuf {
+		if cl := so.entry.inst.Op.FUClass(); cl != isa.ClassStore {
+			return fmt.Errorf("non-store %v in store buffer", so.entry)
+		}
+		if so.drained {
+			return fmt.Errorf("drained store %v still buffered", so.entry)
+		}
+	}
+	for _, so := range m.drainQueue {
+		if !so.committed || so.drained {
+			return fmt.Errorf("drain queue holds %v (committed=%v drained=%v)",
+				so.entry, so.committed, so.drained)
+		}
+	}
+
+	// Completions reference issued, not-yet-done entries.
+	for _, e := range m.completions {
+		if e.state != stIssued && !e.squashed {
+			return fmt.Errorf("completion queue holds %v in state %d", e, e.state)
+		}
+	}
+	for _, e := range m.pendingLoads {
+		if !e.squashed && (e.state != stIssued || e.inst.Op != isa.LW) {
+			return fmt.Errorf("pending load list holds %v", e)
+		}
+	}
+
+	// A halted thread must not have a stopped-fetch latch pending.
+	if m.latch != nil && m.halted[m.latch.thread] {
+		return fmt.Errorf("halted thread %d owns the fetch latch", m.latch.thread)
+	}
+	return nil
+}

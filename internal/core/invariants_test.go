@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/progen"
+)
+
+// Invariants must hold on every cycle of real workload executions.
+func TestInvariantsHoldCycleByCycle(t *testing.T) {
+	srcs := []string{mixedKernel, memKernel, syncKernel}
+	for _, src := range srcs {
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Threads = 4
+		m, err := New(obj, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cyc := 0; !m.Done() && cyc < 200_000; cyc++ {
+			m.Cycle()
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", m.Now(), err)
+			}
+		}
+		if !m.Done() {
+			t.Fatal("workload did not finish")
+		}
+	}
+}
+
+// Invariants must also hold for generated programs across config space.
+func TestInvariantsOnRandomPrograms(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		p := progen.New(seed)
+		obj, err := asm.Assemble(p.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, cfg := range diffConfigs() {
+			m, err := New(obj, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cyc := 0; !m.Done() && cyc < 500_000; cyc++ {
+				m.Cycle()
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d cfg %s cycle %d: %v", seed, name, m.Now(), err)
+				}
+			}
+			if !m.Done() {
+				t.Fatalf("seed %d cfg %s did not finish", seed, name)
+			}
+		}
+	}
+}

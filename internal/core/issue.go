@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/loader"
+)
+
+// issue is the dynamic scheduler: it scans the SU bottom-to-top (oldest
+// first) and sends ready instructions to free functional units, up to
+// IssueWidth per cycle. It is thread-blind — dependencies are entirely
+// expressed by tags — exactly as the paper argues.
+func (m *Machine) issue() {
+	issued := 0
+	for _, b := range m.su {
+		for _, e := range b.entries {
+			if issued >= m.cfg.IssueWidth {
+				return
+			}
+			if e == nil || !e.valid || e.squashed || !e.ready(m.now) {
+				continue
+			}
+			if m.tryIssue(e) {
+				m.trace("issue    %v -> %v unit %d", e, e.inst.Op.FUClass(), e.fuUnit)
+				issued++
+			}
+		}
+	}
+}
+
+// tryIssue applies per-class constraints, acquires a unit, and begins
+// execution. Reports whether the instruction left the window.
+func (m *Machine) tryIssue(e *suEntry) bool {
+	op := e.inst.Op
+	class := op.FUClass()
+
+	switch class {
+	case isa.ClassLoad:
+		// Acquire ordering: a load may not issue past an older unresolved
+		// same-thread sync primitive. Without this, a load speculated past
+		// a flag-spin exit can capture stale data that survives because
+		// the spin exit turns out to be correctly predicted.
+		if m.olderUnresolvedSync(e) {
+			m.stats.LoadBlocked++
+			return false
+		}
+		addr := isa.EffAddr(e.src[0].value, e.inst.Imm)
+		v, src, blocked := m.forwardFromStore(e, addr)
+		if blocked {
+			m.stats.LoadBlocked++
+			return false
+		}
+		if src != nil {
+			// An older store to the same address supplies the value. With
+			// the StoreForwarding extension any store forwards. Under the
+			// paper's restricted policy only a store in the load's own
+			// commit block may forward — without that, a same-block
+			// store→load alias deadlocks (the load waits for the drain,
+			// the drain waits for commit, commit waits for the load); a
+			// cross-block alias waits for the drain as the paper says.
+			if !m.cfg.StoreForwarding && src.blk != e.blk {
+				m.stats.LoadBlocked++
+				return false
+			}
+			pool := &m.pools[isa.ClassLoad]
+			unit := pool.tryAcquire(m.now)
+			if unit < 0 {
+				return false
+			}
+			e.state = stIssued
+			e.fuUnit = unit
+			e.addr = addr
+			e.addrValid = true
+			e.result = v
+			e.completeAt = pool.issue(unit, m.now)
+			m.completions = append(m.completions, e)
+			m.stats.LoadsForwarded++
+			return true
+		}
+	case isa.ClassStore:
+		// The last free slot is reserved for the oldest un-issued store;
+		// otherwise younger ready stores can fill the buffer while an
+		// older store (whose block therefore never commits and never
+		// drains) starves, deadlocking the machine.
+		free := m.cfg.StoreBuffer - len(m.storeBuf)
+		if free <= 0 || (free == 1 && e.tag != m.oldestWaitingStoreTag()) {
+			m.stats.StoreBufferFull++
+			return false
+		}
+	case isa.ClassSync:
+		// FAI has a side effect, so it must issue non-speculatively.
+		if op == isa.FAI && m.olderUnresolvedCT(e) {
+			return false
+		}
+		// Release ordering: sync reads execute at issue and would bypass
+		// an older same-thread FSTW still queued in the store buffer
+		// (e.g. the barrier's count reset), reading a stale flag. Fence
+		// until older flag stores have drained.
+		if m.olderPendingFlagStore(e) {
+			return false
+		}
+	}
+
+	pool := &m.pools[class]
+	unit := pool.tryAcquire(m.now)
+	if unit < 0 {
+		return false
+	}
+	e.state = stIssued
+	e.fuUnit = unit
+
+	a := e.src[0].value
+	bv := e.src[1].value
+
+	switch class {
+	case isa.ClassLoad:
+		e.addr = isa.EffAddr(a, e.inst.Imm)
+		e.addrValid = true
+		if !loader.IsDataAddr(e.addr) || e.addr&3 != 0 {
+			// Wrong-path garbage address: complete with a dummy value and
+			// flag it; committing such a load is a program error.
+			e.badAddr = true
+			e.result = 0
+			e.completeAt = pool.issue(unit, m.now)
+			m.completions = append(m.completions, e)
+			return true
+		}
+		// The load holds its unit until the cache responds.
+		pool.issue(unit, m.now)
+		pool.hold(unit, e)
+		m.pendingLoads = append(m.pendingLoads, e)
+		return true
+
+	case isa.ClassStore:
+		e.addr = isa.EffAddr(a, e.inst.Imm)
+		e.addrValid = true
+		e.storeData = bv // FmtB: src[1] is rs2, the store data
+		wantFlag := op == isa.FSTW
+		if wantFlag != loader.IsFlagAddr(e.addr) || e.addr&3 != 0 {
+			e.badAddr = true
+		}
+		e.completeAt = pool.issue(unit, m.now)
+		m.storeBuf = append(m.storeBuf, &storeOp{entry: e})
+		m.completions = append(m.completions, e)
+		return true
+
+	case isa.ClassSync:
+		e.addr = isa.EffAddr(a, e.inst.Imm)
+		e.addrValid = true
+		if !loader.IsFlagAddr(e.addr) || e.addr&3 != 0 {
+			e.badAddr = true
+			e.result = 0
+		} else if op == isa.FAI {
+			e.result = m.sync.FetchAdd(e.addr)
+		} else { // FLDW
+			e.result = m.sync.Read(e.addr)
+		}
+		e.completeAt = pool.issue(unit, m.now)
+		m.completions = append(m.completions, e)
+		return true
+
+	case isa.ClassCT:
+		m.resolveCT(e, a)
+		e.completeAt = pool.issue(unit, m.now)
+		m.completions = append(m.completions, e)
+		return true
+	}
+
+	// Computational classes: the result is a pure function of operands
+	// (TID and NTH read machine identity instead).
+	switch op {
+	case isa.TID:
+		e.result = uint32(e.thread)
+	case isa.NTH:
+		e.result = uint32(m.cfg.Threads)
+	case isa.NOP:
+		e.result = 0
+	default:
+		e.result = isa.EvalOp(op, a, bv)
+	}
+	e.completeAt = pool.issue(unit, m.now)
+	m.completions = append(m.completions, e)
+	return true
+}
+
+// resolveCT computes a control transfer's actual outcome (visible at
+// writeback, when mispredict recovery runs).
+func (m *Machine) resolveCT(e *suEntry, rs1 uint32) {
+	switch {
+	case e.inst.Op.IsBranch():
+		e.actualTaken = isa.BranchTaken(e.inst.Op, e.src[0].value, e.src[1].value)
+		if e.actualTaken {
+			e.actualTarget = isa.CTTarget(e.inst, e.pc, 0)
+		}
+	case e.inst.Op == isa.JAL:
+		e.result = e.pc + 4
+		e.actualTaken = true
+		e.actualTarget = isa.CTTarget(e.inst, e.pc, 0)
+	case e.inst.Op == isa.JALR:
+		e.result = e.pc + 4
+		e.actualTaken = true
+		e.actualTarget = isa.CTTarget(e.inst, e.pc, rs1)
+	case e.inst.Op == isa.HALT:
+		// No redirect; committing it retires the thread.
+	}
+}
+
+// oldestWaitingStoreTag returns the tag of the oldest store still
+// waiting in the SU, or 0 if none.
+func (m *Machine) oldestWaitingStoreTag() uint64 {
+	for _, b := range m.su {
+		for _, e := range b.entries {
+			if e != nil && e.valid && !e.squashed && e.state == stWaiting &&
+				e.inst.Op.FUClass() == isa.ClassStore {
+				return e.tag
+			}
+		}
+	}
+	return 0
+}
+
+// olderUnresolvedCT reports whether any older same-thread control
+// transfer in the SU has not resolved yet.
+func (m *Machine) olderUnresolvedCT(e *suEntry) bool {
+	for _, b := range m.su {
+		if b.thread != e.thread {
+			continue
+		}
+		for _, c := range b.entries {
+			if c == nil || !c.valid || c.squashed || c.tag >= e.tag {
+				continue
+			}
+			if c.inst.Op.IsCT() && c.state != stDone {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// forwardFromStore finds the youngest older same-thread store to the
+// load's address. The caller decides whether its value may forward (any
+// aliasing store under the StoreForwarding extension; only a same-block
+// store under the paper's restricted policy — the one case that would
+// otherwise deadlock block-granularity commit). blocked=true means an
+// older store's address or data is still unknown, so the load cannot
+// issue yet either way.
+func (m *Machine) forwardFromStore(e *suEntry, addr uint32) (value uint32, src *suEntry, blocked bool) {
+	var cands []*suEntry
+	for _, b := range m.su {
+		if b.thread != e.thread {
+			continue
+		}
+		for _, s := range b.entries {
+			if s != nil && s.valid && !s.squashed && s.tag < e.tag && s.inst.Op == isa.SW {
+				cands = append(cands, s)
+			}
+		}
+	}
+	// Committed stores have left the SU but may still be draining.
+	for _, so := range m.storeBuf {
+		if so.committed && !so.drained && so.entry.thread == e.thread &&
+			so.entry.tag < e.tag && so.entry.inst.Op == isa.SW {
+			cands = append(cands, so.entry)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].tag > cands[j].tag })
+	for _, s := range cands {
+		saddr := s.addr
+		if !s.addrValid {
+			if !s.src[0].ready {
+				return 0, nil, true // address unknown: cannot disambiguate
+			}
+			saddr = isa.EffAddr(s.src[0].value, s.inst.Imm)
+		}
+		if saddr != addr {
+			continue
+		}
+		if s.addrValid {
+			return s.storeData, s, false // issued: data already latched
+		}
+		if s.src[1].ready {
+			return s.src[1].value, s, false
+		}
+		return 0, nil, true // aliasing store's data not produced yet
+	}
+	return 0, nil, false
+}
+
+// olderPendingFlagStore reports whether an older same-thread FSTW has
+// not yet drained to the synchronization controller (still in the SU or
+// the store buffer).
+func (m *Machine) olderPendingFlagStore(e *suEntry) bool {
+	for _, b := range m.su {
+		if b.thread != e.thread {
+			continue
+		}
+		for _, s := range b.entries {
+			if s != nil && s.valid && !s.squashed && s.tag < e.tag && s.inst.Op == isa.FSTW {
+				return true
+			}
+		}
+	}
+	for _, so := range m.storeBuf {
+		if !so.drained && so.entry.thread == e.thread &&
+			so.entry.tag < e.tag && so.entry.inst.Op == isa.FSTW {
+			return true
+		}
+	}
+	return false
+}
+
+// olderUnresolvedSync reports whether an older same-thread sync
+// primitive (FLDW/FAI) is still in flight.
+func (m *Machine) olderUnresolvedSync(e *suEntry) bool {
+	for _, b := range m.su {
+		if b.thread != e.thread {
+			continue
+		}
+		for _, c := range b.entries {
+			if c == nil || !c.valid || c.squashed || c.tag >= e.tag {
+				continue
+			}
+			if c.inst.Op.FUClass() == isa.ClassSync && c.state != stDone {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// serviceLoads retries pending loads against the cache, oldest first.
+// A hit schedules the result and frees the load unit.
+func (m *Machine) serviceLoads() {
+	if len(m.pendingLoads) == 0 {
+		return
+	}
+	pool := &m.pools[isa.ClassLoad]
+	remaining := m.pendingLoads[:0]
+	for _, e := range m.pendingLoads {
+		if e.squashed {
+			pool.release(e.fuUnit)
+			continue
+		}
+		v, res := m.dcache.Read(e.addr, m.now, !e.counted)
+		e.counted = true
+		if res != cache.Hit {
+			remaining = append(remaining, e)
+			continue
+		}
+		e.result = v
+		e.completeAt = m.now + pool.latency
+		m.completions = append(m.completions, e)
+		pool.release(e.fuUnit)
+	}
+	m.pendingLoads = remaining
+}
+
+// drainStores retires at most one committed store per cycle from the
+// store buffer to the cache (or the sync controller for FSTW).
+func (m *Machine) drainStores() {
+	if len(m.drainQueue) == 0 {
+		return
+	}
+	so := m.drainQueue[0]
+	e := so.entry
+	if e.badAddr {
+		panic(fmt.Sprintf("core: committed store with illegal address %#08x: %v", e.addr, e))
+	}
+	if e.inst.Op == isa.FSTW {
+		m.sync.Write(e.addr, e.storeData)
+	} else {
+		res := m.dcache.Write(e.addr, e.storeData, m.now, !so.counted)
+		so.counted = true
+		if res != cache.Hit { // miss or busy: head-of-line retry next cycle
+			return
+		}
+	}
+	so.drained = true
+	m.drainQueue = m.drainQueue[1:]
+	m.removeFromStoreBuf(so)
+}
+
+func (m *Machine) removeFromStoreBuf(target *storeOp) {
+	for i, so := range m.storeBuf {
+		if so == target {
+			m.storeBuf = append(m.storeBuf[:i], m.storeBuf[i+1:]...)
+			return
+		}
+	}
+}

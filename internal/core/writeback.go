@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// writeback retires up to WritebackWidth completed executions into the
+// SU: results update matching tags (waking dependents), and resolved
+// control transfers trigger selective mispredict recovery.
+func (m *Machine) writeback() {
+	if len(m.completions) == 0 {
+		return
+	}
+	// Gather completions due this cycle, oldest first for determinism
+	// (and so an older mispredict squashes younger CTs before they act).
+	var due []*suEntry
+	rest := m.completions[:0]
+	for _, e := range m.completions {
+		if e.squashed {
+			continue // dropped; its block slot is a hole
+		}
+		if e.completeAt <= m.now {
+			due = append(due, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].tag < due[j].tag })
+	if len(due) > m.cfg.WritebackWidth {
+		rest = append(rest, due[m.cfg.WritebackWidth:]...)
+		due = due[:m.cfg.WritebackWidth]
+	}
+	m.completions = rest
+
+	for _, e := range due {
+		if e.squashed {
+			continue // squashed by an older CT written back just before
+		}
+		e.state = stDone
+		e.wbCycle = m.now
+		m.trace("wb       %v = %#x", e, e.result)
+		if e.writesReg() {
+			m.broadcast(e)
+			if p := m.physReg(e.thread, e.inst.Rd); p >= 0 && m.busyReg[p] == e.tag+1 {
+				m.busyReg[p] = 0
+			}
+		}
+		if e.inst.Op.IsCT() {
+			e.resolved = true
+			m.handleResolvedCT(e)
+		}
+	}
+}
+
+// broadcast delivers e's result to every waiting operand with its tag.
+func (m *Machine) broadcast(e *suEntry) {
+	readyAt := m.now
+	if !m.cfg.Bypassing {
+		readyAt++
+	}
+	for _, b := range m.su {
+		for _, w := range b.entries {
+			if w == nil || !w.valid || w.squashed {
+				continue
+			}
+			for i := 0; i < w.nsrc; i++ {
+				if !w.src[i].ready && w.src[i].tag == e.tag {
+					w.src[i] = operand{ready: true, value: e.result, readyAt: readyAt}
+				}
+			}
+		}
+	}
+}
+
+// handleResolvedCT checks a control transfer against its fetch-time
+// prediction and performs selective recovery on a mispredict: only
+// younger entries of the same thread are discarded (paper §3.4).
+func (m *Machine) handleResolvedCT(e *suEntry) {
+	if e.inst.Op == isa.HALT {
+		return
+	}
+	correct := e.actualTaken == e.predTaken &&
+		(!e.actualTaken || e.actualTarget == e.predTarget)
+	if correct {
+		return
+	}
+	m.stats.Mispredicts++
+	m.trace("mispredict %v (actual taken=%v target=%#x)", e, e.actualTaken, e.actualTarget)
+	m.squashYounger(e)
+	// Redirect the thread; the corrected PC is visible to fetch this
+	// cycle (the IU receives the resolution on the writeback bus).
+	if e.actualTaken {
+		m.pc[e.thread] = e.actualTarget
+	} else {
+		m.pc[e.thread] = e.pc + 4
+	}
+	// A squashed HALT must not keep the thread's fetch stopped.
+	m.fetchStopped[e.thread] = false
+}
+
+// squashYounger discards all younger same-thread entries: SU entries,
+// the fetch latch, store buffer slots, and scoreboard claims.
+func (m *Machine) squashYounger(ct *suEntry) {
+	for _, b := range m.su {
+		if b.thread != ct.thread {
+			continue
+		}
+		for _, e := range b.entries {
+			if e == nil || !e.valid || e.squashed || e.tag <= ct.tag {
+				continue
+			}
+			e.squashed = true
+			m.stats.Squashed++
+			if e.writesReg() {
+				if p := m.physReg(e.thread, e.inst.Rd); p >= 0 && m.busyReg[p] == e.tag+1 {
+					m.busyReg[p] = 0
+				}
+			}
+		}
+	}
+	// Uncommitted stores by squashed entries free their buffer slots.
+	keep := m.storeBuf[:0]
+	for _, so := range m.storeBuf {
+		if so.entry.squashed && !so.committed {
+			continue
+		}
+		keep = append(keep, so)
+	}
+	m.storeBuf = keep
+	// The latch, if it holds this thread, is younger than any SU entry.
+	if m.latch != nil && m.latch.thread == ct.thread {
+		m.latch = nil
+	}
+	// Pending loads and completions drop squashed entries lazily.
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+// Experiments run at Small scale in tests; the runner memoizes across
+// experiments, so sharing one runner keeps this package's tests fast.
+var sharedRunner = NewRunner(kernels.Small)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "table3", "fig9", "fig10", "fig11", "fig12",
+		"table4", "fig13", "fig14", "summary", "ablations",
+		"improvements", "hwablations", "compiler"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, name := range want {
+		if reg[i].Name != name {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].Name, name)
+		}
+	}
+	if _, err := Get("FIG3"); err != nil {
+		t.Error("Get should be case-insensitive")
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get accepted an unknown experiment")
+	}
+}
+
+// Every experiment must run and produce well-formed tables.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tables, err := e.Run(sharedRunner)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if tab.Title == "" || len(tab.Headers) == 0 || len(tab.Rows) == 0 {
+					t.Errorf("malformed table %+v", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Headers) {
+						t.Errorf("%s: row width %d != header width %d", tab.Title, len(row), len(tab.Headers))
+					}
+				}
+				var buf bytes.Buffer
+				if err := tab.Render(&buf); err != nil {
+					t.Errorf("render: %v", err)
+				}
+				if !strings.Contains(buf.String(), tab.Title) {
+					t.Error("rendered output missing title")
+				}
+			}
+		})
+	}
+}
+
+// The figures must cover all benchmarks of their group.
+func TestFigureCoverage(t *testing.T) {
+	tabs, err := Fig3(sharedRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != len(kernels.GroupI()) {
+		t.Errorf("fig3 covers %d benchmarks, want %d", len(tabs[0].Rows), len(kernels.GroupI()))
+	}
+	tabs, err = Fig4(sharedRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != len(kernels.GroupII()) {
+		t.Errorf("fig4 covers %d benchmarks, want %d", len(tabs[0].Rows), len(kernels.GroupII()))
+	}
+}
+
+// Qualitative claims the reproduction must preserve, checked at Small
+// scale: flexible commit never loses, and the commit-stall counter
+// drops with it.
+func TestFlexibleCommitClaim(t *testing.T) {
+	tabs, err := Fig13(sharedRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tabs[0].Rows {
+		multi, _ := strconv.Atoi(row[1])
+		lowest, _ := strconv.Atoi(row[2])
+		if multi > lowest {
+			t.Errorf("%s: flexible commit (%d) slower than lowest-only (%d)", row[0], multi, lowest)
+		}
+	}
+}
+
+// The runner memoizes: the same cell twice must hit the cache (same
+// pointer back).
+func TestRunnerMemoization(t *testing.T) {
+	r := NewRunner(kernels.Small)
+	b := kernels.GroupI()[0]
+	cfg := r.config(2)
+	st1, err := r.Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := r.Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Error("identical cells were simulated twice")
+	}
+	// A different config must be a different cell.
+	cfg.Cache.Ways = 1
+	st3, err := r.Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3 == st1 {
+		t.Error("different configs shared a cache entry")
+	}
+}
+
+// Experiments must be deterministic run to run.
+func TestExperimentDeterminism(t *testing.T) {
+	run := func() string {
+		r := NewRunner(kernels.Small)
+		tabs, err := Fig5(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, tab := range tabs {
+			tab.Render(&buf)
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Error("fig5 output differs between runs")
+	}
+}
+
+// Speedup math matches the paper's formula.
+func TestSpeedupFormula(t *testing.T) {
+	if got := core.Speedup(50, 100); got != 1.0 {
+		t.Errorf("halving cycles should be +100%%, got %v", got)
+	}
+	if got := core.Speedup(100, 50); got != -0.5 {
+		t.Errorf("doubling cycles should be -50%%, got %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+// Table is a rendered experiment result: the rows/series of one paper
+// figure or table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Runner executes benchmark × configuration cells with caching (many
+// figures share cells, e.g. the 4-thread TrueRR default run) and golden
+// validation of every simulated run.
+type Runner struct {
+	Scale kernels.Scale
+	// Progress, when non-nil, receives a line per fresh simulation.
+	Progress func(format string, args ...any)
+
+	cache map[string]*core.Stats
+}
+
+// NewRunner builds a runner at the given problem scale.
+func NewRunner(scale kernels.Scale) *Runner {
+	return &Runner{Scale: scale, cache: map[string]*core.Stats{}}
+}
+
+// config returns the paper-default configuration for n threads.
+func (r *Runner) config(n int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Threads = n
+	return cfg
+}
+
+// cacheKey folds every timing-relevant configuration field.
+func cacheKey(b *kernels.Benchmark, cfg core.Config, p kernels.Params) string {
+	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d",
+		b.Name, p.Scale, cfg.Threads, cfg.FetchPolicy, cfg.CommitPolicy, cfg.CommitWindow,
+		cfg.SUEntries, cfg.IssueWidth, cfg.WritebackWidth, cfg.StoreBuffer, cfg.BTBEntries,
+		cfg.PredictorBits, cfg.PerThreadBTB, cfg.Renaming, cfg.Bypassing, cfg.StoreForwarding,
+		cfg.Cache.Ways, cfg.Cache.Ports, cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk)
+}
+
+// Run simulates benchmark b under cfg (memoized) and validates the
+// result against the benchmark's golden model.
+func (r *Runner) Run(b *kernels.Benchmark, cfg core.Config) (*core.Stats, error) {
+	return r.RunWith(b, cfg, kernels.Params{Threads: cfg.Threads, Scale: r.Scale})
+}
+
+// RunWith is Run with explicit benchmark build parameters (alignment,
+// sync granularity) for the extension experiments.
+func (r *Runner) RunWith(b *kernels.Benchmark, cfg core.Config, p kernels.Params) (*core.Stats, error) {
+	p.Threads = cfg.Threads
+	p.Scale = r.Scale
+	key := cacheKey(b, cfg, p)
+	if st, ok := r.cache[key]; ok {
+		return st, nil
+	}
+	obj, err := b.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(obj, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s (threads=%d): %w", b.Name, cfg.Threads, err)
+	}
+	if err := b.Check(m.Memory(), obj, p); err != nil {
+		return nil, fmt.Errorf("%s (threads=%d) failed validation: %w", b.Name, cfg.Threads, err)
+	}
+	if r.Progress != nil {
+		r.Progress("%-8s threads=%d ways=%d su=%d policy=%v: %d cycles (IPC %.2f)",
+			b.Name, cfg.Threads, cfg.Cache.Ways, cfg.SUEntries, cfg.FetchPolicy, st.Cycles, st.IPC())
+	}
+	r.cache[key] = st
+	return st, nil
+}
+
+func classOf(cl int) isa.Class { return isa.Class(cl) }

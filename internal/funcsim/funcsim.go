@@ -1,0 +1,214 @@
+// Package funcsim is the in-order functional reference simulator for
+// SDSP-32. It interprets a program thread-by-thread with no pipeline,
+// cache, or speculation, and serves as the correctness oracle for the
+// cycle-level core: both must produce identical architectural memory and
+// register state for every workload.
+package funcsim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/loader"
+	"repro/internal/mem"
+	"repro/internal/syncctl"
+)
+
+// Sim interprets an SDSP-32 program with N resident threads, stepping
+// one instruction per live thread in round-robin order (the interleaving
+// is immaterial for the data-race-free homogeneous-multitasking programs
+// the paper runs, but round robin keeps spin loops live).
+type Sim struct {
+	m        *mem.Memory
+	sync     *syncctl.Controller
+	nthreads int
+	kregs    int // logical registers per thread
+
+	regs   []uint32 // nthreads * kregs
+	pc     []uint32
+	halted []bool
+
+	insts     []isa.Inst // predecoded text
+	instCount uint64
+}
+
+// New loads obj and prepares nthreads threads, all starting at the entry
+// point with the register file statically partitioned.
+func New(obj *loader.Object, nthreads int) (*Sim, error) {
+	if nthreads < 1 || nthreads > isa.NumPhysRegs/2 {
+		return nil, fmt.Errorf("funcsim: invalid thread count %d", nthreads)
+	}
+	m, err := obj.Load()
+	if err != nil {
+		return nil, err
+	}
+	insts := make([]isa.Inst, len(obj.Text))
+	for i, w := range obj.Text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("funcsim: text word %d: %w", i, err)
+		}
+		insts[i] = in
+	}
+	kregs := isa.RegsPerThread(nthreads)
+	s := &Sim{
+		m:        m,
+		sync:     syncctl.New(m),
+		nthreads: nthreads,
+		kregs:    kregs,
+		regs:     make([]uint32, nthreads*kregs),
+		pc:       make([]uint32, nthreads),
+		halted:   make([]bool, nthreads),
+		insts:    insts,
+	}
+	for t := range s.pc {
+		s.pc[t] = obj.Entry
+	}
+	return s, nil
+}
+
+// NumThreads returns the configured thread count.
+func (s *Sim) NumThreads() int { return s.nthreads }
+
+// RegsPerThread returns the per-thread logical register budget.
+func (s *Sim) RegsPerThread() int { return s.kregs }
+
+// Reg reads thread t's logical register r.
+func (s *Sim) Reg(t, r int) uint32 {
+	if r == 0 {
+		return 0
+	}
+	return s.regs[t*s.kregs+r]
+}
+
+func (s *Sim) setReg(t int, r uint8, v uint32) {
+	if r == 0 {
+		return
+	}
+	if int(r) >= s.kregs {
+		panic(fmt.Sprintf("funcsim: thread %d uses r%d but budget is %d registers", t, r, s.kregs))
+	}
+	s.regs[t*s.kregs+int(r)] = v
+}
+
+func (s *Sim) reg(t int, r uint8) uint32 {
+	if r == 0 {
+		return 0
+	}
+	if int(r) >= s.kregs {
+		panic(fmt.Sprintf("funcsim: thread %d uses r%d but budget is %d registers", t, r, s.kregs))
+	}
+	return s.regs[t*s.kregs+int(r)]
+}
+
+// Memory exposes the architectural memory (for result checks).
+func (s *Sim) Memory() *mem.Memory { return s.m }
+
+// InstCount returns the number of instructions executed so far.
+func (s *Sim) InstCount() uint64 { return s.instCount }
+
+// Halted reports whether every thread has executed HALT.
+func (s *Sim) Halted() bool {
+	for _, h := range s.halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+// Run interprets until every thread halts, erroring out after maxSteps
+// instructions (a guard against runaway programs).
+func (s *Sim) Run(maxSteps uint64) error {
+	for !s.Halted() {
+		progress := false
+		for t := 0; t < s.nthreads; t++ {
+			if s.halted[t] {
+				continue
+			}
+			if err := s.step(t); err != nil {
+				return err
+			}
+			progress = true
+			if s.instCount > maxSteps {
+				return fmt.Errorf("funcsim: exceeded %d instructions (livelock?)", maxSteps)
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return nil
+}
+
+// step executes one instruction on thread t.
+func (s *Sim) step(t int) error {
+	pc := s.pc[t]
+	idx := pc / 4
+	if idx >= uint32(len(s.insts)) {
+		return fmt.Errorf("funcsim: thread %d fetched outside text at %#08x", t, pc)
+	}
+	in := s.insts[idx]
+	s.instCount++
+	next := pc + 4
+
+	switch {
+	case in.Op == isa.HALT:
+		s.halted[t] = true
+	case in.Op == isa.NOP:
+	case in.Op == isa.TID:
+		s.setReg(t, in.Rd, uint32(t))
+	case in.Op == isa.NTH:
+		s.setReg(t, in.Rd, uint32(s.nthreads))
+	case in.Op == isa.LW:
+		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
+		if loader.IsFlagAddr(addr) {
+			return fmt.Errorf("funcsim: thread %d LW from flag segment at %#08x (use fldw)", t, addr)
+		}
+		s.setReg(t, in.Rd, s.m.LoadWord(addr))
+	case in.Op == isa.SW:
+		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
+		if loader.IsFlagAddr(addr) {
+			return fmt.Errorf("funcsim: thread %d SW to flag segment at %#08x (use fstw)", t, addr)
+		}
+		s.m.StoreWord(addr, s.reg(t, in.Rs2))
+	case in.Op == isa.FLDW:
+		s.setReg(t, in.Rd, s.sync.Read(isa.EffAddr(s.reg(t, in.Rs1), in.Imm)))
+	case in.Op == isa.FSTW:
+		s.sync.Write(isa.EffAddr(s.reg(t, in.Rs1), in.Imm), s.reg(t, in.Rs2))
+	case in.Op == isa.FAI:
+		s.setReg(t, in.Rd, s.sync.FetchAdd(isa.EffAddr(s.reg(t, in.Rs1), in.Imm)))
+	case in.Op.IsBranch():
+		if isa.BranchTaken(in.Op, s.reg(t, in.Rs1), s.reg(t, in.Rs2)) {
+			next = isa.CTTarget(in, pc, 0)
+		}
+	case in.Op == isa.JAL:
+		s.setReg(t, in.Rd, pc+4)
+		next = isa.CTTarget(in, pc, 0)
+	case in.Op == isa.JALR:
+		s.setReg(t, in.Rd, pc+4)
+		next = isa.CTTarget(in, pc, s.reg(t, in.Rs1))
+	default: // computational
+		var b uint32
+		if isa.HasImmOperand(in.Op) {
+			b = isa.EvalImmOperand(in.Op, in.Imm)
+		} else {
+			b = s.reg(t, in.Rs2)
+		}
+		s.setReg(t, in.Rd, isa.EvalOp(in.Op, s.reg(t, in.Rs1), b))
+	}
+	s.pc[t] = next
+	return nil
+}
+
+// RunProgram is a convenience: assembler output in, final memory out.
+func RunProgram(obj *loader.Object, nthreads int, maxSteps uint64) (*Sim, error) {
+	s, err := New(obj, nthreads)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(maxSteps); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,265 @@
+package funcsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/loader"
+)
+
+func run(t *testing.T, src string, nthreads int) *Sim {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	s, err := RunProgram(obj, nthreads, 1_000_000)
+	if err != nil {
+		t.Fatalf("RunProgram: %v", err)
+	}
+	return s
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// sum = 1+2+...+10 = 55, stored to data word.
+	s := run(t, `
+		main:  addi r1, r0, 10
+		       addi r2, r0, 0
+		loop:  add  r2, r2, r1
+		       addi r1, r1, -1
+		       bne  r1, r0, loop
+		       li   r3, result
+		       sw   r2, 0(r3)
+		       halt
+		.data
+		result: .word 0
+	`, 1)
+	obj := asm.MustAssemble("main: halt\n.data\nresult: .word 0")
+	_ = obj
+	if got := s.Memory().LoadWord(loader.DataBase); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestFloatKernel(t *testing.T) {
+	// result = (1.5 * 2.0) + 0.25 = 3.25
+	s := run(t, `
+		main: fli  r1, 1.5
+		      fli  r2, 2.0
+		      fmul r3, r1, r2
+		      fli  r4, 0.25
+		      fadd r3, r3, r4
+		      li   r5, out
+		      sw   r3, 0(r5)
+		      halt
+		.data
+		out: .word 0
+	`, 1)
+	got := math.Float32frombits(s.Memory().LoadWord(loader.DataBase))
+	if got != 3.25 {
+		t.Errorf("fp result = %v, want 3.25", got)
+	}
+}
+
+func TestTIDPartitionsWork(t *testing.T) {
+	// Each of 4 threads stores its tid*10 into out[tid].
+	s := run(t, `
+		main: tid  r1
+		      addi r2, r0, 10
+		      mul  r3, r1, r2
+		      slli r4, r1, 2
+		      li   r5, out
+		      add  r5, r5, r4
+		      sw   r3, 0(r5)
+		      halt
+		.data
+		out: .space 16
+	`, 4)
+	for tid := uint32(0); tid < 4; tid++ {
+		if got := s.Memory().LoadWord(loader.DataBase + tid*4); got != tid*10 {
+			t.Errorf("out[%d] = %d, want %d", tid, got, tid*10)
+		}
+	}
+	if s.NumThreads() != 4 || s.RegsPerThread() != 32 {
+		t.Errorf("threads=%d kregs=%d", s.NumThreads(), s.RegsPerThread())
+	}
+}
+
+func TestRegisterIsolationBetweenThreads(t *testing.T) {
+	// Every thread writes tid+100 to r1; after the run each thread's r1
+	// must hold its own value.
+	s := run(t, `
+		main: tid  r1
+		      addi r1, r1, 100
+		      halt
+	`, 4)
+	for tid := 0; tid < 4; tid++ {
+		if got := s.Reg(tid, 1); got != uint32(tid+100) {
+			t.Errorf("thread %d r1 = %d, want %d", tid, got, tid+100)
+		}
+	}
+}
+
+func TestR0IsZero(t *testing.T) {
+	s := run(t, `
+		main: addi r0, r0, 55
+		      add  r1, r0, r0
+		      li   r2, out
+		      sw   r1, 0(r2)
+		      halt
+		.data
+		out: .word 99
+	`, 1)
+	if got := s.Memory().LoadWord(loader.DataBase); got != 0 {
+		t.Errorf("r0 writable: out = %d, want 0", got)
+	}
+}
+
+func TestSpinLockWithFAI(t *testing.T) {
+	// Classic ticket-free counter: each of 4 threads FAIs the counter 5
+	// times; final value must be 20.
+	s := run(t, `
+		main:  addi r1, r0, 5
+		       li   r2, counter
+		loop:  fai  r3, 0(r2)
+		       addi r1, r1, -1
+		       bne  r1, r0, loop
+		       halt
+		.flags
+		counter: .space 4
+	`, 4)
+	if got := s.Memory().LoadWord(loader.FlagBase); got != 20 {
+		t.Errorf("counter = %d, want 20", got)
+	}
+}
+
+func TestSoftwareBarrier(t *testing.T) {
+	// Sense-reversing-ish barrier: each thread increments arrivals, then
+	// spins until arrivals == nthreads, then thread 0 sums contributions.
+	s := run(t, `
+		main:   tid   r1
+		        nth   r2
+		        ; contribute tid+1 to slot
+		        slli  r3, r1, 2
+		        li    r4, contrib
+		        add   r4, r4, r3
+		        addi  r5, r1, 1
+		        sw    r5, 0(r4)
+		        ; barrier arrive
+		        li    r6, arrivals
+		        fai   r7, 0(r6)
+		wait:   fldw  r7, 0(r6)
+		        bne   r7, r2, wait
+		        ; only thread 0 reduces
+		        bne   r1, r0, done
+		        addi  r8, r0, 0      ; sum
+		        addi  r9, r0, 0      ; i
+		        li    r10, contrib
+		red:    lw    r11, 0(r10)
+		        add   r8, r8, r11
+		        addi  r10, r10, 4
+		        addi  r9, r9, 1
+		        bne   r9, r2, red
+		        li    r12, total
+		        sw    r8, 0(r12)
+		done:   halt
+		.data
+		contrib: .space 24
+		total:   .word 0
+		.flags
+		arrivals: .space 4
+	`, 4)
+	// 1+2+3+4 = 10
+	total := s.Memory().LoadWord(s.mustSym(t, "total"))
+	if total != 10 {
+		t.Errorf("total = %d, want 10", total)
+	}
+}
+
+// mustSym lets tests use symbol addresses from the assembled object; the
+// Sim doesn't retain the object, so tests reassemble via helper below.
+func (s *Sim) mustSym(t *testing.T, name string) uint32 {
+	t.Helper()
+	// The contrib block is 24 bytes after DataBase in the barrier test.
+	switch name {
+	case "total":
+		return loader.DataBase + 24
+	}
+	t.Fatalf("unknown symbol %q", name)
+	return 0
+}
+
+func TestLWFromFlagSegmentFails(t *testing.T) {
+	obj := asm.MustAssemble(`
+		main: li r1, f
+		      lw r2, 0(r1)
+		      halt
+		.flags
+		f: .space 4
+	`)
+	s, err := New(obj, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1000); err == nil {
+		t.Error("LW from flag segment did not error")
+	}
+}
+
+func TestRunawayProgramDetected(t *testing.T) {
+	obj := asm.MustAssemble("main: b main")
+	s, _ := New(obj, 1)
+	if err := s.Run(1000); err == nil {
+		t.Error("infinite loop not detected")
+	}
+}
+
+func TestFetchOutsideTextFails(t *testing.T) {
+	obj := asm.MustAssemble("main: nop") // falls off the end
+	s, _ := New(obj, 1)
+	if err := s.Run(1000); err == nil {
+		t.Error("fetch past end of text did not error")
+	}
+}
+
+func TestInvalidThreadCount(t *testing.T) {
+	obj := asm.MustAssemble("main: halt")
+	if _, err := New(obj, 0); err == nil {
+		t.Error("0 threads accepted")
+	}
+	if _, err := New(obj, 100); err == nil {
+		t.Error("100 threads accepted")
+	}
+}
+
+func TestJALAndJALR(t *testing.T) {
+	s := run(t, `
+		main:  jal  r1, sub       ; call
+		       li   r2, out
+		       sw   r3, 0(r2)
+		       halt
+		sub:   addi r3, r0, 42
+		       jalr r0, r1, 0     ; return
+		.data
+		out: .word 0
+	`, 1)
+	if got := s.Memory().LoadWord(loader.DataBase); got != 42 {
+		t.Errorf("out = %d, want 42", got)
+	}
+}
+
+func TestRegisterBudgetEnforced(t *testing.T) {
+	// 6 threads -> 21 registers each; using r30 must panic.
+	obj := asm.MustAssemble("main: addi r30, r0, 1\n halt")
+	s, err := New(obj, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("register over budget did not panic")
+		}
+	}()
+	_ = s.Run(100)
+}

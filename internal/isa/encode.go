@@ -1,0 +1,134 @@
+package isa
+
+import "fmt"
+
+// Binary layout (32-bit word):
+//
+//	FmtR: op[31:26] rd[25:19] rs1[18:12] rs2[11:5] 0[4:0]
+//	FmtI: op[31:26] rd[25:19] rs1[18:12] imm12[11:0]
+//	FmtB: op[31:26] rs1[25:19] rs2[18:12] imm12[11:0]
+//	FmtJ: op[31:26] rd[25:19] imm19[18:0]
+//	FmtN: op[31:26] 0[25:0]
+//
+// Register fields are 7 bits (128 physical registers). Immediates are
+// sign-extended. Branch/jump immediates count instructions (words)
+// relative to the branch's own PC; JALR and memory immediates are byte
+// offsets.
+const (
+	regBits = 7
+	regMask = 1<<regBits - 1
+
+	imm12Bits = 12
+	imm12Mask = 1<<imm12Bits - 1
+	imm12Min  = -(1 << (imm12Bits - 1))
+	imm12Max  = 1<<(imm12Bits-1) - 1
+
+	imm19Bits = 19
+	imm19Mask = 1<<imm19Bits - 1
+	imm19Min  = -(1 << (imm19Bits - 1))
+	imm19Max  = 1<<(imm19Bits-1) - 1
+)
+
+// Imm12Fits reports whether v is representable as a signed 12-bit
+// immediate (FmtI and FmtB instructions).
+func Imm12Fits(v int32) bool { return v >= imm12Min && v <= imm12Max }
+
+// Imm19Fits reports whether v is representable as a signed 19-bit
+// immediate (FmtJ instructions).
+func Imm19Fits(v int32) bool { return v >= imm19Min && v <= imm19Max }
+
+// LUIImmFits reports whether v is representable as LUI's unsigned
+// 19-bit immediate.
+func LUIImmFits(v int32) bool { return v >= 0 && v <= imm19Mask }
+
+// LUIShift is the left shift LUI applies to its immediate:
+// lui rd, imm19 computes rd = imm19 << LUIShift, covering bits 12..30.
+const LUIShift = 12
+
+// Encode packs in into its 32-bit binary form. It returns an error if a
+// field is out of range or the opcode is invalid.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.Rd > regMask || in.Rs1 > regMask || in.Rs2 > regMask {
+		return 0, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	w := uint32(in.Op) << 26
+	switch in.Op.Format() {
+	case FmtR:
+		w |= uint32(in.Rd)<<19 | uint32(in.Rs1)<<12 | uint32(in.Rs2)<<5
+	case FmtI:
+		if !Imm12Fits(in.Imm) {
+			return 0, fmt.Errorf("isa: immediate %d out of 12-bit range in %v", in.Imm, in)
+		}
+		w |= uint32(in.Rd)<<19 | uint32(in.Rs1)<<12 | uint32(in.Imm)&imm12Mask
+	case FmtB:
+		if !Imm12Fits(in.Imm) {
+			return 0, fmt.Errorf("isa: immediate %d out of 12-bit range in %v", in.Imm, in)
+		}
+		w |= uint32(in.Rs1)<<19 | uint32(in.Rs2)<<12 | uint32(in.Imm)&imm12Mask
+	case FmtJ:
+		if in.Op == LUI {
+			// LUI's immediate is unsigned: it selects bits 12..30 of the
+			// result, so bit 31 of a register can never come from LUI.
+			if in.Imm < 0 || in.Imm > imm19Mask {
+				return 0, fmt.Errorf("isa: immediate %d out of unsigned 19-bit range in %v", in.Imm, in)
+			}
+		} else if !Imm19Fits(in.Imm) {
+			return 0, fmt.Errorf("isa: immediate %d out of 19-bit range in %v", in.Imm, in)
+		}
+		w |= uint32(in.Rd)<<19 | uint32(in.Imm)&imm19Mask
+	case FmtN:
+		// opcode only
+	}
+	return w, nil
+}
+
+// MustEncode is Encode but panics on error; for use with known-good
+// generated code.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word into an Inst. It returns an error for an
+// undefined opcode (the fetch unit treats such words as illegal).
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> 26)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %d in %#08x", op, w)
+	}
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FmtR:
+		in.Rd = uint8(w >> 19 & regMask)
+		in.Rs1 = uint8(w >> 12 & regMask)
+		in.Rs2 = uint8(w >> 5 & regMask)
+	case FmtI:
+		in.Rd = uint8(w >> 19 & regMask)
+		in.Rs1 = uint8(w >> 12 & regMask)
+		in.Imm = signExtend(w&imm12Mask, imm12Bits)
+	case FmtB:
+		in.Rs1 = uint8(w >> 19 & regMask)
+		in.Rs2 = uint8(w >> 12 & regMask)
+		in.Imm = signExtend(w&imm12Mask, imm12Bits)
+	case FmtJ:
+		in.Rd = uint8(w >> 19 & regMask)
+		if op == LUI {
+			in.Imm = int32(w & imm19Mask)
+		} else {
+			in.Imm = signExtend(w&imm19Mask, imm19Bits)
+		}
+	case FmtN:
+	}
+	return in, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}

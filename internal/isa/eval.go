@@ -1,0 +1,168 @@
+package isa
+
+import "math"
+
+// EvalOp computes the result of a register-writing computational
+// instruction (ALU, multiply, divide, FP). For immediate forms the
+// caller passes the sign- or zero-extended immediate as b; EvalImmOperand
+// performs that extension. Control transfers, memory references, and
+// sync primitives are not handled here.
+func EvalOp(op Op, a, b uint32) uint32 {
+	switch op {
+	case ADD, ADDI:
+		return a + b
+	case SUB:
+		return a - b
+	case MUL:
+		return uint32(int32(a) * int32(b))
+	case DIV:
+		if b == 0 {
+			return 0xFFFFFFFF // divide by zero yields -1, no trap
+		}
+		if int32(a) == math.MinInt32 && int32(b) == -1 {
+			return a // overflow wraps to dividend
+		}
+		return uint32(int32(a) / int32(b))
+	case REM:
+		if b == 0 {
+			return a
+		}
+		if int32(a) == math.MinInt32 && int32(b) == -1 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	case AND, ANDI:
+		return a & b
+	case OR, ORI:
+		return a | b
+	case XOR, XORI:
+		return a ^ b
+	case SLL, SLLI:
+		return a << (b & 31)
+	case SRL, SRLI:
+		return a >> (b & 31)
+	case SRA, SRAI:
+		return uint32(int32(a) >> (b & 31))
+	case SLT, SLTI:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case LUI:
+		return b << LUIShift
+	case FADD:
+		return f2b(b2f(a) + b2f(b))
+	case FSUB:
+		return f2b(b2f(a) - b2f(b))
+	case FMUL:
+		return f2b(b2f(a) * b2f(b))
+	case FDIV:
+		return f2b(b2f(a) / b2f(b))
+	case FNEG:
+		return a ^ 0x80000000
+	case FABS:
+		return a &^ 0x80000000
+	case FLT:
+		if b2f(a) < b2f(b) {
+			return 1
+		}
+		return 0
+	case FLE:
+		if b2f(a) <= b2f(b) {
+			return 1
+		}
+		return 0
+	case FEQ:
+		if b2f(a) == b2f(b) {
+			return 1
+		}
+		return 0
+	case CVTIF:
+		return f2b(float32(int32(a)))
+	case CVTFI:
+		f := b2f(a)
+		switch {
+		case f != f: // NaN
+			return 0
+		case f >= math.MaxInt32:
+			return math.MaxInt32
+		case f <= math.MinInt32:
+			return 0x80000000
+		}
+		return uint32(int32(f))
+	case NOP:
+		return 0
+	}
+	panic("isa: EvalOp called with non-computational op " + op.Name())
+}
+
+// HasImmOperand reports whether op's second operand comes from the
+// immediate field rather than a register.
+func HasImmOperand(op Op) bool {
+	switch op {
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LUI:
+		return true
+	}
+	return false
+}
+
+// EvalImmOperand returns the operand value an immediate-form instruction
+// presents to EvalOp. Logical immediates (ANDI/ORI/XORI) are
+// zero-extended 12-bit values; all others are sign-extended. LUI's
+// immediate passes through and is shifted inside EvalOp.
+func EvalImmOperand(op Op, imm int32) uint32 {
+	switch op {
+	case ANDI, ORI, XORI:
+		return uint32(imm) & imm12Mask
+	}
+	return uint32(imm)
+}
+
+// BranchTaken evaluates a conditional branch's condition.
+func BranchTaken(op Op, a, b uint32) bool {
+	switch op {
+	case BEQ:
+		return a == b
+	case BNE:
+		return a != b
+	case BLT:
+		return int32(a) < int32(b)
+	case BGE:
+		return int32(a) >= int32(b)
+	case BLTU:
+		return a < b
+	case BGEU:
+		return a >= b
+	}
+	panic("isa: BranchTaken called with non-branch op " + op.Name())
+}
+
+// CTTarget returns the target address of a control transfer at pc whose
+// register operand (JALR base) is rs1val. Branch and JAL immediates
+// count instructions; JALR targets rs1+imm bytes.
+func CTTarget(in Inst, pc, rs1val uint32) uint32 {
+	switch {
+	case in.Op.IsBranch(), in.Op == JAL:
+		return pc + uint32(in.Imm)*4
+	case in.Op == JALR:
+		return (rs1val + uint32(in.Imm)) &^ 3
+	}
+	panic("isa: CTTarget called with non-CT op " + in.Op.Name())
+}
+
+// EffAddr computes a memory or flag reference's effective byte address.
+func EffAddr(base uint32, imm int32) uint32 { return base + uint32(imm) }
+
+func b2f(v uint32) float32 { return math.Float32frombits(v) }
+func f2b(f float32) uint32 { return math.Float32bits(f) }
+
+// F2B converts a float32 to its register bit pattern.
+func F2B(f float32) uint32 { return f2b(f) }
+
+// B2F converts a register bit pattern to float32.
+func B2F(v uint32) float32 { return b2f(v) }

@@ -1,0 +1,323 @@
+// Package isa defines SDSP-32, the instruction set of the SDSP
+// superscalar processor reconstructed for this reproduction.
+//
+// SDSP-32 is a 32-bit fixed-width RISC. Register fields are 7 bits wide
+// so that one encoding addresses any static partition of the 128
+// physical registers among threads (the paper's compiler re-targets the
+// register budget to 128/N). Logical register 0 always reads as zero.
+//
+// The package is shared by the assembler, the functional reference
+// simulator, and the cycle-level core; all instruction semantics live
+// here (Eval*, BranchTaken) so the two simulators cannot drift apart.
+package isa
+
+import "fmt"
+
+// Op identifies an SDSP-32 operation.
+type Op uint8
+
+// Opcode space. The encoding reserves 6 bits, so there may be at most 64.
+const (
+	// Integer register-register.
+	ADD Op = iota
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+
+	// Integer immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI
+
+	// Memory.
+	LW
+	SW
+
+	// Control transfer.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	JAL
+	JALR
+
+	// Floating point (IEEE-754 single precision bit patterns held in the
+	// unified register file; the paper adds FP units to the integer-only
+	// SDSP because its benchmarks contain FP computation).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FLT
+	FLE
+	FEQ
+	CVTIF
+	CVTFI
+
+	// Thread support and system.
+	TID
+	NTH
+	NOP
+	HALT
+
+	// Synchronization primitives. These access the uncached flag segment
+	// through the synchronization controller, never the data cache.
+	FLDW // flag load word
+	FSTW // flag store word (ordered through the store buffer)
+	FAI  // atomic fetch-and-increment
+
+	NumOps // number of opcodes; must stay <= 64
+)
+
+// Format describes how an instruction's fields are packed.
+type Format uint8
+
+const (
+	FmtR Format = iota // op rd, rs1, rs2
+	FmtI               // op rd, rs1, imm12  (loads: op rd, imm(rs1))
+	FmtB               // op rs1, rs2, imm12 (stores: op rs2, imm(rs1))
+	FmtJ               // op rd, imm19
+	FmtN               // no operands
+)
+
+// Class routes an instruction to a functional unit pool (paper Table 1).
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassIMul
+	ClassIDiv
+	ClassLoad
+	ClassStore
+	ClassCT
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassSync
+
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "ALU"
+	case ClassIMul:
+		return "IntMul"
+	case ClassIDiv:
+		return "IntDiv"
+	case ClassLoad:
+		return "Load"
+	case ClassStore:
+		return "Store"
+	case ClassCT:
+		return "CT"
+	case ClassFPAdd:
+		return "FPAdd"
+	case ClassFPMul:
+		return "FPMul"
+	case ClassFPDiv:
+		return "FPDiv"
+	case ClassSync:
+		return "Sync"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+type opInfo struct {
+	name   string
+	format Format
+	class  Class
+}
+
+var opTable = [NumOps]opInfo{
+	ADD:   {"add", FmtR, ClassALU},
+	SUB:   {"sub", FmtR, ClassALU},
+	MUL:   {"mul", FmtR, ClassIMul},
+	DIV:   {"div", FmtR, ClassIDiv},
+	REM:   {"rem", FmtR, ClassIDiv},
+	AND:   {"and", FmtR, ClassALU},
+	OR:    {"or", FmtR, ClassALU},
+	XOR:   {"xor", FmtR, ClassALU},
+	SLL:   {"sll", FmtR, ClassALU},
+	SRL:   {"srl", FmtR, ClassALU},
+	SRA:   {"sra", FmtR, ClassALU},
+	SLT:   {"slt", FmtR, ClassALU},
+	SLTU:  {"sltu", FmtR, ClassALU},
+	ADDI:  {"addi", FmtI, ClassALU},
+	ANDI:  {"andi", FmtI, ClassALU},
+	ORI:   {"ori", FmtI, ClassALU},
+	XORI:  {"xori", FmtI, ClassALU},
+	SLLI:  {"slli", FmtI, ClassALU},
+	SRLI:  {"srli", FmtI, ClassALU},
+	SRAI:  {"srai", FmtI, ClassALU},
+	SLTI:  {"slti", FmtI, ClassALU},
+	LUI:   {"lui", FmtJ, ClassALU},
+	LW:    {"lw", FmtI, ClassLoad},
+	SW:    {"sw", FmtB, ClassStore},
+	BEQ:   {"beq", FmtB, ClassCT},
+	BNE:   {"bne", FmtB, ClassCT},
+	BLT:   {"blt", FmtB, ClassCT},
+	BGE:   {"bge", FmtB, ClassCT},
+	BLTU:  {"bltu", FmtB, ClassCT},
+	BGEU:  {"bgeu", FmtB, ClassCT},
+	JAL:   {"jal", FmtJ, ClassCT},
+	JALR:  {"jalr", FmtI, ClassCT},
+	FADD:  {"fadd", FmtR, ClassFPAdd},
+	FSUB:  {"fsub", FmtR, ClassFPAdd},
+	FMUL:  {"fmul", FmtR, ClassFPMul},
+	FDIV:  {"fdiv", FmtR, ClassFPDiv},
+	FNEG:  {"fneg", FmtR, ClassFPAdd},
+	FABS:  {"fabs", FmtR, ClassFPAdd},
+	FLT:   {"flt", FmtR, ClassFPAdd},
+	FLE:   {"fle", FmtR, ClassFPAdd},
+	FEQ:   {"feq", FmtR, ClassFPAdd},
+	CVTIF: {"cvtif", FmtR, ClassFPAdd},
+	CVTFI: {"cvtfi", FmtR, ClassFPAdd},
+	TID:   {"tid", FmtR, ClassALU},
+	NTH:   {"nth", FmtR, ClassALU},
+	NOP:   {"nop", FmtN, ClassALU},
+	HALT:  {"halt", FmtN, ClassCT},
+	FLDW:  {"fldw", FmtI, ClassSync},
+	FSTW:  {"fstw", FmtB, ClassStore},
+	FAI:   {"fai", FmtI, ClassSync},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < NumOps }
+
+// Name returns the assembler mnemonic of op.
+func (op Op) Name() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+func (op Op) String() string { return op.Name() }
+
+// Format returns the field packing of op.
+func (op Op) Format() Format { return opTable[op].format }
+
+// FUClass returns the functional unit pool op executes on.
+func (op Op) FUClass() Class { return opTable[op].class }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op >= BEQ && op <= BGEU }
+
+// IsCT reports whether op is any control transfer (branch, jump, halt).
+func (op Op) IsCT() bool { return opTable[op].class == ClassCT }
+
+// IsMemRef reports whether op reads or writes the data cache.
+func (op Op) IsMemRef() bool { return op == LW || op == SW }
+
+// IsSyncRef reports whether op accesses the uncached flag segment.
+func (op Op) IsSyncRef() bool { return op == FLDW || op == FSTW || op == FAI }
+
+// WritesRd reports whether op produces a register result.
+func (op Op) WritesRd() bool {
+	switch op.Format() {
+	case FmtR, FmtI, FmtJ:
+		return op != SW && op != FSTW // FmtB ops have no rd anyway
+	}
+	return false
+}
+
+// SwitchTrigger reports whether decoding op should trigger a thread
+// switch under the Conditional Switch fetch policy (paper section 5.1:
+// integer divide, FP multiply or divide, synchronization primitive).
+func (op Op) SwitchTrigger() bool {
+	switch op.FUClass() {
+	case ClassIDiv, ClassFPMul, ClassFPDiv, ClassSync:
+		return true
+	}
+	return false
+}
+
+// Inst is a decoded SDSP-32 instruction.
+type Inst struct {
+	Op       Op
+	Rd       uint8 // destination register (FmtR/FmtI/FmtJ)
+	Rs1, Rs2 uint8 // source registers
+	Imm      int32 // sign-extended immediate (FmtI/FmtB: 12 bits, FmtJ: 19 bits)
+}
+
+// SrcRegs returns the logical source registers op actually reads,
+// as a pair plus a count (0, 1, or 2).
+func (in Inst) SrcRegs() (r1, r2 uint8, n int) {
+	switch in.Op.Format() {
+	case FmtR:
+		switch in.Op {
+		case FNEG, FABS, CVTIF, CVTFI:
+			return in.Rs1, 0, 1
+		case TID, NTH:
+			return 0, 0, 0
+		}
+		return in.Rs1, in.Rs2, 2
+	case FmtI:
+		return in.Rs1, 0, 1
+	case FmtB:
+		return in.Rs1, in.Rs2, 2
+	}
+	return 0, 0, 0
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.Name()
+	case LW, FLDW, FAI:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case SW, FSTW:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case JALR:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case JAL, LUI:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case TID, NTH:
+		return fmt.Sprintf("%s r%d", in.Op, in.Rd)
+	case FNEG, FABS, CVTIF, CVTFI:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs1)
+	}
+	switch in.Op.Format() {
+	case FmtR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FmtI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FmtB:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	}
+	return in.Op.Name()
+}
+
+// NumPhysRegs is the size of the shared physical register file.
+const NumPhysRegs = 128
+
+// RegsPerThread returns the per-thread logical register budget under the
+// paper's equal static partitioning of the 128 registers.
+func RegsPerThread(nthreads int) int {
+	if nthreads <= 0 {
+		panic("isa: thread count must be positive")
+	}
+	return NumPhysRegs / nthreads
+}

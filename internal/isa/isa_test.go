@@ -1,0 +1,341 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func u(v int32) uint32 { return uint32(v) }
+
+func TestOpcodeSpaceFits(t *testing.T) {
+	if NumOps > 64 {
+		t.Fatalf("NumOps = %d, encoding reserves only 6 opcode bits", NumOps)
+	}
+}
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if opTable[op].name == "" {
+			t.Errorf("op %d has no table entry", op)
+		}
+	}
+}
+
+func TestOpNamesUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < NumOps; op++ {
+		if prev, dup := seen[op.Name()]; dup {
+			t.Errorf("ops %v and %v share mnemonic %q", prev, op, op.Name())
+		}
+		seen[op.Name()] = op
+	}
+}
+
+// randInst generates a field-valid instruction for op.
+func randInst(op Op, r *rand.Rand) Inst {
+	in := Inst{Op: op}
+	reg := func() uint8 { return uint8(r.Intn(128)) }
+	switch op.Format() {
+	case FmtR:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+	case FmtI:
+		in.Rd, in.Rs1 = reg(), reg()
+		in.Imm = int32(r.Intn(imm12Max-imm12Min+1)) + imm12Min
+	case FmtB:
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = int32(r.Intn(imm12Max-imm12Min+1)) + imm12Min
+	case FmtJ:
+		in.Rd = reg()
+		if op == LUI {
+			in.Imm = int32(r.Intn(imm19Mask + 1)) // unsigned field
+		} else {
+			in.Imm = int32(r.Intn(imm19Max-imm19Min+1)) + imm19Min
+		}
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opRaw uint8, seed int64) bool {
+		op := Op(opRaw) % NumOps
+		in := randInst(op, rand.New(rand.NewSource(seed)))
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#08x: %v", w, err)
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, Rd: 128},
+		{Op: ADDI, Imm: imm12Max + 1},
+		{Op: ADDI, Imm: imm12Min - 1},
+		{Op: JAL, Imm: imm19Max + 1},
+		{Op: NumOps},
+		{Op: SW, Imm: 1 << 13},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsUndefinedOpcode(t *testing.T) {
+	w := uint32(NumOps) << 26
+	if _, err := Decode(w); err == nil {
+		t.Errorf("Decode(%#08x) succeeded, want error", w)
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	in := Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: -1}
+	w := MustEncode(in)
+	out, err := Decode(w)
+	if err != nil || out.Imm != -1 {
+		t.Fatalf("Decode round trip of imm -1: got %+v, err %v", out, err)
+	}
+	in = Inst{Op: JAL, Rd: 0, Imm: imm19Min}
+	out, _ = Decode(MustEncode(in))
+	if out.Imm != imm19Min {
+		t.Fatalf("JAL imm19 min: got %d want %d", out.Imm, imm19Min)
+	}
+}
+
+func TestEvalOpInteger(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint32
+		want uint32
+	}{
+		{ADD, 2, 3, 5},
+		{ADD, math.MaxUint32, 1, 0},
+		{SUB, 2, 3, 0xFFFFFFFF},
+		{MUL, 0xFFFFFFFF, 2, 0xFFFFFFFE}, // -1 * 2 = -2
+		{DIV, 7, 2, 3},
+		{DIV, u(-7), 2, u(-3)},
+		{DIV, 5, 0, 0xFFFFFFFF},
+		{DIV, 1 << 31, 0xFFFFFFFF, 1 << 31}, // MinInt32 / -1 wraps
+		{REM, 7, 2, 1},
+		{REM, 5, 0, 5},
+		{REM, 1 << 31, 0xFFFFFFFF, 0},
+		{AND, 0b1100, 0b1010, 0b1000},
+		{OR, 0b1100, 0b1010, 0b1110},
+		{XOR, 0b1100, 0b1010, 0b0110},
+		{SLL, 1, 4, 16},
+		{SLL, 1, 36, 16}, // shift amount masked to 5 bits
+		{SRL, 0x80000000, 31, 1},
+		{SRA, 0x80000000, 31, 0xFFFFFFFF},
+		{SLT, u(-1), 0, 1},
+		{SLT, 0, u(-1), 0},
+		{SLTU, u(-1), 0, 0},
+		{SLTU, 0, 1, 1},
+		{LUI, 0, 5, 5 << LUIShift},
+	}
+	for _, c := range cases {
+		if got := EvalOp(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalOp(%v, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalOpFloat(t *testing.T) {
+	f := F2B
+	cases := []struct {
+		op   Op
+		a, b uint32
+		want uint32
+	}{
+		{FADD, f(1.5), f(2.25), f(3.75)},
+		{FSUB, f(1.5), f(2.25), f(-0.75)},
+		{FMUL, f(1.5), f(2), f(3)},
+		{FDIV, f(3), f(2), f(1.5)},
+		{FNEG, f(1.5), 0, f(-1.5)},
+		{FABS, f(-1.5), 0, f(1.5)},
+		{FLT, f(1), f(2), 1},
+		{FLT, f(2), f(1), 0},
+		{FLE, f(2), f(2), 1},
+		{FEQ, f(2), f(2), 1},
+		{FEQ, f(2), f(3), 0},
+		{CVTIF, u(-3), 0, f(-3)},
+		{CVTFI, f(-3.7), 0, u(-3)},
+		{CVTFI, F2B(float32(math.NaN())), 0, 0},
+		{CVTFI, f(3e9), 0, uint32(math.MaxInt32)},
+		{CVTFI, f(-3e9), 0, u(math.MinInt32)},
+	}
+	for _, c := range cases {
+		if got := EvalOp(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalOp(%v, %#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalOpFloatNaN(t *testing.T) {
+	nan := F2B(float32(math.NaN()))
+	if EvalOp(FEQ, nan, nan) != 0 {
+		t.Error("NaN == NaN should be false")
+	}
+	if EvalOp(FLT, nan, F2B(1)) != 0 {
+		t.Error("NaN < 1 should be false")
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	neg1 := u(-1)
+	cases := []struct {
+		op   Op
+		a, b uint32
+		want bool
+	}{
+		{BEQ, 5, 5, true},
+		{BEQ, 5, 6, false},
+		{BNE, 5, 6, true},
+		{BLT, neg1, 0, true},
+		{BLT, 0, neg1, false},
+		{BGE, 0, 0, true},
+		{BLTU, neg1, 0, false},
+		{BLTU, 0, neg1, true},
+		{BGEU, neg1, 0, true},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%v, %#x, %#x) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCTTarget(t *testing.T) {
+	br := Inst{Op: BEQ, Imm: -2}
+	if got := CTTarget(br, 100, 0); got != 92 {
+		t.Errorf("branch target = %d, want 92", got)
+	}
+	j := Inst{Op: JAL, Imm: 3}
+	if got := CTTarget(j, 100, 0); got != 112 {
+		t.Errorf("jal target = %d, want 112", got)
+	}
+	jr := Inst{Op: JALR, Imm: 6}
+	if got := CTTarget(jr, 0, 200); got != 204 { // 206 aligned down
+		t.Errorf("jalr target = %d, want 204", got)
+	}
+}
+
+func TestEvalImmOperand(t *testing.T) {
+	if got := EvalImmOperand(ADDI, -1); got != 0xFFFFFFFF {
+		t.Errorf("ADDI imm -1 = %#x, want sign extension", got)
+	}
+	if got := EvalImmOperand(ORI, -1); got != 0xFFF {
+		t.Errorf("ORI imm -1 = %#x, want zero extension to 12 bits", got)
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		in Inst
+		n  int
+	}{
+		{Inst{Op: ADD, Rs1: 1, Rs2: 2}, 2},
+		{Inst{Op: ADDI, Rs1: 1}, 1},
+		{Inst{Op: LW, Rs1: 1}, 1},
+		{Inst{Op: SW, Rs1: 1, Rs2: 2}, 2},
+		{Inst{Op: BEQ, Rs1: 1, Rs2: 2}, 2},
+		{Inst{Op: JAL}, 0},
+		{Inst{Op: JALR, Rs1: 1}, 1},
+		{Inst{Op: FNEG, Rs1: 1}, 1},
+		{Inst{Op: TID}, 0},
+		{Inst{Op: NOP}, 0},
+		{Inst{Op: HALT}, 0},
+		{Inst{Op: LUI}, 0},
+	}
+	for _, c := range cases {
+		if _, _, n := c.in.SrcRegs(); n != c.n {
+			t.Errorf("%v reads %d regs, want %d", c.in, n, c.n)
+		}
+	}
+}
+
+func TestClassRouting(t *testing.T) {
+	cases := map[Op]Class{
+		ADD: ClassALU, MUL: ClassIMul, DIV: ClassIDiv, REM: ClassIDiv,
+		LW: ClassLoad, SW: ClassStore, BEQ: ClassCT, JAL: ClassCT,
+		HALT: ClassCT, FADD: ClassFPAdd, FMUL: ClassFPMul, FDIV: ClassFPDiv,
+		FLDW: ClassSync, FAI: ClassSync, FSTW: ClassStore,
+	}
+	for op, want := range cases {
+		if op.FUClass() != want {
+			t.Errorf("%v routed to %v, want %v", op, op.FUClass(), want)
+		}
+	}
+}
+
+func TestSwitchTrigger(t *testing.T) {
+	triggers := []Op{DIV, REM, FMUL, FDIV, FLDW, FAI}
+	for _, op := range triggers {
+		if !op.SwitchTrigger() {
+			t.Errorf("%v should trigger a conditional switch", op)
+		}
+	}
+	nonTriggers := []Op{ADD, MUL, LW, SW, BEQ, FADD}
+	for _, op := range nonTriggers {
+		if op.SwitchTrigger() {
+			t.Errorf("%v should not trigger a conditional switch", op)
+		}
+	}
+}
+
+func TestWritesRd(t *testing.T) {
+	writes := []Op{ADD, ADDI, LUI, LW, JAL, JALR, FADD, TID, NTH, FLDW, FAI}
+	for _, op := range writes {
+		if !op.WritesRd() {
+			t.Errorf("%v should write rd", op)
+		}
+	}
+	noWrites := []Op{SW, BEQ, BGEU, NOP, HALT, FSTW}
+	for _, op := range noWrites {
+		if op.WritesRd() {
+			t.Errorf("%v should not write rd", op)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: LW, Rd: 4, Rs1: 5, Imm: -8}, "lw r4, -8(r5)"},
+		{Inst{Op: SW, Rs1: 5, Rs2: 4, Imm: 12}, "sw r4, 12(r5)"},
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: TID, Rd: 7}, "tid r7"},
+		{Inst{Op: JAL, Rd: 0, Imm: -4}, "jal r0, -4"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: every defined op either writes rd or is in a known
+// non-writing set, and every op has a routable class.
+func TestEveryOpRoutable(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if op.FUClass() >= NumClasses {
+			t.Errorf("%v has invalid class", op)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package kernels
+
+import (
+	"repro/internal/loader"
+	"repro/internal/mem"
+)
+
+// Extended returns workloads beyond the paper's eleven: two more
+// Livermore loops with behaviours the paper's set lacks — LL9's
+// non-unit-stride field accesses and LL11's two-phase parallel prefix
+// scan (a synchronization pattern between LL5's chunk pipeline and the
+// embarrassingly parallel loops). They are not part of the paper's
+// figures; the experiment harness ignores them, the test suite does not.
+func Extended() []*Benchmark {
+	return []*Benchmark{LL9(), LL11()}
+}
+
+func ll9Size(s Scale) int {
+	if s == Paper {
+		return 256
+	}
+	return 32
+}
+
+// ll9Fields is the record width: element k's fields live at
+// px[k*ll9Fields + j], so every access strides 13 words — the cache
+// pattern the paper's unit-stride loops never produce.
+const ll9Fields = 13
+
+// LL9 is the integrate-predictors fragment: a weighted sum of ten
+// fields of each element's record, written back to field 0.
+func LL9() *Benchmark {
+	coef := []float32{1.25, -0.5, 0.75, 0.125, -0.25, 2.0, -1.5, 0.375, 0.0625, -0.75}
+	gen := func(n int) []float32 {
+		g := newLCG(909)
+		return g.floats(n*ll9Fields, -1, 1)
+	}
+	return &Benchmark{
+		Name:  "LL9",
+		Group: 0, // extension: not in the paper's groups
+		Source: func(p Params) string {
+			n := ll9Size(p.Scale)
+			px := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(n, "r3", "r4", "r5")
+			loop := pr.label("loop")
+			done := pr.label("done")
+			pr.T("      bge  r3, r4, %s", done)
+			pr.T("      li   r5, %d", ll9Fields*4)
+			pr.T("      mul  r5, r3, r5")
+			pr.T("      li   r6, pxv")
+			pr.T("      add  r6, r6, r5        ; &px[lo][0]")
+			pr.alignBlock()
+			pr.T("%s:", loop)
+			// acc = sum coef[j] * px[k][j+3]
+			pr.T("      fli  r7, 0.0")
+			for j, c := range coef {
+				pr.T("      lw   r8, %d(r6)", (j+3)*4)
+				pr.T("      fli  r9, %s", ftoa(c))
+				pr.T("      fmul r8, r8, r9")
+				pr.T("      fadd r7, r7, r8")
+			}
+			pr.T("      sw   r7, 0(r6)         ; px[k][0]")
+			pr.T("      addi r6, r6, %d", ll9Fields*4)
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", loop)
+			pr.T("%s: halt", done)
+			pr.floats("pxv", px)
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n := ll9Size(p.Scale)
+			px := gen(n)
+			for k := 0; k < n; k++ {
+				var acc float32
+				for j, c := range coef {
+					acc = acc + px[k*ll9Fields+j+3]*c
+				}
+				px[k*ll9Fields] = acc
+			}
+			return checkFloats(m, obj, "pxv", px)
+		},
+	}
+}
+
+func ll11Size(s Scale) int {
+	if s == Paper {
+		return 1024
+	}
+	return 96
+}
+
+// LL11 is the first-sum recurrence x[k] = x[k-1] + y[k], parallelized
+// as the classic two-phase scan: local prefix sums per slice, a barrier,
+// an exclusive scan of the slice totals by thread 0, another barrier,
+// then each thread adds its offset.
+func LL11() *Benchmark {
+	gen := func(n int) []float32 {
+		g := newLCG(1111)
+		return g.floats(n, 0, 1)
+	}
+	return &Benchmark{
+		Name:  "LL11",
+		Group: 0,
+		Source: func(p Params) string {
+			n := ll11Size(p.Scale)
+			y := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(n, "r14", "r4", "r5")
+			local := pr.label("local")
+			skip1 := pr.label("skip1")
+			scan := pr.label("scan")
+			skip2 := pr.label("skip2")
+			add := pr.label("add")
+			skip3 := pr.label("skip3")
+			// Phase 1: local inclusive prefix over [lo, hi) into x.
+			pr.T("      fli  r9, 0.0           ; running sum")
+			pr.T("      mv   r3, r14")
+			pr.T("      bge  r3, r4, %s", skip1)
+			pr.T("      slli r5, r3, 2")
+			pr.T("      li   r6, yv")
+			pr.T("      add  r6, r6, r5")
+			pr.T("      li   r7, xv")
+			pr.T("      add  r7, r7, r5")
+			pr.alignBlock()
+			pr.T("%s:", local)
+			pr.T("      lw   r8, 0(r6)")
+			pr.T("      fadd r9, r9, r8")
+			pr.T("      sw   r9, 0(r7)")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r7, r7, 4")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", local)
+			pr.T("%s:", skip1)
+			// Publish the slice total.
+			pr.T("      slli r5, r1, 2")
+			pr.T("      li   r6, totals")
+			pr.T("      add  r6, r6, r5")
+			pr.T("      sw   r9, 0(r6)")
+			pr.barrier("bcount", "bsense")
+			// Phase 2: thread 0 turns totals into exclusive offsets.
+			pr.T("      bne  r1, r0, %s", skip2)
+			pr.T("      fli  r9, 0.0")
+			pr.T("      li   r6, totals")
+			pr.T("      addi r3, r0, 0")
+			pr.T("%s:", scan)
+			pr.T("      lw   r8, 0(r6)")
+			pr.T("      sw   r9, 0(r6)         ; exclusive offset")
+			pr.T("      fadd r9, r9, r8")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      bne  r3, r2, %s", scan)
+			pr.T("%s:", skip2)
+			pr.barrier("bcount", "bsense")
+			// Phase 3: add this thread's offset to its slice.
+			pr.T("      slli r5, r1, 2")
+			pr.T("      li   r6, totals")
+			pr.T("      add  r6, r6, r5")
+			pr.T("      lw   r9, 0(r6)         ; my offset")
+			pr.T("      mv   r3, r14")
+			pr.T("      bge  r3, r4, %s", skip3)
+			pr.T("      slli r5, r3, 2")
+			pr.T("      li   r7, xv")
+			pr.T("      add  r7, r7, r5")
+			pr.alignBlock()
+			pr.T("%s:", add)
+			pr.T("      lw   r8, 0(r7)")
+			pr.T("      fadd r8, r9, r8")
+			pr.T("      sw   r8, 0(r7)")
+			pr.T("      addi r7, r7, 4")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", add)
+			pr.T("%s: halt", skip3)
+			pr.floats("yv", y)
+			pr.space("xv", n*4)
+			pr.space("totals", 6*4)
+			pr.F("bcount: .space 4")
+			pr.F("bsense: .space 4")
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n := ll11Size(p.Scale)
+			y := gen(n)
+			nth := p.Threads
+			chunk := n / nth
+			// Mirror the three phases exactly (float32 association order).
+			x := make([]float32, n)
+			totals := make([]float32, nth)
+			for t := 0; t < nth; t++ {
+				lo, hi := t*chunk, t*chunk+chunk
+				if t == nth-1 {
+					hi = n
+				}
+				var run float32
+				for k := lo; k < hi; k++ {
+					run = run + y[k]
+					x[k] = run
+				}
+				totals[t] = run
+			}
+			var run float32
+			for t := 0; t < nth; t++ {
+				tot := totals[t]
+				totals[t] = run
+				run = run + tot
+			}
+			for t := 0; t < nth; t++ {
+				lo, hi := t*chunk, t*chunk+chunk
+				if t == nth-1 {
+					hi = n
+				}
+				for k := lo; k < hi; k++ {
+					x[k] = totals[t] + x[k]
+				}
+			}
+			return checkFloats(m, obj, "xv", x)
+		},
+	}
+}

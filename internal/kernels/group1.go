@@ -1,0 +1,591 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/loader"
+	"repro/internal/mem"
+)
+
+// Group I: six Livermore loops of varying data parallelism and
+// granularity. The OCR of the paper lost the exact loop numbers; LL1,
+// LL2, LL3, LL5, LL7 and LL12 are used (DESIGN.md documents the
+// substitution). LL5 is the cross-iteration recurrence that needs
+// explicit synchronization — the paper's consistently losing benchmark.
+
+func ll1Size(s Scale) (n, passes int) {
+	if s == Paper {
+		return 512, 3 // three arrays ~6 KB: small working set, as the paper notes
+	}
+	return 48, 2
+}
+
+// LL1 is the hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+func LL1() *Benchmark {
+	const q, r, t = float32(0.5), float32(1.25), float32(0.75)
+	gen := func(n int) (y, z []float32) {
+		g := newLCG(101)
+		return g.floats(n, 0, 1), g.floats(n+11, 0, 1)
+	}
+	return &Benchmark{
+		Name:  "LL1",
+		Group: 1,
+		Source: func(p Params) string {
+			n, passes := ll1Size(p.Scale)
+			y, z := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(n, "r14", "r4", "r5")
+			loop := pr.label("loop")
+			pass := pr.label("pass")
+			next := pr.label("next")
+			done := pr.label("done")
+			// The real Livermore kernels repeat for timing; the repeats are
+			// what expose cache reuse across threads.
+			pr.T("      addi r15, r0, %d       ; pass counter", passes)
+			pr.alignBlock()
+			pr.T("%s:", pass)
+			pr.T("      mv   r3, r14           ; k = lo")
+			pr.T("      bge  r3, r4, %s", next)
+			pr.T("      slli r5, r3, 2")
+			pr.T("      li   r6, yv")
+			pr.T("      add  r6, r6, r5        ; &y[lo]")
+			pr.T("      li   r7, zv")
+			pr.T("      add  r7, r7, r5")
+			pr.T("      addi r7, r7, 40        ; &z[lo+10]")
+			pr.T("      li   r8, xv")
+			pr.T("      add  r8, r8, r5        ; &x[lo]")
+			pr.T("      fli  r11, %s", ftoa(q))
+			pr.T("      fli  r12, %s", ftoa(r))
+			pr.T("      fli  r13, %s", ftoa(t))
+			pr.alignBlock()
+			pr.T("%s:", loop)
+			pr.T("      lw   r9, 0(r7)         ; z[k+10]")
+			pr.T("      lw   r10, 4(r7)        ; z[k+11]")
+			pr.T("      fmul r9, r12, r9       ; r*z[k+10]")
+			pr.T("      fmul r10, r13, r10     ; t*z[k+11]")
+			pr.T("      fadd r9, r9, r10")
+			pr.T("      lw   r10, 0(r6)        ; y[k]")
+			pr.T("      fmul r9, r10, r9")
+			pr.T("      fadd r9, r11, r9       ; q + ...")
+			pr.T("      sw   r9, 0(r8)")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r7, r7, 4")
+			pr.T("      addi r8, r8, 4")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", loop)
+			pr.T("%s:", next)
+			pr.T("      addi r15, r15, -1")
+			pr.T("      bne  r15, r0, %s", pass)
+			pr.T("%s: halt", done)
+			pr.floats("yv", y)
+			pr.floats("zv", z)
+			pr.space("xv", n*4)
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n, _ := ll1Size(p.Scale)
+			y, z := gen(n)
+			want := make([]float32, n)
+			for k := 0; k < n; k++ {
+				a := r * z[k+10]
+				b := t * z[k+11]
+				want[k] = q + y[k]*(a+b)
+			}
+			return checkFloats(m, obj, "xv", want)
+		},
+	}
+}
+
+func ll2Size(s Scale) int {
+	if s == Paper {
+		return 512
+	}
+	return 64
+}
+
+// ll2Levels enumerates the per-level iteration spaces of the ICCG sweep.
+// Each level l has count m iterations; iteration j reads X[kb-1..kb+1]
+// and V[kb..kb+1] with kb = ipnt+1+2j and writes X[ipntp+j]. The last
+// iteration of the exact Livermore loop aliases its own level's first
+// write, so it is dropped (vector semantics); DESIGN.md documents this.
+type ll2Level struct{ ipnt, ipntp, m int }
+
+func ll2Levels(n int) []ll2Level {
+	var levels []ll2Level
+	ii, ipntp := n, 0
+	for ii > 1 {
+		ipnt := ipntp
+		ipntp += ii
+		ii /= 2
+		m := ii - 1 // one iteration dropped to break the alias
+		if m > 0 {
+			levels = append(levels, ll2Level{ipnt: ipnt, ipntp: ipntp, m: m})
+		}
+	}
+	return levels
+}
+
+// LL2 is an ICCG-style level sweep with a barrier between levels.
+func LL2() *Benchmark {
+	gen := func(n int) (x, v []float32) {
+		g := newLCG(202)
+		size := 2 * n
+		return g.floats(size, 0.1, 1), g.floats(size, 0, 0.5)
+	}
+	return &Benchmark{
+		Name:  "LL2",
+		Group: 1,
+		Source: func(p Params) string {
+			n := ll2Size(p.Scale)
+			x, v := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			for _, lv := range ll2Levels(n) {
+				loop := pr.label("loop")
+				skip := pr.label("skip")
+				pr.partition(lv.m, "r3", "r4", "r5")
+				pr.T("      bge  r3, r4, %s", skip)
+				// pk = &X[ipnt+1+2*lo], pv = &V[same], pw = &X[ipntp+lo]
+				pr.T("      slli r5, r3, 3         ; 2*lo words")
+				pr.T("      li   r6, xv+%d", (lv.ipnt+1)*4)
+				pr.T("      add  r6, r6, r5")
+				pr.T("      li   r7, vv+%d", (lv.ipnt+1)*4)
+				pr.T("      add  r7, r7, r5")
+				pr.T("      slli r5, r3, 2")
+				pr.T("      li   r8, xv+%d", lv.ipntp*4)
+				pr.T("      add  r8, r8, r5")
+				pr.alignBlock()
+				pr.T("%s:", loop)
+				pr.T("      lw   r9, 0(r6)         ; X[kb]")
+				pr.T("      lw   r10, -4(r6)       ; X[kb-1]")
+				pr.T("      lw   r11, 4(r6)        ; X[kb+1]")
+				pr.T("      lw   r12, 0(r7)        ; V[kb]")
+				pr.T("      lw   r13, 4(r7)        ; V[kb+1]")
+				pr.T("      fmul r12, r12, r10")
+				pr.T("      fsub r9, r9, r12")
+				pr.T("      fmul r13, r13, r11")
+				pr.T("      fsub r9, r9, r13")
+				pr.T("      sw   r9, 0(r8)")
+				pr.T("      addi r6, r6, 8")
+				pr.T("      addi r7, r7, 8")
+				pr.T("      addi r8, r8, 4")
+				pr.T("      addi r3, r3, 1")
+				pr.T("      blt  r3, r4, %s", loop)
+				pr.T("%s:", skip)
+				pr.barrier("bcount", "bsense")
+			}
+			pr.T("      halt")
+			pr.floats("xv", x)
+			pr.floats("vv", v)
+			pr.F("bcount: .space 4")
+			pr.F("bsense: .space 4")
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n := ll2Size(p.Scale)
+			x, v := gen(n)
+			for _, lv := range ll2Levels(n) {
+				for j := 0; j < lv.m; j++ {
+					kb := lv.ipnt + 1 + 2*j
+					t1 := v[kb] * x[kb-1]
+					t2 := x[kb] - t1
+					t3 := v[kb+1] * x[kb+1]
+					x[lv.ipntp+j] = t2 - t3
+				}
+			}
+			return checkFloats(m, obj, "xv", x)
+		},
+	}
+}
+
+func ll3Size(s Scale) (n, passes int) {
+	if s == Paper {
+		return 768, 3 // two arrays ~6 KB: small working set
+	}
+	return 128, 2
+}
+
+// LL3 is the inner product: per-thread partial sums, a barrier, and a
+// reduction by thread 0.
+func LL3() *Benchmark {
+	gen := func(n int) (x, z []float32) {
+		g := newLCG(303)
+		return g.floats(n, 0, 1), g.floats(n, 0, 1)
+	}
+	return &Benchmark{
+		Name:  "LL3",
+		Group: 1,
+		Source: func(p Params) string {
+			n, passes := ll3Size(p.Scale)
+			x, z := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(n, "r14", "r4", "r5")
+			loop := pr.label("loop")
+			pass := pr.label("pass")
+			skip := pr.label("skip")
+			red := pr.label("red")
+			done := pr.label("done")
+			pr.T("      addi r15, r0, %d       ; pass counter", passes)
+			pr.T("%s:", pass)
+			pr.T("      mv   r3, r14")
+			pr.T("      fli  r9, 0.0           ; partial sum (reset each pass)")
+			pr.T("      bge  r3, r4, %s", skip)
+			pr.T("      slli r5, r3, 2")
+			pr.T("      li   r6, xv")
+			pr.T("      add  r6, r6, r5")
+			pr.T("      li   r7, zv")
+			pr.T("      add  r7, r7, r5")
+			pr.alignBlock()
+			pr.T("%s:", loop)
+			pr.T("      lw   r10, 0(r6)")
+			pr.T("      lw   r11, 0(r7)")
+			pr.T("      fmul r10, r10, r11")
+			pr.T("      fadd r9, r9, r10")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r7, r7, 4")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", loop)
+			pr.T("%s:", skip)
+			pr.T("      addi r15, r15, -1")
+			pr.T("      bne  r15, r0, %s", pass)
+			pr.T("      slli r5, r1, 2")
+			pr.T("      li   r6, partial")
+			pr.T("      add  r6, r6, r5")
+			pr.T("      sw   r9, 0(r6)")
+			pr.barrier("bcount", "bsense")
+			pr.T("      bne  r1, r0, %s", done)
+			pr.T("      fli  r9, 0.0")
+			pr.T("      li   r6, partial")
+			pr.T("      addi r3, r0, 0")
+			pr.T("%s:", red)
+			pr.T("      lw   r10, 0(r6)")
+			pr.T("      fadd r9, r9, r10")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      bne  r3, r2, %s", red)
+			pr.T("      li   r6, qout")
+			pr.T("      sw   r9, 0(r6)")
+			pr.T("%s: halt", done)
+			pr.floats("xv", x)
+			pr.floats("zv", z)
+			pr.space("partial", 6*4)
+			pr.space("qout", 4)
+			pr.F("bcount: .space 4")
+			pr.F("bsense: .space 4")
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n, _ := ll3Size(p.Scale)
+			x, z := gen(n)
+			nth := p.Threads
+			chunk := n / nth
+			partials := make([]float32, nth)
+			for t := 0; t < nth; t++ {
+				lo, hi := t*chunk, t*chunk+chunk
+				if t == nth-1 {
+					hi = n
+				}
+				var s float32
+				for k := lo; k < hi; k++ {
+					s += x[k] * z[k]
+				}
+				partials[t] = s
+			}
+			var q float32
+			for _, s := range partials {
+				q += s
+			}
+			if err := checkFloats(m, obj, "partial", partials); err != nil {
+				return err
+			}
+			return checkFloats(m, obj, "qout", []float32{q})
+		},
+	}
+}
+
+func ll5Size(s Scale) (n, chunk int) {
+	if s == Paper {
+		return 512, 8
+	}
+	return 64, 8
+}
+
+// LL5 is the tri-diagonal recurrence x[i] = z[i]*(y[i]-x[i-1]),
+// pipelined across threads in chunks with a flag per chunk. The dense
+// chunk-to-chunk synchronization is why the paper's equivalent loop is
+// the consistent multithreading loser.
+func LL5() *Benchmark {
+	gen := func(n int) (x0 float32, y, z []float32) {
+		g := newLCG(505)
+		return g.float(0, 1), g.floats(n, 0, 1), g.floats(n, 0.2, 0.9)
+	}
+	return &Benchmark{
+		Name:  "LL5",
+		Group: 1,
+		Source: func(p Params) string {
+			n, chunk := ll5Size(p.Scale)
+			if p.SyncChunk > 0 {
+				chunk = p.SyncChunk
+			}
+			x0, y, z := gen(n)
+			nchunks := (n - 1 + chunk - 1) / chunk
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			cloop := pr.label("chunk")
+			nowait := pr.label("nowait")
+			wait := pr.label("wait")
+			clip := pr.label("clip")
+			inner := pr.label("inner")
+			done := pr.label("done")
+			pr.T("      mv   r3, r1            ; c = tid")
+			pr.T("%s:", cloop)
+			pr.T("      li   r10, %d", nchunks)
+			pr.T("      bge  r3, r10, %s", done)
+			pr.T("      li   r10, %d", chunk)
+			pr.T("      mul  r4, r3, r10")
+			pr.T("      addi r4, r4, 1         ; lo = 1 + c*chunk")
+			pr.T("      add  r5, r4, r10       ; hi")
+			pr.T("      li   r10, %d", n)
+			pr.T("      blt  r5, r10, %s", clip)
+			pr.T("      mv   r5, r10")
+			pr.T("%s:", clip)
+			pr.T("      beq  r3, r0, %s", nowait)
+			pr.T("      li   r10, chunkflags")
+			pr.T("      slli r11, r3, 2")
+			pr.T("      add  r10, r10, r11")
+			pr.T("%s: fldw r12, -4(r10)        ; spin on flag[c-1]", wait)
+			pr.T("      beq  r12, r0, %s", wait)
+			pr.T("%s:", nowait)
+			pr.T("      slli r11, r4, 2")
+			pr.T("      li   r6, xv")
+			pr.T("      add  r6, r6, r11       ; &x[lo]")
+			pr.T("      lw   r9, -4(r6)        ; x[lo-1]")
+			pr.T("      li   r7, yv")
+			pr.T("      add  r7, r7, r11")
+			pr.T("      li   r8, zv")
+			pr.T("      add  r8, r8, r11")
+			pr.alignBlock()
+			pr.T("%s:", inner)
+			pr.T("      lw   r12, 0(r7)")
+			pr.T("      fsub r12, r12, r9      ; y[i] - x[i-1]")
+			pr.T("      lw   r13, 0(r8)")
+			pr.T("      fmul r9, r13, r12      ; x[i]")
+			pr.T("      sw   r9, 0(r6)")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r7, r7, 4")
+			pr.T("      addi r8, r8, 4")
+			pr.T("      addi r4, r4, 1")
+			pr.T("      blt  r4, r5, %s", inner)
+			pr.T("      li   r10, chunkflags")
+			pr.T("      slli r11, r3, 2")
+			pr.T("      add  r10, r10, r11")
+			pr.T("      addi r12, r0, 1")
+			pr.T("      fstw r12, 0(r10)       ; publish chunk c")
+			pr.T("      add  r3, r3, r2        ; c += nth")
+			pr.T("      b    %s", cloop)
+			pr.T("%s: halt", done)
+			pr.D("xv: .float %s", ftoa(x0))
+			pr.D("  .space %d", (n-1)*4)
+			pr.floats("yv", y)
+			pr.floats("zv", z)
+			pr.F("chunkflags: .space %d", nchunks*4)
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n, _ := ll5Size(p.Scale)
+			x0, y, z := gen(n)
+			want := make([]float32, n)
+			want[0] = x0
+			for i := 1; i < n; i++ {
+				t := y[i] - want[i-1]
+				want[i] = z[i] * t
+			}
+			return checkFloats(m, obj, "xv", want)
+		},
+	}
+}
+
+func ll7Size(s Scale) (n, passes int) {
+	if s == Paper {
+		return 448, 3 // four arrays ~7 KB: small working set
+	}
+	return 48, 2
+}
+
+// LL7 is the equation-of-state fragment: 16 FP operations per element,
+// fully parallel — the compute-heavy end of Group I.
+func LL7() *Benchmark {
+	const q, r, t = float32(0.25), float32(1.125), float32(0.625)
+	gen := func(n int) (u, y, z []float32) {
+		g := newLCG(707)
+		return g.floats(n+6, 0, 1), g.floats(n, 0, 1), g.floats(n, 0, 1)
+	}
+	return &Benchmark{
+		Name:  "LL7",
+		Group: 1,
+		Source: func(p Params) string {
+			n, passes := ll7Size(p.Scale)
+			u, y, z := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(n, "r20", "r4", "r5")
+			loop := pr.label("loop")
+			pass := pr.label("pass")
+			next := pr.label("next")
+			done := pr.label("done")
+			pr.T("      addi r19, r0, %d       ; pass counter", passes)
+			pr.T("%s:", pass)
+			pr.T("      mv   r3, r20")
+			pr.T("      bge  r3, r4, %s", next)
+			pr.T("      slli r5, r3, 2")
+			pr.T("      li   r6, uv")
+			pr.T("      add  r6, r6, r5")
+			pr.T("      li   r7, yv")
+			pr.T("      add  r7, r7, r5")
+			pr.T("      li   r8, zv")
+			pr.T("      add  r8, r8, r5")
+			pr.T("      li   r9, xv")
+			pr.T("      add  r9, r9, r5")
+			pr.T("      fli  r11, %s", ftoa(q))
+			pr.T("      fli  r12, %s", ftoa(r))
+			pr.T("      fli  r13, %s", ftoa(t))
+			pr.alignBlock()
+			pr.T("%s:", loop)
+			pr.T("      lw   r10, 0(r7)        ; y[k]")
+			pr.T("      fmul r10, r12, r10     ; r*y[k]")
+			pr.T("      lw   r14, 0(r8)        ; z[k]")
+			pr.T("      fadd r10, r14, r10")
+			pr.T("      fmul r10, r12, r10     ; r*(z+r*y)")
+			pr.T("      lw   r14, 0(r6)        ; u[k]")
+			pr.T("      fadd r10, r14, r10     ; acc1")
+			pr.T("      lw   r14, 4(r6)        ; u[k+1]")
+			pr.T("      fmul r14, r12, r14")
+			pr.T("      lw   r15, 8(r6)        ; u[k+2]")
+			pr.T("      fadd r14, r15, r14")
+			pr.T("      fmul r14, r12, r14")
+			pr.T("      lw   r15, 12(r6)       ; u[k+3]")
+			pr.T("      fadd r14, r15, r14     ; t7")
+			pr.T("      lw   r15, 16(r6)       ; u[k+4]")
+			pr.T("      fmul r15, r11, r15")
+			pr.T("      lw   r5, 20(r6)        ; u[k+5]")
+			pr.T("      fadd r15, r5, r15")
+			pr.T("      fmul r15, r11, r15")
+			pr.T("      lw   r5, 24(r6)        ; u[k+6]")
+			pr.T("      fadd r15, r5, r15      ; t11")
+			pr.T("      fmul r15, r13, r15")
+			pr.T("      fadd r14, r14, r15     ; t7 + t*t11")
+			pr.T("      fmul r14, r13, r14")
+			pr.T("      fadd r10, r10, r14     ; x[k]")
+			pr.T("      sw   r10, 0(r9)")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r7, r7, 4")
+			pr.T("      addi r8, r8, 4")
+			pr.T("      addi r9, r9, 4")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", loop)
+			pr.T("%s:", next)
+			pr.T("      addi r19, r19, -1")
+			pr.T("      bne  r19, r0, %s", pass)
+			pr.T("%s: halt", done)
+			pr.floats("uv", u)
+			pr.floats("yv", y)
+			pr.floats("zv", z)
+			pr.space("xv", n*4)
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n, _ := ll7Size(p.Scale)
+			u, y, z := gen(n)
+			want := make([]float32, n)
+			for k := 0; k < n; k++ {
+				t10 := r * y[k]
+				t10 = z[k] + t10
+				t10 = r * t10
+				acc1 := u[k] + t10
+				t14 := r * u[k+1]
+				t14 = u[k+2] + t14
+				t14 = r * t14
+				t14 = u[k+3] + t14
+				t15 := q * u[k+4]
+				t15 = u[k+5] + t15
+				t15 = q * t15
+				t15 = u[k+6] + t15
+				t15 = t * t15
+				t14 = t14 + t15
+				t14 = t * t14
+				want[k] = acc1 + t14
+			}
+			return checkFloats(m, obj, "xv", want)
+		},
+	}
+}
+
+func ll12Size(s Scale) (n, passes int) {
+	if s == Paper {
+		return 768, 3 // two arrays ~6 KB: small working set
+	}
+	return 128, 2
+}
+
+// LL12 is the first difference x[k] = y[k+1] - y[k]: trivially parallel
+// and memory-bound — the fine-granularity end of Group I.
+func LL12() *Benchmark {
+	gen := func(n int) []float32 {
+		g := newLCG(1212)
+		return g.floats(n+1, 0, 1)
+	}
+	return &Benchmark{
+		Name:  "LL12",
+		Group: 1,
+		Source: func(p Params) string {
+			n, passes := ll12Size(p.Scale)
+			y := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(n, "r14", "r4", "r5")
+			loop := pr.label("loop")
+			pass := pr.label("pass")
+			next := pr.label("next")
+			done := pr.label("done")
+			pr.T("      addi r15, r0, %d       ; pass counter", passes)
+			pr.T("%s:", pass)
+			pr.T("      mv   r3, r14")
+			pr.T("      bge  r3, r4, %s", next)
+			pr.T("      slli r5, r3, 2")
+			pr.T("      li   r6, yv")
+			pr.T("      add  r6, r6, r5")
+			pr.T("      li   r7, xv")
+			pr.T("      add  r7, r7, r5")
+			pr.alignBlock()
+			pr.T("%s:", loop)
+			pr.T("      lw   r8, 4(r6)")
+			pr.T("      lw   r9, 0(r6)")
+			pr.T("      fsub r8, r8, r9")
+			pr.T("      sw   r8, 0(r7)")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r7, r7, 4")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", loop)
+			pr.T("%s:", next)
+			pr.T("      addi r15, r15, -1")
+			pr.T("      bne  r15, r0, %s", pass)
+			pr.T("%s: halt", done)
+			pr.floats("yv", y)
+			pr.space("xv", n*4)
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n, _ := ll12Size(p.Scale)
+			y := gen(n)
+			want := make([]float32, n)
+			for k := 0; k < n; k++ {
+				want[k] = y[k+1] - y[k]
+			}
+			return checkFloats(m, obj, "xv", want)
+		},
+	}
+}
+
+var _ = fmt.Sprintf // placeholder to keep fmt imported if unused later

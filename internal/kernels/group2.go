@@ -1,0 +1,658 @@
+package kernels
+
+import (
+	"repro/internal/loader"
+	"repro/internal/mem"
+)
+
+// Group II: the application benchmarks. Laplace and Sieve follow
+// Boothe's kernels, MPD and Water are particle-interaction codes with
+// the SPLASH Water structure (pairwise forces + integration steps), and
+// Matrix is the authors' dense multiply.
+
+func laplaceSize(s Scale) (n, iters int) {
+	if s == Paper {
+		return 40, 6
+	}
+	return 10, 3
+}
+
+// Laplace is a Jacobi relaxation on an (n+2)² grid with fixed
+// boundaries: threads partition interior rows, with a barrier per sweep.
+func Laplace() *Benchmark {
+	gen := func(n int) []float32 {
+		g := newLCG(11)
+		return g.floats((n+2)*(n+2), 0, 4)
+	}
+	return &Benchmark{
+		Name:  "Laplace",
+		Group: 2,
+		Source: func(p Params) string {
+			n, iters := laplaceSize(p.Scale)
+			grid := gen(n)
+			w := n + 2 // row width
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			// r3=lo row, r4=hi row (interior rows are 1..n)
+			pr.partition(n, "r3", "r4", "r5")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      addi r4, r4, 1")
+			pr.T("      li   r14, ga           ; src buffer")
+			pr.T("      li   r15, gb           ; dst buffer")
+			pr.T("      addi r20, r0, %d       ; sweep counter", iters)
+			sweep := pr.label("sweep")
+			rowLoop := pr.label("row")
+			colLoop := pr.label("col")
+			rowEnd := pr.label("rowend")
+			skip := pr.label("skip")
+			pr.T("%s:", sweep)
+			pr.T("      bge  r3, r4, %s        ; empty slice still hits the barrier", skip)
+			pr.T("      mv   r5, r3            ; i = lo")
+			pr.T("%s:", rowLoop)
+			// r6 = &src[i*w+1], r7 = &dst[i*w+1]
+			pr.T("      li   r8, %d", w*4)
+			pr.T("      mul  r9, r5, r8")
+			pr.T("      addi r9, r9, 4")
+			pr.T("      add  r6, r14, r9")
+			pr.T("      add  r7, r15, r9")
+			pr.T("      addi r10, r0, %d       ; j counter", n)
+			pr.T("      fli  r13, 0.25")
+			pr.alignBlock()
+			pr.T("%s:", colLoop)
+			pr.T("      lw   r8, -%d(r6)       ; up", w*4)
+			pr.T("      lw   r9, %d(r6)        ; down", w*4)
+			pr.T("      fadd r8, r8, r9")
+			pr.T("      lw   r9, -4(r6)        ; left")
+			pr.T("      fadd r8, r8, r9")
+			pr.T("      lw   r9, 4(r6)         ; right")
+			pr.T("      fadd r8, r8, r9")
+			pr.T("      fmul r8, r13, r8")
+			pr.T("      sw   r8, 0(r7)")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r7, r7, 4")
+			pr.T("      addi r10, r10, -1")
+			pr.T("      bne  r10, r0, %s", colLoop)
+			pr.T("      addi r5, r5, 1")
+			pr.T("      blt  r5, r4, %s", rowLoop)
+			pr.T("%s:", rowEnd)
+			pr.T("%s:", skip)
+			pr.barrier("bcount", "bsense")
+			// Swap buffers and loop.
+			pr.T("      mv   r5, r14")
+			pr.T("      mv   r14, r15")
+			pr.T("      mv   r15, r5")
+			pr.T("      addi r20, r20, -1")
+			pr.T("      bne  r20, r0, %s", sweep)
+			pr.T("      halt")
+			pr.floats("ga", grid)
+			pr.floats("gb", grid) // boundary cells must match in both buffers
+			pr.F("bcount: .space 4")
+			pr.F("bsense: .space 4")
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n, iters := laplaceSize(p.Scale)
+			w := n + 2
+			a := gen(n)
+			b := make([]float32, len(a))
+			copy(b, a)
+			src, dst := a, b
+			for it := 0; it < iters; it++ {
+				for i := 1; i <= n; i++ {
+					for j := 1; j <= n; j++ {
+						s := src[(i-1)*w+j] + src[(i+1)*w+j]
+						s = s + src[i*w+j-1]
+						s = s + src[i*w+j+1]
+						dst[i*w+j] = 0.25 * s
+					}
+				}
+				src, dst = dst, src
+			}
+			// After the final sweep the freshest data is in src.
+			sym := "ga"
+			if iters%2 == 1 {
+				sym = "gb"
+			}
+			return checkFloats(m, obj, sym, src)
+		},
+	}
+}
+
+func mpdSize(s Scale) int {
+	if s == Paper {
+		return 40
+	}
+	return 12
+}
+
+// MPD is a 2-D pairwise particle force kernel (O(P²) with an FP divide
+// per pair), the paper authors' molecular-physics-dynamics workload.
+func MPD() *Benchmark {
+	const eps = float32(0.01)
+	gen := func(n int) (x, y []float32) {
+		g := newLCG(22)
+		return g.floats(n, -1, 1), g.floats(n, -1, 1)
+	}
+	return &Benchmark{
+		Name:  "MPD",
+		Group: 2,
+		Source: func(p Params) string {
+			n := mpdSize(p.Scale)
+			x, y := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(n, "r3", "r4", "r5")
+			iLoop := pr.label("iloop")
+			jLoop := pr.label("jloop")
+			jSkip := pr.label("jskip")
+			done := pr.label("done")
+			pr.T("      bge  r3, r4, %s", done)
+			pr.T("      fli  r15, %s", ftoa(eps))
+			pr.T("%s:", iLoop)
+			pr.T("      slli r5, r3, 2")
+			pr.T("      li   r6, pxv")
+			pr.T("      add  r6, r6, r5")
+			pr.T("      lw   r6, 0(r6)         ; xi")
+			pr.T("      li   r7, pyv")
+			pr.T("      add  r7, r7, r5")
+			pr.T("      lw   r7, 0(r7)         ; yi")
+			pr.T("      fli  r8, 0.0           ; fx")
+			pr.T("      fli  r9, 0.0           ; fy")
+			pr.T("      addi r10, r0, 0        ; j")
+			pr.T("      li   r11, pxv")
+			pr.T("      li   r12, pyv")
+			pr.alignBlock()
+			pr.T("%s:", jLoop)
+			pr.T("      beq  r10, r3, %s", jSkip)
+			pr.T("      lw   r13, 0(r11)       ; xj")
+			pr.T("      fsub r13, r13, r6      ; dx")
+			pr.T("      lw   r14, 0(r12)       ; yj")
+			pr.T("      fsub r14, r14, r7      ; dy")
+			pr.T("      fmul r5, r13, r13")
+			pr.T("      fmul r20, r14, r14")
+			pr.T("      fadd r5, r5, r20")
+			pr.T("      fadd r5, r5, r15       ; r2 = dx²+dy²+eps")
+			pr.T("      fli  r20, 1.0")
+			pr.T("      fdiv r5, r20, r5       ; inv")
+			pr.T("      fmul r13, r13, r5")
+			pr.T("      fadd r8, r8, r13       ; fx += dx*inv")
+			pr.T("      fmul r14, r14, r5")
+			pr.T("      fadd r9, r9, r14       ; fy += dy*inv")
+			pr.T("%s:", jSkip)
+			pr.T("      addi r11, r11, 4")
+			pr.T("      addi r12, r12, 4")
+			pr.T("      addi r10, r10, 1")
+			pr.T("      li   r5, %d", n)
+			pr.T("      blt  r10, r5, %s", jLoop)
+			pr.T("      slli r5, r3, 2")
+			pr.T("      li   r11, fxv")
+			pr.T("      add  r11, r11, r5")
+			pr.T("      sw   r8, 0(r11)")
+			pr.T("      li   r12, fyv")
+			pr.T("      add  r12, r12, r5")
+			pr.T("      sw   r9, 0(r12)")
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", iLoop)
+			pr.T("%s: halt", done)
+			pr.floats("pxv", x)
+			pr.floats("pyv", y)
+			pr.space("fxv", n*4)
+			pr.space("fyv", n*4)
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n := mpdSize(p.Scale)
+			x, y := gen(n)
+			fx := make([]float32, n)
+			fy := make([]float32, n)
+			for i := 0; i < n; i++ {
+				var sfx, sfy float32
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					dx := x[j] - x[i]
+					dy := y[j] - y[i]
+					r2 := dx * dx
+					t := dy * dy
+					r2 = r2 + t
+					r2 = r2 + eps
+					inv := float32(1.0) / r2
+					sfx = sfx + dx*inv
+					sfy = sfy + dy*inv
+				}
+				fx[i], fy[i] = sfx, sfy
+			}
+			if err := checkFloats(m, obj, "fxv", fx); err != nil {
+				return err
+			}
+			return checkFloats(m, obj, "fyv", fy)
+		},
+	}
+}
+
+func matrixSize(s Scale) int {
+	if s == Paper {
+		return 24
+	}
+	return 8
+}
+
+// Matrix is the authors' dense float32 multiply C = A×B with rows of C
+// partitioned across threads.
+func Matrix() *Benchmark {
+	gen := func(n int) (a, b []float32) {
+		g := newLCG(33)
+		return g.floats(n*n, -1, 1), g.floats(n*n, -1, 1)
+	}
+	return &Benchmark{
+		Name:  "Matrix",
+		Group: 2,
+		Source: func(p Params) string {
+			n := matrixSize(p.Scale)
+			a, b := gen(n)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(n, "r3", "r4", "r5")
+			iLoop := pr.label("iloop")
+			jLoop := pr.label("jloop")
+			kLoop := pr.label("kloop")
+			done := pr.label("done")
+			pr.T("      bge  r3, r4, %s", done)
+			pr.T("%s:", iLoop)
+			pr.T("      addi r5, r0, 0         ; j")
+			pr.T("%s:", jLoop)
+			// r6 = &A[i][0], r7 = &B[0][j]
+			pr.T("      li   r6, av")
+			pr.T("      li   r8, %d", n*4)
+			pr.T("      mul  r9, r3, r8")
+			pr.T("      add  r6, r6, r9")
+			pr.T("      li   r7, bv")
+			pr.T("      slli r9, r5, 2")
+			pr.T("      add  r7, r7, r9")
+			pr.T("      fli  r10, 0.0          ; acc")
+			pr.T("      addi r11, r0, %d       ; k counter", n)
+			pr.alignBlock()
+			pr.T("%s:", kLoop)
+			pr.T("      lw   r12, 0(r6)")
+			pr.T("      lw   r13, 0(r7)")
+			pr.T("      fmul r12, r12, r13")
+			pr.T("      fadd r10, r10, r12")
+			pr.T("      addi r6, r6, 4")
+			pr.T("      addi r7, r7, %d        ; stride a row of B", n*4)
+			pr.T("      addi r11, r11, -1")
+			pr.T("      bne  r11, r0, %s", kLoop)
+			// C[i][j]
+			pr.T("      li   r12, cv")
+			pr.T("      li   r8, %d", n*4)
+			pr.T("      mul  r9, r3, r8")
+			pr.T("      add  r12, r12, r9")
+			pr.T("      slli r9, r5, 2")
+			pr.T("      add  r12, r12, r9")
+			pr.T("      sw   r10, 0(r12)")
+			pr.T("      addi r5, r5, 1")
+			pr.T("      addi r9, r0, %d", n)
+			pr.T("      blt  r5, r9, %s", jLoop)
+			pr.T("      addi r3, r3, 1")
+			pr.T("      blt  r3, r4, %s", iLoop)
+			pr.T("%s: halt", done)
+			pr.floats("av", a)
+			pr.floats("bv", b)
+			pr.space("cv", n*n*4)
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			n := matrixSize(p.Scale)
+			a, b := gen(n)
+			want := make([]float32, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					var acc float32
+					for k := 0; k < n; k++ {
+						acc = acc + a[i*n+k]*b[k*n+j]
+					}
+					want[i*n+j] = acc
+				}
+			}
+			return checkFloats(m, obj, "cv", want)
+		},
+	}
+}
+
+func sieveSize(s Scale) int {
+	if s == Paper {
+		return 8192
+	}
+	return 512
+}
+
+// Sieve marks composites by striding every base 2..√M through each
+// thread's segment (marking for composite bases is redundant but
+// harmless, which is what makes the marking phase synchronization-free),
+// then counts primes with a reduction. Pure integer code.
+func Sieve() *Benchmark {
+	return &Benchmark{
+		Name:  "Sieve",
+		Group: 2,
+		Source: func(p Params) string {
+			mlim := sieveSize(p.Scale)
+			root := isqrt(mlim)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(mlim, "r3", "r4", "r5")
+			// Clamp lo to 2: 0 and 1 are neither prime nor composite.
+			clamp := pr.label("clamp")
+			pr.T("      addi r5, r0, 2")
+			pr.T("      bge  r3, r5, %s", clamp)
+			pr.T("      mv   r3, r5")
+			pr.T("%s:", clamp)
+			pLoop := pr.label("ploop")
+			mLoop := pr.label("mloop")
+			mSkip := pr.label("mskip")
+			count := pr.label("count")
+			cLoop := pr.label("cloop")
+			cSkip := pr.label("cskip")
+			red := pr.label("red")
+			done := pr.label("done")
+			pr.T("      addi r5, r0, 2         ; p")
+			pr.T("%s:", pLoop)
+			// start = max(p*p, ceil(lo/p)*p)
+			pr.T("      mul  r6, r5, r5")
+			pr.T("      add  r7, r3, r5")
+			pr.T("      addi r7, r7, -1")
+			pr.T("      div  r7, r7, r5")
+			pr.T("      mul  r7, r7, r5")
+			pr.T("      bge  r7, r6, %s", mLoop)
+			pr.T("      mv   r7, r6")
+			pr.alignBlock()
+			pr.T("%s:", mLoop)
+			pr.T("      bge  r7, r4, %s        ; m >= hi", mSkip)
+			pr.T("      blt  r7, r3, %s", mSkip)
+			pr.T("      slli r8, r7, 2")
+			pr.T("      li   r9, marks")
+			pr.T("      add  r9, r9, r8")
+			pr.T("      addi r10, r0, 1")
+			pr.T("      sw   r10, 0(r9)")
+			pr.T("      add  r7, r7, r5")
+			pr.T("      b    %s", mLoop)
+			pr.T("%s:", mSkip)
+			pr.T("      addi r5, r5, 1")
+			pr.T("      addi r8, r0, %d", root+1)
+			pr.T("      blt  r5, r8, %s", pLoop)
+			pr.T("%s:", count)
+			pr.T("      addi r10, r0, 0        ; local count")
+			pr.T("      mv   r5, r3")
+			pr.T("      bge  r5, r4, %s", red)
+			pr.alignBlock()
+			pr.T("%s:", cLoop)
+			pr.T("      slli r8, r5, 2")
+			pr.T("      li   r9, marks")
+			pr.T("      add  r9, r9, r8")
+			pr.T("      lw   r9, 0(r9)")
+			pr.T("      bne  r9, r0, %s", cSkip)
+			pr.T("      addi r10, r10, 1")
+			pr.T("%s:", cSkip)
+			pr.T("      addi r5, r5, 1")
+			pr.T("      blt  r5, r4, %s", cLoop)
+			pr.T("%s:", red)
+			pr.T("      slli r8, r1, 2")
+			pr.T("      li   r9, partial")
+			pr.T("      add  r9, r9, r8")
+			pr.T("      sw   r10, 0(r9)")
+			pr.barrier("bcount", "bsense")
+			pr.T("      bne  r1, r0, %s", done)
+			pr.T("      addi r10, r0, 0")
+			pr.T("      li   r9, partial")
+			pr.T("      addi r5, r0, 0")
+			sumLoop := pr.label("sum")
+			pr.T("%s:", sumLoop)
+			pr.T("      lw   r8, 0(r9)")
+			pr.T("      add  r10, r10, r8")
+			pr.T("      addi r9, r9, 4")
+			pr.T("      addi r5, r5, 1")
+			pr.T("      bne  r5, r2, %s", sumLoop)
+			pr.T("      li   r9, total")
+			pr.T("      sw   r10, 0(r9)")
+			pr.T("%s: halt", done)
+			pr.space("marks", mlim*4)
+			pr.space("partial", 6*4)
+			pr.space("total", 4)
+			pr.F("bcount: .space 4")
+			pr.F("bsense: .space 4")
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			mlim := sieveSize(p.Scale)
+			marks := make([]uint32, mlim)
+			root := isqrt(mlim)
+			for pp := 2; pp <= root; pp++ {
+				for mm := pp * pp; mm < mlim; mm += pp {
+					marks[mm] = 1
+				}
+			}
+			var total uint32
+			for i := 2; i < mlim; i++ {
+				if marks[i] == 0 {
+					total++
+				}
+			}
+			if err := checkWords(m, obj, "marks", marks); err != nil {
+				return err
+			}
+			return checkWords(m, obj, "total", []uint32{total})
+		},
+	}
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func waterSize(s Scale) (mol, steps int) {
+	if s == Paper {
+		return 28, 3
+	}
+	return 10, 2
+}
+
+// Water is a simplified SPLASH Water: 3-D pairwise intermolecular
+// forces (with an FP divide per pair) and a position-integration phase,
+// separated by barriers, over several timesteps.
+func Water() *Benchmark {
+	const eps = float32(0.05)
+	const half = float32(0.5)
+	const dt = float32(0.001)
+	gen := func(mol int) (x, y, z []float32) {
+		g := newLCG(44)
+		return g.floats(mol, -2, 2), g.floats(mol, -2, 2), g.floats(mol, -2, 2)
+	}
+	return &Benchmark{
+		Name:  "Water",
+		Group: 2,
+		Source: func(p Params) string {
+			mol, steps := waterSize(p.Scale)
+			x, y, z := gen(mol)
+			pr := &prog{align: p.Align}
+			pr.prologue()
+			pr.partition(mol, "r3", "r4", "r5")
+			step := pr.label("step")
+			iLoop := pr.label("iloop")
+			jLoop := pr.label("jloop")
+			jSkip := pr.label("jskip")
+			forceEnd := pr.label("fend")
+			intLoop := pr.label("intloop")
+			intEnd := pr.label("intend")
+			pr.T("      addi r20, r0, %d       ; timestep counter", steps)
+			pr.T("%s:", step)
+			pr.T("      mv   r5, r3            ; i = lo")
+			pr.T("      bge  r5, r4, %s", forceEnd)
+			pr.T("%s:", iLoop)
+			pr.T("      slli r6, r5, 2")
+			pr.T("      li   r7, wx")
+			pr.T("      add  r7, r7, r6")
+			pr.T("      lw   r7, 0(r7)         ; xi")
+			pr.T("      li   r8, wy")
+			pr.T("      add  r8, r8, r6")
+			pr.T("      lw   r8, 0(r8)         ; yi")
+			pr.T("      li   r9, wz")
+			pr.T("      add  r9, r9, r6")
+			pr.T("      lw   r9, 0(r9)         ; zi")
+			pr.T("      fli  r10, 0.0          ; fx")
+			pr.T("      fli  r11, 0.0          ; fy")
+			pr.T("      fli  r12, 0.0          ; fz")
+			pr.T("      addi r13, r0, 0        ; j")
+			pr.alignBlock()
+			pr.T("%s:", jLoop)
+			pr.T("      beq  r13, r5, %s", jSkip)
+			pr.T("      slli r14, r13, 2")
+			pr.T("      li   r15, wx")
+			pr.T("      add  r15, r15, r14")
+			pr.T("      lw   r15, 0(r15)")
+			pr.T("      fsub r15, r15, r7      ; dx")
+			pr.T("      li   r6, wy")
+			pr.T("      add  r6, r6, r14")
+			pr.T("      lw   r6, 0(r6)")
+			pr.T("      fsub r6, r6, r8        ; dy")
+			pr.T("      li   r16, wz")
+			pr.T("      add  r16, r16, r14")
+			pr.T("      lw   r16, 0(r16)")
+			pr.T("      fsub r16, r16, r9      ; dz")
+			pr.T("      fmul r14, r15, r15")
+			pr.T("      fmul r17, r6, r6")
+			pr.T("      fadd r14, r14, r17")
+			pr.T("      fmul r17, r16, r16")
+			pr.T("      fadd r14, r14, r17")
+			pr.T("      fli  r17, %s", ftoa(eps))
+			pr.T("      fadd r14, r14, r17     ; r2")
+			pr.T("      fli  r17, 1.0")
+			pr.T("      fdiv r14, r17, r14     ; inv")
+			pr.T("      fmul r17, r14, r14")
+			pr.T("      fmul r17, r17, r14     ; inv³")
+			pr.T("      fli  r19, %s", ftoa(half))
+			pr.T("      fmul r19, r19, r14     ; 0.5*inv")
+			pr.T("      fsub r17, r17, r19     ; coef")
+			pr.T("      fmul r15, r17, r15")
+			pr.T("      fadd r10, r10, r15     ; fx += coef*dx")
+			pr.T("      fmul r6, r17, r6")
+			pr.T("      fadd r11, r11, r6")
+			pr.T("      fmul r16, r17, r16")
+			pr.T("      fadd r12, r12, r16")
+			pr.T("%s:", jSkip)
+			pr.T("      addi r13, r13, 1")
+			pr.T("      addi r14, r0, %d", mol)
+			pr.T("      blt  r13, r14, %s", jLoop)
+			pr.T("      slli r6, r5, 2")
+			pr.T("      li   r14, wfx")
+			pr.T("      add  r14, r14, r6")
+			pr.T("      sw   r10, 0(r14)")
+			pr.T("      li   r14, wfy")
+			pr.T("      add  r14, r14, r6")
+			pr.T("      sw   r11, 0(r14)")
+			pr.T("      li   r14, wfz")
+			pr.T("      add  r14, r14, r6")
+			pr.T("      sw   r12, 0(r14)")
+			pr.T("      addi r5, r5, 1")
+			pr.T("      blt  r5, r4, %s", iLoop)
+			pr.T("%s:", forceEnd)
+			pr.barrier("bcount", "bsense")
+			// Integration: pos += dt * f over this thread's molecules.
+			pr.T("      mv   r5, r3")
+			pr.T("      bge  r5, r4, %s", intEnd)
+			pr.T("      fli  r13, %s", ftoa(dt))
+			pr.T("%s:", intLoop)
+			pr.T("      slli r6, r5, 2")
+			pr.T("      li   r7, wfx")
+			pr.T("      add  r7, r7, r6")
+			pr.T("      lw   r7, 0(r7)")
+			pr.T("      fmul r7, r13, r7")
+			pr.T("      li   r8, wx")
+			pr.T("      add  r8, r8, r6")
+			pr.T("      lw   r9, 0(r8)")
+			pr.T("      fadd r9, r9, r7")
+			pr.T("      sw   r9, 0(r8)")
+			pr.T("      li   r7, wfy")
+			pr.T("      add  r7, r7, r6")
+			pr.T("      lw   r7, 0(r7)")
+			pr.T("      fmul r7, r13, r7")
+			pr.T("      li   r8, wy")
+			pr.T("      add  r8, r8, r6")
+			pr.T("      lw   r9, 0(r8)")
+			pr.T("      fadd r9, r9, r7")
+			pr.T("      sw   r9, 0(r8)")
+			pr.T("      li   r7, wfz")
+			pr.T("      add  r7, r7, r6")
+			pr.T("      lw   r7, 0(r7)")
+			pr.T("      fmul r7, r13, r7")
+			pr.T("      li   r8, wz")
+			pr.T("      add  r8, r8, r6")
+			pr.T("      lw   r9, 0(r8)")
+			pr.T("      fadd r9, r9, r7")
+			pr.T("      sw   r9, 0(r8)")
+			pr.T("      addi r5, r5, 1")
+			pr.T("      blt  r5, r4, %s", intLoop)
+			pr.T("%s:", intEnd)
+			pr.barrier("bcount", "bsense")
+			pr.T("      addi r20, r20, -1")
+			pr.T("      bne  r20, r0, %s", step)
+			pr.T("      halt")
+			pr.floats("wx", x)
+			pr.floats("wy", y)
+			pr.floats("wz", z)
+			pr.space("wfx", mol*4)
+			pr.space("wfy", mol*4)
+			pr.space("wfz", mol*4)
+			pr.F("bcount: .space 4")
+			pr.F("bsense: .space 4")
+			return pr.src()
+		},
+		Check: func(m *mem.Memory, obj *loader.Object, p Params) error {
+			mol, steps := waterSize(p.Scale)
+			x, y, z := gen(mol)
+			fx := make([]float32, mol)
+			fy := make([]float32, mol)
+			fz := make([]float32, mol)
+			for s := 0; s < steps; s++ {
+				for i := 0; i < mol; i++ {
+					var sfx, sfy, sfz float32
+					for j := 0; j < mol; j++ {
+						if j == i {
+							continue
+						}
+						dx := x[j] - x[i]
+						dy := y[j] - y[i]
+						dz := z[j] - z[i]
+						r2 := dx * dx
+						t := dy * dy
+						r2 = r2 + t
+						t = dz * dz
+						r2 = r2 + t
+						r2 = r2 + eps
+						inv := float32(1.0) / r2
+						inv3 := inv * inv
+						inv3 = inv3 * inv
+						coef := inv3 - half*inv
+						sfx = sfx + coef*dx
+						sfy = sfy + coef*dy
+						sfz = sfz + coef*dz
+					}
+					fx[i], fy[i], fz[i] = sfx, sfy, sfz
+				}
+				for i := 0; i < mol; i++ {
+					x[i] = x[i] + dt*fx[i]
+					y[i] = y[i] + dt*fy[i]
+					z[i] = z[i] + dt*fz[i]
+				}
+			}
+			for sym, want := range map[string][]float32{"wx": x, "wy": y, "wz": z} {
+				if err := checkFloats(m, obj, sym, want); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

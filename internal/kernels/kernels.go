@@ -1,0 +1,328 @@
+// Package kernels generates the paper's eleven benchmark programs as
+// SDSP-32 assembly, parameterized by thread count and problem scale.
+//
+// All benchmarks follow the paper's homogeneous multitasking model:
+// every thread executes the same code on a different slice of the data,
+// discovering its identity with TID/NTH. Synchronization is software —
+// spin loops and sense-reversing barriers over the flag segment — so a
+// waiting thread keeps committing instructions, exactly the property
+// that makes the shared scheduling unit deadlock-free.
+//
+// Register conventions (budgeted for 6 threads = 21 registers, r0..r20):
+//
+//	r1  thread id, r2 thread count (set by the prologue, never clobbered)
+//	r3..r15 kernel scratch
+//	r16, r17, r19 barrier scratch
+//	r18 barrier local sense (zero-initialized by hardware, toggled only
+//	    by the barrier sequence)
+//	r20 free
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/loader"
+	"repro/internal/mem"
+)
+
+// Scale selects problem sizes: Small keeps unit tests fast, Paper is the
+// size the experiment harness runs.
+type Scale int
+
+const (
+	Small Scale = iota
+	Paper
+)
+
+// Params configures one benchmark build.
+type Params struct {
+	Threads int
+	Scale   Scale
+	// Align pads hot loop heads to fetch-block boundaries with .balign
+	// (the paper's improvement #2: "align instructions in memory in such
+	// a way that ... branch targets [lie] at the beginning of a block").
+	Align bool
+	// SyncChunk overrides LL5's pipelining chunk size (0 = default 8),
+	// the knob behind the paper's improvement #4 (reduce synchronization
+	// overhead by dividing tasks judiciously).
+	SyncChunk int
+}
+
+// Benchmark is one of the paper's workloads.
+type Benchmark struct {
+	Name  string
+	Group int // 1 = Livermore loops, 2 = applications
+	// Source generates the assembly for p.
+	Source func(p Params) string
+	// Check validates final memory against a pure-Go golden model. The
+	// object provides symbol addresses.
+	Check func(m *mem.Memory, obj *loader.Object, p Params) error
+}
+
+// Build assembles the benchmark for p.
+func (b *Benchmark) Build(p Params) (*loader.Object, error) {
+	obj, err := asm.Assemble(b.Source(p))
+	if err != nil {
+		return nil, fmt.Errorf("kernels: %s: %w", b.Name, err)
+	}
+	return obj, nil
+}
+
+// All returns the paper's benchmarks in presentation order: Group I
+// (Livermore loops) then Group II.
+func All() []*Benchmark {
+	return []*Benchmark{
+		LL1(), LL2(), LL3(), LL5(), LL7(), LL12(),
+		Laplace(), MPD(), Matrix(), Sieve(), Water(),
+	}
+}
+
+// GroupI returns the Livermore loop benchmarks.
+func GroupI() []*Benchmark { return All()[:6] }
+
+// GroupII returns the application benchmarks.
+func GroupII() []*Benchmark { return All()[6:] }
+
+// Get looks a benchmark up by name, searching the paper's set and the
+// extended workloads.
+func Get(name string) (*Benchmark, error) {
+	for _, b := range append(All(), Extended()...) {
+		if strings.EqualFold(b.Name, name) {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown benchmark %q", name)
+}
+
+// ---------------------------------------------------------------------
+// Assembly generation helpers.
+
+// prog accumulates a three-segment assembly source.
+type prog struct {
+	text, data, flags strings.Builder
+	labelSeq          int
+	align             bool // emit .balign at alignBlock call sites
+}
+
+func (p *prog) T(format string, args ...any) {
+	fmt.Fprintf(&p.text, format+"\n", args...)
+}
+
+func (p *prog) D(format string, args ...any) {
+	fmt.Fprintf(&p.data, format+"\n", args...)
+}
+
+func (p *prog) F(format string, args ...any) {
+	fmt.Fprintf(&p.flags, format+"\n", args...)
+}
+
+// label returns a fresh unique label with the given stem.
+func (p *prog) label(stem string) string {
+	p.labelSeq++
+	return fmt.Sprintf("%s_%d", stem, p.labelSeq)
+}
+
+func (p *prog) src() string {
+	return ".text\n" + p.text.String() + ".data\n" + p.data.String() + ".flags\n" + p.flags.String()
+}
+
+// prologue emits the SPMD preamble: r1 = tid, r2 = nth.
+func (p *prog) prologue() {
+	p.T("main: tid r1")
+	p.T("      nth r2")
+}
+
+// alignBlock pads to the next fetch-block boundary when the build asks
+// for aligned loop heads; place immediately before a hot label.
+func (p *prog) alignBlock() {
+	if p.align {
+		p.T("      .balign")
+	}
+}
+
+// arrayPad staggers consecutive arrays by a non-power-of-two distance
+// so perfectly aligned arrays do not collapse onto identical cache sets
+// (real linkers and allocators do not align every array to the cache's
+// way size; without this the power-of-two benchmark arrays alias
+// pathologically).
+const arrayPad = 52
+
+// floats emits a labeled .float block.
+func (p *prog) floats(label string, vals []float32) {
+	var sb strings.Builder
+	for i, v := range vals {
+		if i%8 == 0 {
+			if i > 0 {
+				sb.WriteString("\n")
+			}
+			if i == 0 {
+				sb.WriteString(label + ": .float ")
+			} else {
+				sb.WriteString("  .float ")
+			}
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(ftoa(v))
+	}
+	p.D("%s", sb.String())
+	p.D("  .space %d", arrayPad)
+}
+
+// words emits a labeled .word block.
+func (p *prog) words(label string, vals []int32) {
+	var sb strings.Builder
+	for i, v := range vals {
+		if i%8 == 0 {
+			if i > 0 {
+				sb.WriteString("\n")
+			}
+			if i == 0 {
+				sb.WriteString(label + ": .word ")
+			} else {
+				sb.WriteString("  .word ")
+			}
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(strconv.FormatInt(int64(v), 10))
+	}
+	p.D("%s", sb.String())
+	p.D("  .space %d", arrayPad)
+}
+
+// space reserves zeroed data bytes.
+func (p *prog) space(label string, bytes int) {
+	p.D("%s: .space %d", label, bytes)
+	p.D("  .space %d", arrayPad)
+}
+
+// ftoa formats a float32 so it round-trips exactly through the assembler.
+func ftoa(v float32) string {
+	return strconv.FormatFloat(float64(v), 'g', -1, 32)
+}
+
+// barrier emits a sense-reversing software barrier over the flag words
+// `count` and `sense` (which the caller must declare with .space 4
+// each). Uses r16, r17, r19 as scratch and r18 as the persistent local
+// sense. The count reset drains through the store buffer before the
+// sense flip, which is what makes the barrier immediately reusable.
+func (p *prog) barrier(count, sense string) {
+	wait := p.label("bar_wait")
+	spin := p.label("bar_spin")
+	done := p.label("bar_done")
+	p.T("      xori r18, r18, 1       ; toggle local sense")
+	p.T("      li   r16, %s", count)
+	p.T("      fai  r17, 0(r16)")
+	p.T("      addi r19, r2, -1")
+	p.T("      bne  r17, r19, %s", wait)
+	p.T("      fstw r0, 0(r16)        ; last arriver resets the count")
+	p.T("      li   r16, %s", sense)
+	p.T("      fstw r18, 0(r16)       ; then releases the others")
+	p.T("      b    %s", done)
+	p.T("%s: li   r16, %s", wait, sense)
+	p.T("%s: fldw r17, 0(r16)", spin)
+	p.T("      bne  r17, r18, %s", spin)
+	p.T("%s:", done)
+}
+
+// partition emits code computing this thread's slice [rLo, rHi) of
+// [0, n), leaving lo in rLo and hi in rHi. Clobbers rTmp.
+func (p *prog) partition(n int, rLo, rHi, rTmp string) {
+	skip := p.label("part")
+	p.T("      li   %s, %d", rTmp, n)
+	p.T("      div  %s, %s, r2        ; chunk = n / nth", rHi, rTmp)
+	p.T("      mul  %s, r1, %s        ; lo = tid * chunk", rLo, rHi)
+	p.T("      add  %s, %s, %s", rHi, rLo, rHi)
+	p.T("      addi %s, r2, -1", rTmp)
+	p.T("      bne  r1, %s, %s        ; last thread takes the remainder", rTmp, skip)
+	p.T("      li   %s, %d", rHi, n)
+	p.T("%s:", skip)
+}
+
+// lcg is a deterministic float generator for benchmark data.
+type lcg struct{ state uint32 }
+
+func newLCG(seed uint32) *lcg { return &lcg{state: seed} }
+
+func (g *lcg) next() uint32 {
+	g.state = g.state*1664525 + 1013904223
+	return g.state
+}
+
+// float returns a value in [lo, hi) with a deterministic sequence.
+func (g *lcg) float(lo, hi float32) float32 {
+	u := float64(g.next()>>8) / float64(1<<24)
+	return lo + float32(u)*(hi-lo)
+}
+
+func (g *lcg) floats(n int, lo, hi float32) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = g.float(lo, hi)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Check helpers.
+
+// readFloats loads n float32 words starting at the symbol.
+func readFloats(m *mem.Memory, obj *loader.Object, sym string, n int) ([]float32, error) {
+	base, err := obj.Symbol(sym)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(m.LoadWord(base + uint32(i)*4))
+	}
+	return out, nil
+}
+
+// readWords loads n words starting at the symbol.
+func readWords(m *mem.Memory, obj *loader.Object, sym string, n int) ([]uint32, error) {
+	base, err := obj.Symbol(sym)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = m.LoadWord(base + uint32(i)*4)
+	}
+	return out, nil
+}
+
+// checkFloats compares memory against golden values bit-for-bit (both
+// sides compute in float32 with the same operation order).
+func checkFloats(m *mem.Memory, obj *loader.Object, sym string, want []float32) error {
+	got, err := readFloats(m, obj, sym, len(want))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			return fmt.Errorf("%s[%d] = %v (%#x), want %v (%#x)",
+				sym, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+	return nil
+}
+
+// checkWords compares memory against golden integer values.
+func checkWords(m *mem.Memory, obj *loader.Object, sym string, want []uint32) error {
+	got, err := readWords(m, obj, sym, len(want))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s[%d] = %d, want %d", sym, i, got[i], want[i])
+		}
+	}
+	return nil
+}

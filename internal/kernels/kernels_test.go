@@ -1,0 +1,189 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+)
+
+// TestAllKernelsFunctional runs every benchmark at Small scale under the
+// functional simulator for 1..6 threads and validates the results
+// against the pure-Go golden models.
+func TestAllKernelsFunctional(t *testing.T) {
+	for _, b := range All() {
+		for _, n := range []int{1, 2, 3, 4, 5, 6} {
+			t.Run(b.Name+"/"+string(rune('0'+n)), func(t *testing.T) {
+				p := Params{Threads: n, Scale: Small}
+				obj, err := b.Build(p)
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				s, err := funcsim.RunProgram(obj, n, 200_000_000)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if err := b.Check(s.Memory(), obj, p); err != nil {
+					t.Errorf("check: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("expected the paper's 11 benchmarks, got %d", len(all))
+	}
+	if len(GroupI()) != 6 || len(GroupII()) != 5 {
+		t.Errorf("groups: %d + %d", len(GroupI()), len(GroupII()))
+	}
+	names := map[string]bool{}
+	for _, b := range all {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	if _, err := Get("matrix"); err != nil {
+		t.Errorf("Get is not case-insensitive: %v", err)
+	}
+	if _, err := Get("nosuch"); err == nil {
+		t.Error("Get accepted an unknown name")
+	}
+}
+
+// Kernels must respect the 21-register budget so they run unmodified
+// with six threads (128/6 = 21 registers per thread).
+func TestRegisterBudget(t *testing.T) {
+	budget := uint8(isa.RegsPerThread(6))
+	for _, b := range All() {
+		obj, err := b.Build(Params{Threads: 6, Scale: Small})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for i, w := range obj.Text {
+			in, err := isa.Decode(w)
+			if err != nil {
+				t.Fatalf("%s word %d: %v", b.Name, i, err)
+			}
+			for _, r := range []uint8{in.Rd, in.Rs1, in.Rs2} {
+				if r >= budget {
+					t.Errorf("%s inst %d (%v) uses r%d beyond the %d-register budget",
+						b.Name, i, in, r, budget)
+				}
+			}
+		}
+	}
+}
+
+// The Paper scale must also validate (single-threaded is enough here;
+// the experiment harness exercises the full thread range).
+func TestPaperScaleFunctional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale runs are slow")
+	}
+	for _, b := range All() {
+		p := Params{Threads: 4, Scale: Paper}
+		obj, err := b.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		s, err := funcsim.RunProgram(obj, 4, 500_000_000)
+		if err != nil {
+			t.Fatalf("%s run: %v", b.Name, err)
+		}
+		if err := b.Check(s.Memory(), obj, p); err != nil {
+			t.Errorf("%s check: %v", b.Name, err)
+		}
+	}
+}
+
+// Sources must be deterministic: two builds of the same params are
+// byte-identical (guards against map iteration sneaking into codegen).
+func TestSourceDeterminism(t *testing.T) {
+	for _, b := range All() {
+		p := Params{Threads: 4, Scale: Small}
+		if b.Source(p) != b.Source(p) {
+			t.Errorf("%s source is not deterministic", b.Name)
+		}
+	}
+}
+
+// Group assignments must match the paper's presentation.
+func TestGroups(t *testing.T) {
+	for _, b := range GroupI() {
+		if b.Group != 1 || !strings.HasPrefix(b.Name, "LL") {
+			t.Errorf("%s in Group I with group=%d", b.Name, b.Group)
+		}
+	}
+	for _, b := range GroupII() {
+		if b.Group != 2 {
+			t.Errorf("%s in Group II with group=%d", b.Name, b.Group)
+		}
+	}
+}
+
+// Aligned builds must still validate, and their hot branch targets must
+// land on fetch-block boundaries.
+func TestAlignedKernelsFunctional(t *testing.T) {
+	for _, b := range All() {
+		p := Params{Threads: 4, Scale: Small, Align: true}
+		obj, err := b.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		s, err := funcsim.RunProgram(obj, 4, 200_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Check(s.Memory(), obj, p); err != nil {
+			t.Errorf("%s aligned: %v", b.Name, err)
+		}
+	}
+}
+
+// The LL5 chunk-size knob must preserve results.
+func TestLL5ChunkSizes(t *testing.T) {
+	b, err := Get("LL5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{4, 8, 16, 32} {
+		p := Params{Threads: 4, Scale: Small, SyncChunk: chunk}
+		obj, err := b.Build(p)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		s, err := funcsim.RunProgram(obj, 4, 200_000_000)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if err := b.Check(s.Memory(), obj, p); err != nil {
+			t.Errorf("chunk %d: %v", chunk, err)
+		}
+	}
+}
+
+// The extended (non-paper) workloads must validate functionally and on
+// the pipeline at every thread count.
+func TestExtendedKernels(t *testing.T) {
+	for _, b := range Extended() {
+		for _, n := range []int{1, 2, 4, 6} {
+			p := Params{Threads: n, Scale: Small}
+			obj, err := b.Build(p)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			s, err := funcsim.RunProgram(obj, n, 200_000_000)
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", b.Name, n, err)
+			}
+			if err := b.Check(s.Memory(), obj, p); err != nil {
+				t.Errorf("%s threads=%d: %v", b.Name, n, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAllKernelsOnPipeline is the system-level integration test: every
+// benchmark, at several thread counts, must produce golden results when
+// executed by the cycle-level superscalar core with the default
+// (paper Table 2) configuration.
+func TestAllKernelsOnPipeline(t *testing.T) {
+	for _, b := range All() {
+		for _, n := range []int{1, 2, 4, 6} {
+			t.Run(fmt.Sprintf("%s/%dthreads", b.Name, n), func(t *testing.T) {
+				p := Params{Threads: n, Scale: Small}
+				obj, err := b.Build(p)
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				cfg := core.DefaultConfig()
+				cfg.Threads = n
+				cfg.MaxCycles = 50_000_000
+				m, err := core.New(obj, cfg)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				st, err := m.Run()
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if err := b.Check(m.Memory(), obj, p); err != nil {
+					t.Errorf("check: %v", err)
+				}
+				if st.Committed == 0 || st.Cycles == 0 {
+					t.Errorf("suspicious stats: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestKernelsOnPipelineVariants runs a representative kernel per group
+// under every off-default machine configuration.
+func TestKernelsOnPipelineVariants(t *testing.T) {
+	variants := map[string]func(core.Config) core.Config{
+		"maskedRR":   func(c core.Config) core.Config { c.FetchPolicy = core.MaskedRR; return c },
+		"condSwitch": func(c core.Config) core.Config { c.FetchPolicy = core.CondSwitch; return c },
+		"lowestOnly": func(c core.Config) core.Config { c.CommitPolicy = core.LowestOnly; c.CommitWindow = 1; return c },
+		"directMap":  func(c core.Config) core.Config { c.Cache.Ways = 1; return c },
+		"enhanced":   func(c core.Config) core.Config { c.FUs = core.EnhancedFUs(); return c },
+		"su16":       func(c core.Config) core.Config { c.SUEntries = 16; return c },
+		"su64":       func(c core.Config) core.Config { c.SUEntries = 64; return c },
+		"noBypass":   func(c core.Config) core.Config { c.Bypassing = false; return c },
+		"scoreboard": func(c core.Config) core.Config { c.Renaming = false; return c },
+	}
+	reps := []string{"LL5", "Water", "Sieve"}
+	for name, mod := range variants {
+		for _, bname := range reps {
+			t.Run(name+"/"+bname, func(t *testing.T) {
+				b, err := Get(bname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := Params{Threads: 4, Scale: Small}
+				obj, err := b.Build(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := mod(core.DefaultConfig())
+				cfg.Threads = 4
+				cfg.MaxCycles = 50_000_000
+				m, err := core.New(obj, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if err := b.Check(m.Memory(), obj, p); err != nil {
+					t.Errorf("check: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// Extended workloads on the cycle-level core.
+func TestExtendedKernelsOnPipeline(t *testing.T) {
+	for _, b := range Extended() {
+		for _, n := range []int{1, 4} {
+			p := Params{Threads: n, Scale: Small}
+			obj, err := b.Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Threads = n
+			cfg.MaxCycles = 50_000_000
+			m, err := core.New(obj, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("%s threads=%d: %v", b.Name, n, err)
+			}
+			if err := b.Check(m.Memory(), obj, p); err != nil {
+				t.Errorf("%s threads=%d: %v", b.Name, n, err)
+			}
+		}
+	}
+}

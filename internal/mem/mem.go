@@ -1,0 +1,50 @@
+// Package mem provides the flat word-addressed main memory that backs
+// the instruction fetch path, the data cache, and the synchronization
+// controller.
+package mem
+
+import "fmt"
+
+// Memory is a byte-addressed store of 32-bit words. All accesses must be
+// word-aligned; SDSP-32 has no sub-word memory operations.
+type Memory struct {
+	words []uint32
+}
+
+// New returns a zeroed memory of the given size in bytes (rounded up to
+// a whole word).
+func New(sizeBytes uint32) *Memory {
+	return &Memory{words: make([]uint32, (sizeBytes+3)/4)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.words)) * 4 }
+
+func (m *Memory) index(addr uint32) uint32 {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: unaligned access at %#08x", addr))
+	}
+	i := addr / 4
+	if i >= uint32(len(m.words)) {
+		panic(fmt.Sprintf("mem: access at %#08x beyond memory size %#x", addr, m.Size()))
+	}
+	return i
+}
+
+// LoadWord reads the word at addr.
+func (m *Memory) LoadWord(addr uint32) uint32 { return m.words[m.index(addr)] }
+
+// StoreWord writes v to the word at addr.
+func (m *Memory) StoreWord(addr, v uint32) { m.words[m.index(addr)] = v }
+
+// InRange reports whether a word access at addr would be legal.
+func (m *Memory) InRange(addr uint32) bool {
+	return addr&3 == 0 && addr/4 < uint32(len(m.words))
+}
+
+// Snapshot returns a copy of the memory contents as words.
+func (m *Memory) Snapshot() []uint32 {
+	out := make([]uint32, len(m.words))
+	copy(out, m.words)
+	return out
+}

@@ -1,0 +1,65 @@
+package mem
+
+import "testing"
+
+func TestLoadStore(t *testing.T) {
+	m := New(64)
+	m.StoreWord(0, 0xDEADBEEF)
+	m.StoreWord(60, 42)
+	if got := m.LoadWord(0); got != 0xDEADBEEF {
+		t.Errorf("LoadWord(0) = %#x", got)
+	}
+	if got := m.LoadWord(60); got != 42 {
+		t.Errorf("LoadWord(60) = %d", got)
+	}
+	if got := m.LoadWord(4); got != 0 {
+		t.Errorf("uninitialized word = %d, want 0", got)
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	if got := New(5).Size(); got != 8 {
+		t.Errorf("Size = %d, want 8", got)
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned access did not panic")
+		}
+	}()
+	New(64).LoadWord(2)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	New(64).StoreWord(64, 1)
+}
+
+func TestInRange(t *testing.T) {
+	m := New(64)
+	cases := []struct {
+		addr uint32
+		want bool
+	}{{0, true}, {60, true}, {64, false}, {2, false}, {^uint32(0), false}}
+	for _, c := range cases {
+		if got := m.InRange(c.addr); got != c.want {
+			t.Errorf("InRange(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	m := New(16)
+	m.StoreWord(0, 7)
+	snap := m.Snapshot()
+	m.StoreWord(0, 8)
+	if snap[0] != 7 {
+		t.Error("snapshot mutated by later store")
+	}
+}

@@ -1,0 +1,201 @@
+package minic
+
+import "fmt"
+
+// Type is a MiniC type.
+type Type int
+
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeFloat
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Global is a file-scope variable: a scalar or a 1-D array, optionally
+// `sync` (flag-segment storage, int scalars only).
+type Global struct {
+	Name     string
+	Type     Type
+	Sync     bool
+	ArrayLen int // 0 for scalars
+	// Init holds scalar or array initializers (constant expressions).
+	Init []constVal
+	Line int
+}
+
+type constVal struct {
+	f     float64
+	i     int64
+	isFlt bool
+}
+
+// Func is a function definition.
+type Func struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+	Line   int
+}
+
+type Param struct {
+	Name string
+	Type Type
+}
+
+// Statements.
+type (
+	Block struct {
+		Stmts []Stmt
+	}
+	DeclStmt struct {
+		Name string
+		Type Type
+		Init Expr // may be nil
+		Line int
+
+		slot *localVar // filled by sema
+	}
+	AssignStmt struct {
+		Target *VarRef // scalar or indexed array
+		Value  Expr
+		Line   int
+	}
+	IfStmt struct {
+		Cond Expr
+		Then *Block
+		Else *Block // may be nil
+		Line int
+	}
+	WhileStmt struct {
+		Cond Expr
+		Body *Block
+		Line int
+	}
+	ForStmt struct {
+		Init Stmt // assignment or nil
+		Cond Expr // may be nil (infinite loops are rejected by sema)
+		Post Stmt // assignment or nil
+		Body *Block
+		Line int
+	}
+	ReturnStmt struct {
+		Value Expr // nil for void
+		Line  int
+	}
+	ExprStmt struct {
+		X    Expr
+		Line int
+	}
+)
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+func (*Block) stmtNode()      {}
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// Expressions. Each carries its checked type after sema.
+type (
+	IntLit struct {
+		V    int64
+		Line int
+	}
+	FloatLit struct {
+		V    float64
+		Line int
+	}
+	// VarRef names a local, parameter, or global; Index non-nil for
+	// array element access.
+	VarRef struct {
+		Name  string
+		Index Expr
+		Line  int
+
+		// filled by sema:
+		typ    Type
+		local  *localVar // nil for globals
+		global *Global
+	}
+	BinExpr struct {
+		Op   string // + - * / % == != < <= > >= && ||
+		L, R Expr
+		Line int
+		typ  Type
+	}
+	UnExpr struct {
+		Op   string // - !
+		X    Expr
+		Line int
+		typ  Type
+	}
+	CallExpr struct {
+		Name string
+		Args []Expr
+		Line int
+
+		// filled by sema:
+		fn      *Func
+		builtin string // non-empty for intrinsics
+		typ     Type
+	}
+)
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	exprType() Type
+	exprLine() int
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*VarRef) exprNode()   {}
+func (*BinExpr) exprNode()  {}
+func (*UnExpr) exprNode()   {}
+func (*CallExpr) exprNode() {}
+
+func (e *IntLit) exprType() Type   { return TypeInt }
+func (e *FloatLit) exprType() Type { return TypeFloat }
+func (e *VarRef) exprType() Type   { return e.typ }
+func (e *BinExpr) exprType() Type  { return e.typ }
+func (e *UnExpr) exprType() Type   { return e.typ }
+func (e *CallExpr) exprType() Type { return e.typ }
+
+func (e *IntLit) exprLine() int   { return e.Line }
+func (e *FloatLit) exprLine() int { return e.Line }
+func (e *VarRef) exprLine() int   { return e.Line }
+func (e *BinExpr) exprLine() int  { return e.Line }
+func (e *UnExpr) exprLine() int   { return e.Line }
+func (e *CallExpr) exprLine() int { return e.Line }
+
+// localVar is a stack-resident local or parameter (filled by sema).
+type localVar struct {
+	name   string
+	typ    Type
+	offset int32 // fp-relative byte offset
+}

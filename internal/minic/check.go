@@ -1,0 +1,356 @@
+package minic
+
+import "fmt"
+
+// builtins maps intrinsic names to their signatures. Sync intrinsics
+// take a sync global as their first argument (checked specially).
+var builtins = map[string]struct {
+	ret    Type
+	params []Type
+	sync   bool // first arg must name a sync global
+}{
+	"tid":     {ret: TypeInt},
+	"nth":     {ret: TypeInt},
+	"itof":    {ret: TypeFloat, params: []Type{TypeInt}},
+	"ftoi":    {ret: TypeInt, params: []Type{TypeFloat}},
+	"fai":     {ret: TypeInt, params: []Type{TypeInt}, sync: true},
+	"fldw":    {ret: TypeInt, params: []Type{TypeInt}, sync: true},
+	"fstw":    {ret: TypeVoid, params: []Type{TypeInt, TypeInt}, sync: true},
+	"barrier": {ret: TypeVoid},
+}
+
+// checker performs name resolution, type checking, and stack-frame
+// layout.
+type checker struct {
+	globals map[string]*Global
+	funcs   map[string]*Func
+
+	fn     *Func
+	scopes []map[string]*localVar
+	nslots int // local slots allocated in the current function
+
+	frameSlots map[*Func]int
+	usesSync   bool // program calls barrier() (needs support globals)
+}
+
+func check(prog *Program) (map[*Func]int, bool, error) {
+	c := &checker{
+		globals:    map[string]*Global{},
+		funcs:      map[string]*Func{},
+		frameSlots: map[*Func]int{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, false, errAt(g.Line, "duplicate global %q", g.Name)
+		}
+		if g.Sync && (g.Type != TypeInt || g.ArrayLen != 0) {
+			return nil, false, errAt(g.Line, "sync variables must be int scalars")
+		}
+		if g.Sync && len(g.Init) > 0 {
+			return nil, false, errAt(g.Line, "sync variables are zero-initialized")
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return nil, false, errAt(f.Line, "duplicate function %q", f.Name)
+		}
+		if _, isBuiltin := builtins[f.Name]; isBuiltin {
+			return nil, false, errAt(f.Line, "%q is a builtin", f.Name)
+		}
+		if _, isGlobal := c.globals[f.Name]; isGlobal {
+			return nil, false, errAt(f.Line, "%q is already a global", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	main, ok := c.funcs["main"]
+	if !ok {
+		return nil, false, fmt.Errorf("minic: no main function")
+	}
+	if main.Ret != TypeVoid || len(main.Params) != 0 {
+		return nil, false, errAt(main.Line, "main must be `void main()`")
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return nil, false, err
+		}
+	}
+	return c.frameSlots, c.usesSync, nil
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("minic: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) checkFunc(f *Func) error {
+	c.fn = f
+	c.nslots = 0
+	c.scopes = []map[string]*localVar{{}}
+	// Parameters live above the saved fp/link pair: fp+8, fp+12, ...
+	for i, p := range f.Params {
+		if _, dup := c.scopes[0][p.Name]; dup {
+			return errAt(f.Line, "duplicate parameter %q", p.Name)
+		}
+		c.scopes[0][p.Name] = &localVar{name: p.Name, typ: p.Type, offset: int32(8 + 4*i)}
+	}
+	if err := c.checkBlock(f.Body); err != nil {
+		return err
+	}
+	c.frameSlots[f] = c.nslots
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*localVar{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookupLocal(name string) *localVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		if _, dup := c.scopes[len(c.scopes)-1][st.Name]; dup {
+			return errAt(st.Line, "duplicate local %q", st.Name)
+		}
+		if st.Init != nil {
+			if err := c.checkExpr(st.Init); err != nil {
+				return err
+			}
+			if st.Init.exprType() != st.Type {
+				return errAt(st.Line, "initializing %v %q with %v", st.Type, st.Name, st.Init.exprType())
+			}
+		}
+		c.nslots++
+		// Locals live below the frame pointer: fp-4, fp-8, ...
+		v := &localVar{name: st.Name, typ: st.Type, offset: int32(-4 * c.nslots)}
+		st.slot = v
+		c.scopes[len(c.scopes)-1][st.Name] = v
+		return nil
+	case *AssignStmt:
+		if err := c.checkExpr(st.Target); err != nil {
+			return err
+		}
+		if st.Target.global != nil && st.Target.global.Sync {
+			return errAt(st.Line, "sync variable %q is accessed with fai/fldw/fstw", st.Target.Name)
+		}
+		if err := c.checkExpr(st.Value); err != nil {
+			return err
+		}
+		if st.Target.exprType() != st.Value.exprType() {
+			return errAt(st.Line, "assigning %v to %v %q",
+				st.Value.exprType(), st.Target.exprType(), st.Target.Name)
+		}
+		return nil
+	case *IfStmt:
+		if err := c.checkCond(st.Cond, st.Line); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(st.Cond, st.Line); err != nil {
+			return err
+		}
+		return c.checkBlock(st.Body)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond == nil {
+			return errAt(st.Line, "for loops require a condition (no infinite loops)")
+		}
+		if err := c.checkCond(st.Cond, st.Line); err != nil {
+			return err
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkBlock(st.Body)
+	case *ReturnStmt:
+		if st.Value == nil {
+			if c.fn.Ret != TypeVoid {
+				return errAt(st.Line, "%s must return a %v", c.fn.Name, c.fn.Ret)
+			}
+			return nil
+		}
+		if err := c.checkExpr(st.Value); err != nil {
+			return err
+		}
+		if st.Value.exprType() != c.fn.Ret {
+			return errAt(st.Line, "returning %v from %v %s", st.Value.exprType(), c.fn.Ret, c.fn.Name)
+		}
+		return nil
+	case *ExprStmt:
+		return c.checkExpr(st.X)
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (c *checker) checkCond(e Expr, line int) error {
+	if err := c.checkExpr(e); err != nil {
+		return err
+	}
+	if e.exprType() != TypeInt {
+		return errAt(line, "condition must be int (comparisons yield int)")
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit, *FloatLit:
+		return nil
+	case *VarRef:
+		if v := c.lookupLocal(x.Name); v != nil {
+			if x.Index != nil {
+				return errAt(x.Line, "%q is a scalar", x.Name)
+			}
+			x.local, x.typ = v, v.typ
+			return nil
+		}
+		g, ok := c.globals[x.Name]
+		if !ok {
+			return errAt(x.Line, "undefined variable %q", x.Name)
+		}
+		x.global, x.typ = g, g.Type
+		if g.ArrayLen > 0 {
+			if x.Index == nil {
+				return errAt(x.Line, "array %q needs an index", x.Name)
+			}
+			if err := c.checkExpr(x.Index); err != nil {
+				return err
+			}
+			if x.Index.exprType() != TypeInt {
+				return errAt(x.Line, "array index must be int")
+			}
+		} else if x.Index != nil {
+			return errAt(x.Line, "%q is not an array", x.Name)
+		}
+		return nil
+	case *UnExpr:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		switch x.Op {
+		case "-":
+			x.typ = x.X.exprType()
+			if x.typ == TypeVoid {
+				return errAt(x.Line, "negating void")
+			}
+		case "!":
+			if x.X.exprType() != TypeInt {
+				return errAt(x.Line, "! requires int")
+			}
+			x.typ = TypeInt
+		}
+		return nil
+	case *BinExpr:
+		if err := c.checkExpr(x.L); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.R); err != nil {
+			return err
+		}
+		lt, rt := x.L.exprType(), x.R.exprType()
+		if lt != rt {
+			return errAt(x.Line, "operands of %q differ: %v vs %v (use itof/ftoi)", x.Op, lt, rt)
+		}
+		switch x.Op {
+		case "+", "-", "*", "/":
+			x.typ = lt
+		case "%", "&&", "||":
+			if lt != TypeInt {
+				return errAt(x.Line, "%q requires int operands", x.Op)
+			}
+			x.typ = TypeInt
+		case "==", "!=", "<", "<=", ">", ">=":
+			x.typ = TypeInt
+		default:
+			return errAt(x.Line, "unknown operator %q", x.Op)
+		}
+		if lt == TypeVoid {
+			return errAt(x.Line, "void operands")
+		}
+		return nil
+	case *CallExpr:
+		if b, ok := builtins[x.Name]; ok {
+			x.builtin = x.Name
+			x.typ = b.ret
+			if x.Name == "barrier" {
+				c.usesSync = true
+			}
+			if len(x.Args) != len(b.params) {
+				return errAt(x.Line, "%s takes %d arguments", x.Name, len(b.params))
+			}
+			for i, a := range x.Args {
+				if b.sync && i == 0 {
+					ref, ok := a.(*VarRef)
+					if !ok || ref.Index != nil {
+						return errAt(x.Line, "%s's first argument must be a sync variable", x.Name)
+					}
+					g, ok := c.globals[ref.Name]
+					if !ok || !g.Sync {
+						return errAt(x.Line, "%q is not a sync variable", ref.Name)
+					}
+					ref.global, ref.typ = g, g.Type
+					continue
+				}
+				if err := c.checkExpr(a); err != nil {
+					return err
+				}
+				if a.exprType() != b.params[i] {
+					return errAt(x.Line, "%s argument %d must be %v", x.Name, i+1, b.params[i])
+				}
+			}
+			return nil
+		}
+		fn, ok := c.funcs[x.Name]
+		if !ok {
+			return errAt(x.Line, "undefined function %q", x.Name)
+		}
+		x.fn, x.typ = fn, fn.Ret
+		if len(x.Args) != len(fn.Params) {
+			return errAt(x.Line, "%s takes %d arguments, given %d", x.Name, len(fn.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+			if a.exprType() != fn.Params[i].Type {
+				return errAt(x.Line, "%s argument %d must be %v", x.Name, i+1, fn.Params[i].Type)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unknown expression %T", e)
+}

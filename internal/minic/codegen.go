@@ -1,0 +1,624 @@
+package minic
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/loader"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Regs is the register budget — the paper's 128/N knob. The
+	// generated code uses r1..r(Regs-1): sp, fp, link, return value,
+	// and the rest as expression registers (more registers, fewer
+	// spills). Minimum 9; default 21 (the 6-thread budget, so compiled
+	// code runs at any thread count).
+	Regs int
+	// StackBytes is the per-thread stack size (default 4160: a hair
+	// over 4 KiB so that per-thread stacks do not land on identical
+	// cache sets — 4096 exactly would alias every thread's frame onto
+	// the same lines of the 8 KiB 2-way cache).
+	StackBytes int
+}
+
+func (o *Options) fill() error {
+	if o.Regs == 0 {
+		o.Regs = 21
+	}
+	if o.Regs < 9 || o.Regs > 128 {
+		return fmt.Errorf("minic: register budget %d out of range [9, 128]", o.Regs)
+	}
+	if o.StackBytes == 0 {
+		o.StackBytes = 4160
+	}
+	if o.StackBytes < 256 || o.StackBytes%4 != 0 {
+		return fmt.Errorf("minic: bad stack size %d", o.StackBytes)
+	}
+	return nil
+}
+
+// Register roles within the budget.
+const (
+	regSP   = 1
+	regFP   = 2
+	regLink = 3
+	regRet  = 4 // also the spill scratch
+	regE0   = 5 // first expression register
+)
+
+// Compile translates MiniC source to SDSP-32 assembly.
+func Compile(src string, opt Options) (string, error) {
+	if err := opt.fill(); err != nil {
+		return "", err
+	}
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	frames, usesSync, err := check(prog)
+	if err != nil {
+		return "", err
+	}
+	g := &gen{prog: prog, frames: frames, opt: opt, lastExpr: opt.Regs - 1}
+	return g.emit(usesSync)
+}
+
+// CompileToObject compiles and assembles in one step.
+func CompileToObject(src string, opt Options) (*loader.Object, error) {
+	text, err := Compile(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := asm.Assemble(text)
+	if err != nil {
+		return nil, fmt.Errorf("minic: internal: generated assembly rejected: %w", err)
+	}
+	return obj, nil
+}
+
+type gen struct {
+	prog     *Program
+	frames   map[*Func]int
+	opt      Options
+	lastExpr int
+
+	text, data, flags strings.Builder
+	labelSeq          int
+	fn                *Func
+}
+
+func (g *gen) t(format string, args ...any) {
+	fmt.Fprintf(&g.text, format+"\n", args...)
+}
+
+func (g *gen) label(stem string) string {
+	g.labelSeq++
+	return fmt.Sprintf("L%s_%d", stem, g.labelSeq)
+}
+
+const maxStackThreads = 6 // the paper's thread range
+
+func (g *gen) emit(usesSync bool) (string, error) {
+	// Startup stub: per-thread stack, call main, halt. Every thread
+	// enters here (the SPMD model).
+	g.t("main:")
+	g.t("  tid  r%d", regE0)
+	g.t("  addi r%d, r%d, 1", regE0, regE0)
+	g.t("  li   r%d, %d", regE0+1, g.opt.StackBytes)
+	g.t("  mul  r%d, r%d, r%d", regE0, regE0, regE0+1)
+	g.t("  li   r%d, __stacks", regE0+1)
+	g.t("  add  r%d, r%d, r%d", regSP, regE0+1, regE0)
+	g.t("  jal  r%d, fn_main", regLink)
+	g.t("  halt")
+
+	for _, f := range g.prog.Funcs {
+		if err := g.emitFunc(f); err != nil {
+			return "", err
+		}
+	}
+
+	// Data segment: globals, then the stacks.
+	for _, gv := range g.prog.Globals {
+		if gv.Sync {
+			fmt.Fprintf(&g.flags, "%s: .space 4\n", gv.Name)
+			continue
+		}
+		g.emitGlobalData(gv)
+	}
+	fmt.Fprintf(&g.data, "__stacks: .space %d\n", g.opt.StackBytes*maxStackThreads)
+	if usesSync {
+		fmt.Fprintf(&g.data, "__bar_local: .space %d\n", 4*maxStackThreads)
+		fmt.Fprintf(&g.flags, "__bar_count: .space 4\n")
+		fmt.Fprintf(&g.flags, "__bar_sense: .space 4\n")
+	}
+	return ".text\n" + g.text.String() + ".data\n" + g.data.String() + ".flags\n" + g.flags.String(), nil
+}
+
+func (g *gen) emitGlobalData(gv *Global) {
+	n := gv.ArrayLen
+	if n == 0 {
+		n = 1
+	}
+	var cells []string
+	for i := 0; i < len(gv.Init); i++ {
+		if gv.Type == TypeFloat {
+			cells = append(cells, ftoa32(gv.Init[i].f))
+		} else {
+			cells = append(cells, strconv.FormatInt(gv.Init[i].i, 10))
+		}
+	}
+	directive := ".word"
+	if gv.Type == TypeFloat {
+		directive = ".float"
+	}
+	if len(cells) > 0 {
+		fmt.Fprintf(&g.data, "%s: %s %s\n", gv.Name, directive, strings.Join(cells, ", "))
+		if rest := n - len(cells); rest > 0 {
+			fmt.Fprintf(&g.data, "  .space %d\n", rest*4)
+		}
+	} else {
+		fmt.Fprintf(&g.data, "%s: .space %d\n", gv.Name, n*4)
+	}
+}
+
+func ftoa32(v float64) string {
+	return strconv.FormatFloat(float64(float32(v)), 'g', -1, 32)
+}
+
+func (g *gen) emitFunc(f *Func) error {
+	g.fn = f
+	slots := g.frames[f]
+	g.t("fn_%s:", f.Name)
+	g.t("  addi r%d, r%d, -8", regSP, regSP)
+	g.t("  sw   r%d, 4(r%d)", regLink, regSP)
+	g.t("  sw   r%d, 0(r%d)", regFP, regSP)
+	g.t("  mv   r%d, r%d", regFP, regSP)
+	if slots > 0 {
+		g.t("  addi r%d, r%d, %d", regSP, regSP, -4*slots)
+	}
+	g.t("  addi r%d, r0, 0", regRet) // defined value for missing returns
+	if err := g.stmtBlock(f.Body); err != nil {
+		return err
+	}
+	g.t("Lep_%s:", f.Name)
+	g.t("  mv   r%d, r%d", regSP, regFP)
+	g.t("  lw   r%d, 0(r%d)", regFP, regSP)
+	g.t("  lw   r%d, 4(r%d)", regLink, regSP)
+	g.t("  addi r%d, r%d, 8", regSP, regSP)
+	g.t("  jalr r0, r%d, 0", regLink)
+	return nil
+}
+
+func (g *gen) push(r int) {
+	g.t("  addi r%d, r%d, -4", regSP, regSP)
+	g.t("  sw   r%d, 0(r%d)", r, regSP)
+}
+
+func (g *gen) pop(r int) {
+	g.t("  lw   r%d, 0(r%d)", r, regSP)
+	g.t("  addi r%d, r%d, 4", regSP, regSP)
+}
+
+// ---------------------------------------------------------------------
+// Statements.
+
+func (g *gen) stmtBlock(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return g.stmtBlock(st)
+	case *DeclStmt:
+		if st.Init == nil {
+			return nil
+		}
+		return g.assignLocalInit(st)
+	case *AssignStmt:
+		return g.assign(st)
+	case *IfStmt:
+		els := g.label("else")
+		end := g.label("endif")
+		if err := g.eval(st.Cond, regE0); err != nil {
+			return err
+		}
+		target := end
+		if st.Else != nil {
+			target = els
+		}
+		g.t("  beq  r%d, r0, %s", regE0, target)
+		if err := g.stmtBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			g.t("  b    %s", end)
+			g.t("%s:", els)
+			if err := g.stmtBlock(st.Else); err != nil {
+				return err
+			}
+		}
+		g.t("%s:", end)
+		return nil
+	case *WhileStmt:
+		top := g.label("while")
+		end := g.label("wend")
+		g.t("%s:", top)
+		if err := g.eval(st.Cond, regE0); err != nil {
+			return err
+		}
+		g.t("  beq  r%d, r0, %s", regE0, end)
+		if err := g.stmtBlock(st.Body); err != nil {
+			return err
+		}
+		g.t("  b    %s", top)
+		g.t("%s:", end)
+		return nil
+	case *ForStmt:
+		top := g.label("for")
+		end := g.label("fend")
+		if st.Init != nil {
+			if err := g.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		g.t("%s:", top)
+		if err := g.eval(st.Cond, regE0); err != nil {
+			return err
+		}
+		g.t("  beq  r%d, r0, %s", regE0, end)
+		if err := g.stmtBlock(st.Body); err != nil {
+			return err
+		}
+		if st.Post != nil {
+			if err := g.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		g.t("  b    %s", top)
+		g.t("%s:", end)
+		return nil
+	case *ReturnStmt:
+		if st.Value != nil {
+			if err := g.eval(st.Value, regE0); err != nil {
+				return err
+			}
+			g.t("  mv   r%d, r%d", regRet, regE0)
+		}
+		g.t("  b    Lep_%s", g.fn.Name)
+		return nil
+	case *ExprStmt:
+		return g.eval(st.X, regE0)
+	}
+	return fmt.Errorf("minic: cannot generate %T", s)
+}
+
+// assignLocalInit stores a declaration's initializer into the stack
+// slot the checker assigned.
+func (g *gen) assignLocalInit(st *DeclStmt) error {
+	if st.slot == nil {
+		return errAt(st.Line, "internal: declaration %q has no slot", st.Name)
+	}
+	if err := g.eval(st.Init, regE0); err != nil {
+		return err
+	}
+	g.t("  sw   r%d, %d(r%d)", regE0, st.slot.offset, regFP)
+	return nil
+}
+
+func (g *gen) assign(st *AssignStmt) error {
+	ref := st.Target
+	switch {
+	case ref.local != nil:
+		if err := g.eval(st.Value, regE0); err != nil {
+			return err
+		}
+		g.t("  sw   r%d, %d(r%d)", regE0, ref.local.offset, regFP)
+		return nil
+	case ref.global.ArrayLen == 0:
+		if err := g.eval(st.Value, regE0); err != nil {
+			return err
+		}
+		g.t("  li   r%d, %s", regE0+1, ref.Name)
+		g.t("  sw   r%d, 0(r%d)", regE0, regE0+1)
+		return nil
+	default:
+		// value in regE0, element address in regE0+1 (address
+		// computation may spill internally but always returns).
+		if err := g.eval(st.Value, regE0); err != nil {
+			return err
+		}
+		if err := g.evalAddr(ref, regE0+1); err != nil {
+			return err
+		}
+		g.t("  sw   r%d, 0(r%d)", regE0, regE0+1)
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expressions. eval leaves e's value in register r; registers below r
+// (down to regE0) hold live values, registers r..lastExpr are free.
+
+func (g *gen) eval(e Expr, r int) error {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.V < math.MinInt32 || x.V > math.MaxUint32 {
+			return errAt(x.Line, "integer literal %d out of 32-bit range", x.V)
+		}
+		g.t("  li   r%d, %d", r, int32(x.V))
+		return nil
+	case *FloatLit:
+		g.t("  fli  r%d, %s", r, ftoa32(x.V))
+		return nil
+	case *VarRef:
+		return g.evalVar(x, r)
+	case *UnExpr:
+		if err := g.eval(x.X, r); err != nil {
+			return err
+		}
+		switch {
+		case x.Op == "-" && x.typ == TypeFloat:
+			g.t("  fneg r%d, r%d", r, r)
+		case x.Op == "-":
+			g.t("  sub  r%d, r0, r%d", r, r)
+		case x.Op == "!":
+			g.t("  sltu r%d, r0, r%d", r, r)
+			g.t("  xori r%d, r%d, 1", r, r)
+		}
+		return nil
+	case *BinExpr:
+		return g.evalBin(x, r)
+	case *CallExpr:
+		return g.evalCall(x, r)
+	}
+	return fmt.Errorf("minic: cannot evaluate %T", e)
+}
+
+func (g *gen) evalVar(x *VarRef, r int) error {
+	switch {
+	case x.local != nil:
+		g.t("  lw   r%d, %d(r%d)", r, x.local.offset, regFP)
+	case x.global.ArrayLen == 0:
+		g.t("  li   r%d, %s", r, x.Name)
+		g.t("  lw   r%d, 0(r%d)", r, r)
+	default:
+		if err := g.evalAddr(x, r); err != nil {
+			return err
+		}
+		g.t("  lw   r%d, 0(r%d)", r, r)
+	}
+	return nil
+}
+
+// evalAddr leaves the address of an array element in r.
+func (g *gen) evalAddr(x *VarRef, r int) error {
+	emit := func(dst, base, idx int) {
+		g.t("  slli r%d, r%d, 2", idx, idx)
+		g.t("  add  r%d, r%d, r%d", dst, base, idx)
+	}
+	if r < g.lastExpr {
+		g.t("  li   r%d, %s", r, x.Name)
+		if err := g.eval(x.Index, r+1); err != nil {
+			return err
+		}
+		emit(r, r, r+1)
+		return nil
+	}
+	// Spill: base on the stack while the index evaluates.
+	g.t("  li   r%d, %s", r, x.Name)
+	g.push(r)
+	if err := g.eval(x.Index, r); err != nil {
+		return err
+	}
+	g.pop(regRet)
+	emit(r, regRet, r)
+	return nil
+}
+
+func (g *gen) evalBin(x *BinExpr, r int) error {
+	if x.Op == "&&" || x.Op == "||" {
+		return g.evalLogic(x, r)
+	}
+	// Evaluate both operands: L in la, R in ra.
+	la, ra := r, r+1
+	if r < g.lastExpr {
+		if err := g.eval(x.L, r); err != nil {
+			return err
+		}
+		if err := g.eval(x.R, r+1); err != nil {
+			return err
+		}
+	} else {
+		if err := g.eval(x.L, r); err != nil {
+			return err
+		}
+		g.push(r)
+		if err := g.eval(x.R, r); err != nil {
+			return err
+		}
+		g.pop(regRet)
+		la, ra = regRet, r
+	}
+	flt := x.L.exprType() == TypeFloat
+	switch x.Op {
+	case "+", "-", "*", "/", "%":
+		op := map[string]string{"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem"}[x.Op]
+		if flt {
+			op = map[string]string{"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}[x.Op]
+		}
+		g.t("  %-4s r%d, r%d, r%d", op, r, la, ra)
+	case "==":
+		g.cmp(r, la, ra, flt, "feq", false)
+	case "!=":
+		g.cmp(r, la, ra, flt, "feq", true)
+	case "<":
+		g.cmp(r, la, ra, flt, "flt", false)
+	case ">=":
+		g.cmp(r, la, ra, flt, "flt", true)
+	case ">":
+		g.cmp(r, ra, la, flt, "flt", false)
+	case "<=":
+		g.cmp(r, ra, la, flt, "flt", true)
+	}
+	return nil
+}
+
+// cmp emits a comparison of a and b into r. For floats fop is the
+// direct instruction; for ints the slt/xor patterns apply. invert
+// negates the result.
+func (g *gen) cmp(r, a, b int, flt bool, fop string, invert bool) {
+	switch {
+	case flt:
+		g.t("  %-4s r%d, r%d, r%d", fop, r, a, b)
+	case fop == "feq":
+		g.t("  xor  r%d, r%d, r%d", r, a, b)
+		g.t("  sltu r%d, r0, r%d", r, r)
+		invert = !invert
+	default: // flt pattern for ints is slt
+		g.t("  slt  r%d, r%d, r%d", r, a, b)
+	}
+	if invert {
+		g.t("  xori r%d, r%d, 1", r, r)
+	}
+}
+
+func (g *gen) evalLogic(x *BinExpr, r int) error {
+	end := g.label("sc")
+	if err := g.eval(x.L, r); err != nil {
+		return err
+	}
+	g.t("  sltu r%d, r0, r%d", r, r) // normalize to 0/1
+	if x.Op == "&&" {
+		g.t("  beq  r%d, r0, %s", r, end)
+	} else {
+		g.t("  bne  r%d, r0, %s", r, end)
+	}
+	if err := g.eval(x.R, r); err != nil {
+		return err
+	}
+	g.t("  sltu r%d, r0, r%d", r, r)
+	g.t("%s:", end)
+	return nil
+}
+
+func (g *gen) evalCall(x *CallExpr, r int) error {
+	if x.builtin != "" {
+		return g.evalBuiltin(x, r)
+	}
+	// Save live expression registers (regE0..r-1): they are
+	// caller-saved and the callee will reuse them.
+	for live := regE0; live < r; live++ {
+		g.push(live)
+	}
+	// Push arguments right-to-left so argument 0 lands lowest, where
+	// the callee expects it at fp+8.
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		if err := g.eval(x.Args[i], r); err != nil {
+			return err
+		}
+		g.push(r)
+	}
+	g.t("  jal  r%d, fn_%s", regLink, x.Name)
+	if n := len(x.Args); n > 0 {
+		g.t("  addi r%d, r%d, %d", regSP, regSP, 4*n)
+	}
+	g.t("  mv   r%d, r%d", r, regRet)
+	for live := r - 1; live >= regE0; live-- {
+		g.pop(live)
+	}
+	return nil
+}
+
+func (g *gen) evalBuiltin(x *CallExpr, r int) error {
+	switch x.builtin {
+	case "tid":
+		g.t("  tid  r%d", r)
+	case "nth":
+		g.t("  nth  r%d", r)
+	case "itof":
+		if err := g.eval(x.Args[0], r); err != nil {
+			return err
+		}
+		g.t("  cvtif r%d, r%d", r, r)
+	case "ftoi":
+		if err := g.eval(x.Args[0], r); err != nil {
+			return err
+		}
+		g.t("  cvtfi r%d, r%d", r, r)
+	case "fai":
+		name := x.Args[0].(*VarRef).Name
+		g.t("  li   r%d, %s", r, name)
+		g.t("  fai  r%d, 0(r%d)", r, r)
+	case "fldw":
+		name := x.Args[0].(*VarRef).Name
+		g.t("  li   r%d, %s", r, name)
+		g.t("  fldw r%d, 0(r%d)", r, r)
+	case "fstw":
+		name := x.Args[0].(*VarRef).Name
+		if err := g.eval(x.Args[1], r); err != nil {
+			return err
+		}
+		if r < g.lastExpr {
+			g.t("  li   r%d, %s", r+1, name)
+			g.t("  fstw r%d, 0(r%d)", r, r+1)
+		} else {
+			g.push(r)
+			g.t("  li   r%d, %s", r, name)
+			g.pop(regRet)
+			g.t("  fstw r%d, 0(r%d)", regRet, r)
+		}
+	case "barrier":
+		return g.evalBarrier(r)
+	default:
+		return errAt(x.Line, "internal: unknown builtin %q", x.builtin)
+	}
+	return nil
+}
+
+// evalBarrier inlines the sense-reversing barrier over the compiler's
+// support globals, using four expression registers.
+func (g *gen) evalBarrier(r int) error {
+	if r+3 > g.lastExpr {
+		return fmt.Errorf("minic: internal: barrier needs 4 free registers at r%d", r)
+	}
+	a, b, c, d := r, r+1, r+2, r+3
+	wait := g.label("barwait")
+	spin := g.label("barspin")
+	done := g.label("bardone")
+	// Toggle this thread's local sense (kept in memory, indexed by tid).
+	g.t("  tid  r%d", a)
+	g.t("  slli r%d, r%d, 2", a, a)
+	g.t("  li   r%d, __bar_local", b)
+	g.t("  add  r%d, r%d, r%d", b, b, a)
+	g.t("  lw   r%d, 0(r%d)", c, b)
+	g.t("  xori r%d, r%d, 1", c, c)
+	g.t("  sw   r%d, 0(r%d)", c, b)
+	// Arrive.
+	g.t("  li   r%d, __bar_count", a)
+	g.t("  fai  r%d, 0(r%d)", b, a)
+	g.t("  nth  r%d", d)
+	g.t("  addi r%d, r%d, -1", d, d)
+	g.t("  bne  r%d, r%d, %s", b, d, wait)
+	// Last arriver: reset the count, then release via the sense flag.
+	g.t("  fstw r0, 0(r%d)", a)
+	g.t("  li   r%d, __bar_sense", a)
+	g.t("  fstw r%d, 0(r%d)", c, a)
+	g.t("  b    %s", done)
+	g.t("%s:", wait)
+	g.t("  li   r%d, __bar_sense", a)
+	g.t("%s:", spin)
+	g.t("  fldw r%d, 0(r%d)", b, a)
+	g.t("  bne  r%d, r%d, %s", b, c, spin)
+	g.t("%s:", done)
+	return nil
+}

@@ -1,0 +1,35 @@
+package minic
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// FuzzCompile: arbitrary source must compile or error — never panic —
+// and successful compilations must produce valid assembly.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"void main() {}",
+		"int x; void main() { x = 1 + 2 * 3; }",
+		"float f[4]; void main() { f[0] = 1.5; }",
+		"sync int s; void main() { fai(s); barrier(); }",
+		"int g(int a) { return a * a; } void main() { int x; x = g(3); }",
+		"void main() { int i; for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { i = i + 1; } } }",
+		"void main() { while (0) {} }",
+		"int a[2] = {1, -2}; float b = 3.5; void main() { a[0] = a[1]; }",
+		"void main() { int x; x = !((1 < 2) && (3 >= 4) || (5 != 6)); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		text, err := Compile(src, Options{})
+		if err != nil {
+			return
+		}
+		if _, err := asm.Assemble(text); err != nil {
+			t.Fatalf("compiled output does not assemble: %v\nsource:\n%s\nassembly:\n%s", err, src, text)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package minic is a small C-subset compiler targeting SDSP-32. It
+// stands in for the paper's SDSP C toolchain ("each [benchmark] is
+// compiled, assembled and linked ... using software tools for the SDSP
+// processor"), including the paper's distinctive requirement that the
+// compiler retarget to a register budget of 128/N ("the compiler for
+// the SDSP was modified to produce code for a register set of different
+// sizes").
+//
+// The language: int and float (32-bit) scalars, global scalars and 1-D
+// arrays, `sync` globals living in the flag segment, functions with
+// parameters and recursion (per-thread stacks), if/else, while, for,
+// full expression syntax with short-circuit logic, and SPMD intrinsics
+// tid(), nth(), itof(), ftoi(), fai(), fldw(), fstw(), and barrier().
+// See docs/MINIC.md for the reference.
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokPunct   // operators and separators
+	tokKeyword // int float void sync if else while for return
+)
+
+type token struct {
+	kind tokKind
+	text string
+	// literal values
+	intVal   int64
+	floatVal float64
+	line     int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "void": true, "sync": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("minic: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) byte {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.at(1) == '*':
+			l.pos += 2
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.at(1) == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	// identifiers and keywords
+	if c == '_' || unicode.IsLetter(rune(c)) {
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	}
+
+	// numbers: integer, hex, or float (with '.', 'e', or trailing 'f')
+	if unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.at(1)))) {
+		isFloat := false
+		if c == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+			l.pos += 2
+			for isHexDigit(l.peek()) {
+				l.pos++
+			}
+		} else {
+			for unicode.IsDigit(rune(l.peek())) {
+				l.pos++
+			}
+			if l.peek() == '.' {
+				isFloat = true
+				l.pos++
+				for unicode.IsDigit(rune(l.peek())) {
+					l.pos++
+				}
+			}
+			if l.peek() == 'e' || l.peek() == 'E' {
+				isFloat = true
+				l.pos++
+				if l.peek() == '+' || l.peek() == '-' {
+					l.pos++
+				}
+				for unicode.IsDigit(rune(l.peek())) {
+					l.pos++
+				}
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			var f float64
+			if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+				return token{}, l.errf("bad float literal %q", text)
+			}
+			return token{kind: tokFloatLit, text: text, floatVal: f, line: l.line}, nil
+		}
+		var v int64
+		var err error
+		if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+			_, err = fmt.Sscanf(text, "%v", &v)
+		} else {
+			_, err = fmt.Sscanf(text, "%d", &v)
+		}
+		if err != nil {
+			return token{}, l.errf("bad integer literal %q", text)
+		}
+		return token{kind: tokIntLit, text: text, intVal: v, line: l.line}, nil
+	}
+
+	// two-character operators
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, p := range punct2 {
+			if two == p {
+				l.pos += 2
+				return token{kind: tokPunct, text: p, line: l.line}, nil
+			}
+		}
+	}
+
+	// single-character punctuation
+	if strings.IndexByte("+-*/%<>=!;,(){}[]&", c) >= 0 {
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

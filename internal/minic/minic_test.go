@@ -1,0 +1,377 @@
+package minic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+)
+
+// compileRun compiles src, runs it on the functional simulator with the
+// given thread count, and returns the simulator for state checks.
+func compileRun(t *testing.T, src string, threads int, opt Options) (*funcsim.Sim, map[string]uint32) {
+	t.Helper()
+	obj, err := CompileToObject(src, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	s, err := funcsim.RunProgram(obj, threads, 200_000_000)
+	if err != nil {
+		asmText, _ := Compile(src, opt)
+		t.Fatalf("run: %v\n%s", err, asmText)
+	}
+	return s, obj.Symbols
+}
+
+// word reads global `name` (plus a word offset) from the finished sim.
+func word(t *testing.T, s *funcsim.Sim, syms map[string]uint32, name string, idx int) uint32 {
+	t.Helper()
+	addr, ok := syms[name]
+	if !ok {
+		t.Fatalf("no symbol %q", name)
+	}
+	return s.Memory().LoadWord(addr + uint32(idx)*4)
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+		int out[4];
+		void main() {
+			int i; int acc;
+			acc = 0;
+			for (i = 1; i <= 10; i = i + 1) {
+				acc = acc + i * i;
+			}
+			out[0] = acc;                  // 385
+			if (acc > 100 && acc < 1000) { out[1] = 1; } else { out[1] = 2; }
+			out[2] = acc % 7;              // 385 % 7 = 0
+			out[3] = -acc / 5;             // -77
+		}
+	`
+	s, syms := compileRun(t, src, 1, Options{})
+	neg77 := int32(-77)
+	want := []uint32{385, 1, 0, uint32(neg77)}
+	for i, w := range want {
+		if got := word(t, s, syms, "out", i); got != w {
+			t.Errorf("out[%d] = %d, want %d", i, int32(got), int32(w))
+		}
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	src := `
+		float fout[3];
+		float scale = 2.5;
+		void main() {
+			float x; int i;
+			x = 0.0;
+			for (i = 0; i < 8; i = i + 1) {
+				x = x + itof(i) * scale;
+			}
+			fout[0] = x;                  // 70.0
+			fout[1] = x / 4.0;            // 17.5
+			if (x >= 70.0) { fout[2] = 1.0; }
+		}
+	`
+	s, syms := compileRun(t, src, 1, Options{})
+	get := func(i int) float32 { return math.Float32frombits(word(t, s, syms, "fout", i)) }
+	if get(0) != 70 || get(1) != 17.5 || get(2) != 1 {
+		t.Errorf("fout = %v, %v, %v", get(0), get(1), get(2))
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+		int out[3];
+		int fact(int n) {
+			if (n <= 1) { return 1; }
+			return n * fact(n - 1);
+		}
+		int fib(int n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		int add3(int a, int b, int c) { return a + b + c; }
+		void main() {
+			out[0] = fact(7);      // 5040
+			out[1] = fib(12);      // 144
+			out[2] = add3(10, 20, 30);
+		}
+	`
+	s, syms := compileRun(t, src, 1, Options{})
+	for i, w := range []uint32{5040, 144, 60} {
+		if got := word(t, s, syms, "out", i); got != w {
+			t.Errorf("out[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSPMDBarrierReduction(t *testing.T) {
+	// Each thread fills a slice of sq[] and bumps an atomic counter;
+	// after the barrier, thread 0 reduces.
+	src := `
+		int n = 48;
+		int sq[48];
+		int total;
+		int hits;
+		sync int visits;
+		void main() {
+			int lo; int hi; int i; int acc;
+			lo = tid() * n / nth();
+			hi = (tid() + 1) * n / nth();
+			for (i = lo; i < hi; i = i + 1) {
+				sq[i] = i * i;
+				i = i; // exercise self-assignment
+			}
+			fai(visits);
+			barrier();
+			if (tid() == 0) {
+				acc = 0;
+				for (i = 0; i < n; i = i + 1) { acc = acc + sq[i]; }
+				total = acc;
+				hits = fldw(visits);
+			}
+		}
+	`
+	for _, threads := range []int{1, 2, 3, 4, 6} {
+		s, syms := compileRun(t, src, threads, Options{})
+		wantTotal := uint32(0)
+		for i := 0; i < 48; i++ {
+			wantTotal += uint32(i * i)
+		}
+		if got := word(t, s, syms, "total", 0); got != wantTotal {
+			t.Errorf("threads=%d total = %d, want %d", threads, got, wantTotal)
+		}
+		if got := word(t, s, syms, "hits", 0); got != uint32(threads) {
+			t.Errorf("threads=%d visits = %d", threads, got)
+		}
+	}
+}
+
+// The paper's knob: the same program compiled at different register
+// budgets must produce identical results, and never touch a register
+// beyond the budget.
+func TestRegisterBudgetRetargeting(t *testing.T) {
+	src := `
+		int out[1];
+		int deep(int a, int b, int c, int d) {
+			return (a + b * 2) * (c - d) + (a - b) * (c + d * 3) - (a * c - b * d);
+		}
+		void main() {
+			out[0] = deep(5, 7, 11, 3) + deep(1, 2, 3, 4) * deep(2, 2, 2, 2);
+		}
+	`
+	var reference uint32
+	for i, regs := range []int{9, 12, 16, 21, 32, 64, 128} {
+		obj, err := CompileToObject(src, Options{Regs: regs})
+		if err != nil {
+			t.Fatalf("regs=%d: %v", regs, err)
+		}
+		// No instruction may touch a register at or beyond the budget.
+		for w, enc := range obj.Text {
+			in, err := isa.Decode(enc)
+			if err != nil {
+				t.Fatalf("regs=%d word %d: %v", regs, w, err)
+			}
+			for _, r := range []uint8{in.Rd, in.Rs1, in.Rs2} {
+				if int(r) >= regs {
+					t.Fatalf("regs=%d: instruction %v uses r%d", regs, in, r)
+				}
+			}
+		}
+		s, err := funcsim.RunProgram(obj, 1, 10_000_000)
+		if err != nil {
+			t.Fatalf("regs=%d run: %v", regs, err)
+		}
+		got := s.Memory().LoadWord(obj.MustSymbol("out"))
+		if i == 0 {
+			reference = got
+		} else if got != reference {
+			t.Errorf("regs=%d result %d differs from reference %d", regs, got, reference)
+		}
+	}
+}
+
+// Deep expressions must spill correctly at the minimum budget.
+func TestExpressionSpilling(t *testing.T) {
+	src := `
+		int out[1];
+		void main() {
+			out[0] = ((1 + 2) * (3 + 4)) + ((5 + 6) * (7 + 8))
+			       + ((9 + 10) * (11 + 12)) * (((13 + 14) * (15 + 16))
+			       + ((17 + 18) * (19 + 20)));
+		}
+	`
+	want := ((1+2)*(3+4) + (5+6)*(7+8)) + ((9+10)*(11+12))*(((13+14)*(15+16))+(17+18)*(19+20))
+	for _, regs := range []int{9, 10, 21} {
+		s, syms := compileRunOpt(t, src, 1, Options{Regs: regs})
+		if got := word(t, s, syms, "out", 0); got != uint32(want) {
+			t.Errorf("regs=%d out = %d, want %d", regs, int32(got), want)
+		}
+	}
+}
+
+func compileRunOpt(t *testing.T, src string, threads int, opt Options) (*funcsim.Sim, map[string]uint32) {
+	t.Helper()
+	return compileRun(t, src, threads, opt)
+}
+
+// Compiled code must also run correctly on the cycle-level pipeline.
+func TestCompiledOnPipeline(t *testing.T) {
+	src := `
+		int n = 32;
+		float dot;
+		float xs[32];
+		float ys[32];
+		float partial[6];
+		sync int arrived;
+		void main() {
+			int i; int lo; int hi; float acc;
+			lo = tid() * n / nth();
+			hi = (tid() + 1) * n / nth();
+			for (i = lo; i < hi; i = i + 1) {
+				xs[i] = itof(i) * 0.5;
+				ys[i] = itof(i) + 1.0;
+			}
+			acc = 0.0;
+			for (i = lo; i < hi; i = i + 1) {
+				acc = acc + xs[i] * ys[i];
+			}
+			partial[tid()] = acc;
+			barrier();
+			if (tid() == 0) {
+				acc = 0.0;
+				for (i = 0; i < nth(); i = i + 1) { acc = acc + partial[i]; }
+				dot = acc;
+			}
+		}
+	`
+	obj, err := CompileToObject(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.Threads = threads
+		cfg.MaxCycles = 10_000_000
+		m, err := core.New(obj, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		// Golden value, float32 step by step in slice order.
+		var want float32
+		chunk := func(tid int) (int, int) { return tid * 32 / threads, (tid + 1) * 32 / threads }
+		var partials []float32
+		for tid := 0; tid < threads; tid++ {
+			lo, hi := chunk(tid)
+			var acc float32
+			for i := lo; i < hi; i++ {
+				x := float32(i) * 0.5
+				y := float32(i) + 1.0
+				acc = acc + x*y
+			}
+			partials = append(partials, acc)
+		}
+		for _, p := range partials {
+			want = want + p
+		}
+		got := math.Float32frombits(m.Memory().LoadWord(obj.MustSymbol("dot")))
+		if got != want {
+			t.Errorf("threads=%d dot = %v, want %v", threads, got, want)
+		}
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"no main", "int x;", "no main"},
+		{"main with args", "void main(int x) {}", "main must be"},
+		{"type mismatch", "void main() { int x; x = 1.5; }", "assigning float"},
+		{"mixed arith", "void main() { int x; x = 1 + 1.5; }", "operands of"},
+		{"undefined var", "void main() { x = 1; }", "undefined variable"},
+		{"undefined func", "void main() { f(); }", "undefined function"},
+		{"bad arity", "int f(int a) { return a; } void main() { f(); }", "takes 1 arguments"},
+		{"sync float", "sync float f; void main() {}", "sync variables must be int"},
+		{"sync direct write", "sync int s; void main() { s = 1; }", "fai/fldw/fstw"},
+		{"fai on non-sync", "int x; void main() { fai(x); }", "not a sync variable"},
+		{"index scalar", "int x; void main() { x[0] = 1; }", "not an array"},
+		{"array no index", "int a[4]; void main() { int x; x = a; }", "needs an index"},
+		{"float mod", "void main() { float x; x = 1.0 % 2.0; }", "requires int"},
+		{"void condition", "void f() {} void main() { if (f()) {} }", "condition must be int"},
+		{"dup local", "void main() { int x; int x; }", "duplicate local"},
+		{"return mismatch", "int f() { return 1.5; } void main() {}", "returning float"},
+		{"infinite for", "void main() { for (;;) {} }", "require a condition"},
+		{"lex error", "void main() { int x @ 1; }", "unexpected character"},
+		{"paren", "void main() { int x; x = (1 + 2; }", `expected ")"`},
+		{"budget", "void main() {}", "register budget"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opt := Options{}
+			if c.name == "budget" {
+				opt.Regs = 5
+			}
+			_, err := Compile(c.src, opt)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+// Generated assembly must always assemble (no internal inconsistencies),
+// including at extreme budgets.
+func TestGeneratedAssemblyIsValid(t *testing.T) {
+	src := `
+		int a[10];
+		sync int s;
+		float f;
+		int helper(int x, float y) { return x + ftoi(y); }
+		void main() {
+			int i;
+			for (i = 0; i < 10; i = i + 1) { a[i] = helper(i, 2.5); }
+			fstw(s, a[9]);
+			f = itof(fldw(s));
+			barrier();
+		}
+	`
+	for _, regs := range []int{9, 21, 128} {
+		text, err := Compile(src, Options{Regs: regs})
+		if err != nil {
+			t.Fatalf("regs=%d: %v", regs, err)
+		}
+		if _, err := asm.Assemble(text); err != nil {
+			t.Fatalf("regs=%d: generated assembly invalid: %v\n%s", regs, err, text)
+		}
+	}
+}
+
+func TestCommentsAndLiterals(t *testing.T) {
+	src := `
+		// line comment
+		/* block
+		   comment */
+		int out[3];
+		void main() {
+			out[0] = 0x1F;        // hex
+			out[1] = ftoi(1.5e2); // scientific float
+			out[2] = 1000000;
+		}
+	`
+	s, syms := compileRun(t, src, 1, Options{})
+	for i, w := range []uint32{31, 150, 1000000} {
+		if got := word(t, s, syms, "out", i); got != w {
+			t.Errorf("out[%d] = %d, want %d", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package minic
+
+import "fmt"
+
+// Parse builds the AST for a MiniC compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+// next consumes and returns the current token; EOF is sticky so
+// error-recovery paths cannot walk off the token slice.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("minic: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) parseType() (Type, bool) {
+	switch p.cur().text {
+	case "int":
+		p.pos++
+		return TypeInt, true
+	case "float":
+		p.pos++
+		return TypeFloat, true
+	case "void":
+		p.pos++
+		return TypeVoid, true
+	}
+	return TypeVoid, false
+}
+
+// program := (global | func)*
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		sync := p.accept("sync")
+		line := p.cur().line
+		typ, ok := p.parseType()
+		if !ok {
+			return nil, p.errf("expected a declaration, found %s", p.cur())
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected a name, found %s", p.cur())
+		}
+		name := p.next().text
+		if p.cur().text == "(" {
+			if sync {
+				return nil, p.errf("functions cannot be sync")
+			}
+			fn, err := p.funcRest(typ, name, line)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g, err := p.globalRest(typ, name, sync, line)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+// globalRest := ('[' int ']')? ('=' init)? ';'
+func (p *parser) globalRest(typ Type, name string, sync bool, line int) (*Global, error) {
+	if typ == TypeVoid {
+		return nil, p.errf("variable %s cannot be void", name)
+	}
+	g := &Global{Name: name, Type: typ, Sync: sync, Line: line}
+	if p.accept("[") {
+		if p.cur().kind != tokIntLit || p.cur().intVal <= 0 {
+			return nil, p.errf("array length must be a positive integer literal")
+		}
+		g.ArrayLen = int(p.next().intVal)
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if g.ArrayLen > 0 {
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for {
+				cv, err := p.constant(typ)
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, cv)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			if len(g.Init) > g.ArrayLen {
+				return nil, p.errf("%d initializers for array of %d", len(g.Init), g.ArrayLen)
+			}
+		} else {
+			cv, err := p.constant(typ)
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []constVal{cv}
+		}
+	}
+	return g, p.expect(";")
+}
+
+// constant := ('-')? (intlit | floatlit), type-checked against typ.
+func (p *parser) constant(typ Type) (constVal, error) {
+	neg := p.accept("-")
+	t := p.next()
+	switch {
+	case t.kind == tokIntLit && typ == TypeInt:
+		v := t.intVal
+		if neg {
+			v = -v
+		}
+		return constVal{i: v}, nil
+	case t.kind == tokFloatLit && typ == TypeFloat:
+		v := t.floatVal
+		if neg {
+			v = -v
+		}
+		return constVal{f: v, isFlt: true}, nil
+	case t.kind == tokIntLit && typ == TypeFloat:
+		v := float64(t.intVal)
+		if neg {
+			v = -v
+		}
+		return constVal{f: v, isFlt: true}, nil
+	}
+	return constVal{}, p.errf("bad %v initializer %s", typ, t)
+}
+
+// funcRest := '(' params ')' block
+func (p *parser) funcRest(ret Type, name string, line int) (*Func, error) {
+	fn := &Func{Name: name, Ret: ret, Line: line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		for {
+			typ, ok := p.parseType()
+			if !ok || typ == TypeVoid {
+				return nil, p.errf("expected a parameter type")
+			}
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected a parameter name")
+			}
+			fn.Params = append(fn.Params, Param{Name: p.next().text, Type: typ})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// block := '{' stmt* '}'
+func (p *parser) block() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// stmt := decl | if | while | for | return | block | simple ';'
+func (p *parser) stmt() (Stmt, error) {
+	line := p.cur().line
+	switch p.cur().text {
+	case "int", "float":
+		typ, _ := p.parseType()
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected a variable name")
+		}
+		name := p.next().text
+		d := &DeclStmt{Name: name, Type: typ, Line: line}
+		if p.accept("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		return d, p.expect(";")
+	case "if":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		if p.accept("else") {
+			if p.cur().text == "if" {
+				inner, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = &Block{Stmts: []Stmt{inner}}
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				st.Else = els
+			}
+		}
+		return st, nil
+	case "while":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	case "for":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Line: line}
+		if p.cur().text != ";" {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = s
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if p.cur().text != ";" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = e
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if p.cur().text != ")" {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = s
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case "return":
+		p.pos++
+		st := &ReturnStmt{Line: line}
+		if p.cur().text != ";" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = e
+		}
+		return st, p.expect(";")
+	case "{":
+		return p.block()
+	}
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	return s, p.expect(";")
+}
+
+// simpleStmt := assignment | expression (call)
+func (p *parser) simpleStmt() (Stmt, error) {
+	line := p.cur().line
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		target, ok := e.(*VarRef)
+		if !ok {
+			return nil, p.errf("assignment target must be a variable or array element")
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: target, Value: v, Line: line}, nil
+	}
+	return &ExprStmt{X: e, Line: line}, nil
+}
+
+// Expression grammar, precedence climbing:
+//
+//	||  &&  (== !=)  (< <= > >=)  (+ -)  (* / %)  unary  primary
+var precedence = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().text
+		prec, ok := precedence[op]
+		if !ok || prec < minPrec || p.cur().kind != tokPunct {
+			return lhs, nil
+		}
+		line := p.cur().line
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: op, L: lhs, R: rhs, Line: line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	line := p.cur().line
+	if p.accept("-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", X: x, Line: line}, nil
+	}
+	if p.accept("!") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "!", X: x, Line: line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIntLit:
+		p.pos++
+		return &IntLit{V: t.intVal, Line: t.line}, nil
+	case t.kind == tokFloatLit:
+		p.pos++
+		return &FloatLit{V: t.floatVal, Line: t.line}, nil
+	case t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tokIdent:
+		p.pos++
+		name := t.text
+		if p.accept("(") {
+			call := &CallExpr{Name: name, Line: t.line}
+			if !p.accept(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		ref := &VarRef{Name: name, Line: t.line}
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			ref.Index = idx
+		}
+		return ref, nil
+	}
+	return nil, p.errf("expected an expression, found %s", t)
+}

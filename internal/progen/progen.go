@@ -1,0 +1,217 @@
+// Package progen generates random, guaranteed-terminating SDSP-32
+// programs for differential testing: any generated program must produce
+// identical architectural state on the functional reference simulator
+// and the cycle-level core, under every machine configuration.
+//
+// Programs follow the SPMD model: every thread runs the same code; data
+// references are confined to a per-thread scratch region (plus one
+// shared atomic counter), so final memory is deterministic regardless
+// of thread interleaving.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Generator parameters.
+const (
+	scratchWords = 64 // per-thread scratch region, in words
+	maxThreads   = 6  // regions sized for the paper's thread range
+	minReg       = 3  // r1=tid, r2=nth are reserved
+	maxReg       = 14 // keep within the 21-register budget (plus temps)
+	tmpReg       = 15 // address computation temporary
+	linkReg      = 17 // leaf-call link register (loop counters use 18-20)
+	maxLoopTrip  = 7  // loop trip counts stay small and fixed
+	maxDepth     = 3  // nesting depth of loops/conditionals
+)
+
+// Program is a generated test program.
+type Program struct {
+	Source string
+	Seed   int64
+}
+
+// New generates a random program from seed.
+func New(seed int64) Program {
+	g := &gen{r: rand.New(rand.NewSource(seed))}
+	g.emit()
+	return Program{Source: g.sb.String(), Seed: seed}
+}
+
+type gen struct {
+	r        *rand.Rand
+	sb       strings.Builder
+	labelSeq int
+	depth    int
+}
+
+func (g *gen) line(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *gen) label(stem string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s%d", stem, g.labelSeq)
+}
+
+func (g *gen) reg() int { return minReg + g.r.Intn(maxReg-minReg+1) }
+
+// emit produces the whole program.
+func (g *gen) emit() {
+	g.line("main: tid r1")
+	g.line("      nth r2")
+	g.line("      b   past_leaf")
+	// A leaf routine: rd = rs*2 + 7 over the call registers, exercising
+	// jal/jalr in the differential corpus.
+	g.line("leaf: slli r%d, r%d, 1", tmpReg, tmpReg)
+	g.line("      addi r%d, r%d, 7", tmpReg, tmpReg)
+	g.line("      jalr r0, r%d, 0", linkReg)
+	g.line("past_leaf:")
+	// Base pointer to this thread's scratch region: scratch + tid*256.
+	g.line("      slli r%d, r1, 8", tmpReg)
+	g.line("      li   r%d, scratch", tmpReg+1)
+	g.line("      add  r%d, r%d, r%d", tmpReg+1, tmpReg+1, tmpReg)
+	// Seed the working registers with distinct values.
+	for r := minReg; r <= maxReg; r++ {
+		g.line("      li   r%d, %d", r, g.r.Int31n(1<<16)-1<<15)
+	}
+	g.block(4 + g.r.Intn(8))
+	// Spill every register to the output region so the differential
+	// check sees all state, then halt.
+	g.line("      ; spill")
+	for r := minReg; r <= maxReg; r++ {
+		g.line("      sw   r%d, %d(r%d)", r, (r-minReg)*4+128, tmpReg+1)
+	}
+	g.line("      halt")
+	g.line(".data")
+	g.line("scratch: .space %d", scratchWords*4*maxThreads+256*maxThreads)
+	g.line(".flags")
+	g.line("counter: .space 4")
+}
+
+// block emits n random statements.
+func (g *gen) block(n int) {
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+}
+
+// stmt emits one random statement.
+func (g *gen) stmt() {
+	switch p := g.r.Intn(100); {
+	case p < 40:
+		g.alu()
+	case p < 55:
+		g.memory()
+	case p < 65:
+		g.fp()
+	case p < 75 && g.depth < maxDepth:
+		g.loop()
+	case p < 85 && g.depth < maxDepth:
+		g.conditional()
+	case p < 90:
+		g.mulDiv()
+	case p < 94:
+		g.atomic()
+	case p < 97:
+		g.call()
+	default:
+		g.alu()
+	}
+}
+
+var aluOps = []string{"add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu"}
+var aluImmOps = []string{"addi", "andi", "ori", "xori", "slti"}
+var fpOps = []string{"fadd", "fsub", "fmul", "flt", "fle", "feq"}
+
+func (g *gen) alu() {
+	if g.r.Intn(2) == 0 {
+		op := aluOps[g.r.Intn(len(aluOps))]
+		g.line("      %-4s r%d, r%d, r%d", op, g.reg(), g.reg(), g.reg())
+		return
+	}
+	op := aluImmOps[g.r.Intn(len(aluImmOps))]
+	imm := g.r.Intn(2048)
+	if op == "addi" || op == "slti" {
+		imm -= 1024
+	}
+	g.line("      %-4s r%d, r%d, %d", op, g.reg(), g.reg(), imm)
+}
+
+func (g *gen) mulDiv() {
+	ops := []string{"mul", "div", "rem"}
+	op := ops[g.r.Intn(len(ops))]
+	g.line("      %-4s r%d, r%d, r%d", op, g.reg(), g.reg(), g.reg())
+}
+
+// fp exercises the FP units on whatever bit patterns the registers
+// hold; semantics are deterministic either way (CVTIF first keeps the
+// values mostly sane).
+func (g *gen) fp() {
+	a, b, d := g.reg(), g.reg(), g.reg()
+	g.line("      cvtif r%d, r%d", a, a)
+	op := fpOps[g.r.Intn(len(fpOps))]
+	g.line("      %-5s r%d, r%d, r%d", op, d, a, b)
+	if g.r.Intn(2) == 0 {
+		g.line("      cvtfi r%d, r%d", d, d)
+	}
+}
+
+// memory emits a bounded scratch access: index = (reg & 63)*4.
+func (g *gen) memory() {
+	idx := g.reg()
+	g.line("      andi r%d, r%d, %d", tmpReg, idx, scratchWords-1)
+	g.line("      slli r%d, r%d, 2", tmpReg, tmpReg)
+	g.line("      add  r%d, r%d, r%d", tmpReg, tmpReg, tmpReg+1)
+	if g.r.Intn(2) == 0 {
+		g.line("      sw   r%d, 0(r%d)", g.reg(), tmpReg)
+	} else {
+		g.line("      lw   r%d, 0(r%d)", g.reg(), tmpReg)
+	}
+}
+
+// loop emits a counted loop with a small fixed trip count.
+func (g *gen) loop() {
+	g.depth++
+	defer func() { g.depth-- }()
+	ctr := tmpReg + 2 // r17: dedicated loop counters by depth
+	ctr += g.depth    // depths 1..3 use r18..r20
+	top := g.label("loop")
+	g.line("      addi r%d, r0, %d", ctr, 1+g.r.Intn(maxLoopTrip))
+	g.line("%s:", top)
+	g.block(1 + g.r.Intn(4))
+	g.line("      addi r%d, r%d, -1", ctr, ctr)
+	g.line("      bne  r%d, r0, %s", ctr, top)
+}
+
+// conditional emits a structured if/else on a computed condition.
+func (g *gen) conditional() {
+	g.depth++
+	defer func() { g.depth-- }()
+	els := g.label("else")
+	end := g.label("endif")
+	cond := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}[g.r.Intn(6)]
+	g.line("      %s r%d, r%d, %s", cond, g.reg(), g.reg(), els)
+	g.block(1 + g.r.Intn(3))
+	g.line("      b    %s", end)
+	g.line("%s:", els)
+	g.block(1 + g.r.Intn(3))
+	g.line("%s:", end)
+}
+
+// call invokes the leaf routine: argument and result in tmpReg, the
+// link in linkReg (a register the statement generators never touch).
+func (g *gen) call() {
+	g.line("      mv   r%d, r%d", tmpReg, g.reg())
+	g.line("      jal  r%d, leaf", linkReg)
+	g.line("      mv   r%d, r%d", g.reg(), tmpReg)
+}
+
+// atomic bumps the shared counter, discarding the (order-dependent)
+// fetch result into r0 so final state stays deterministic.
+func (g *gen) atomic() {
+	g.line("      li   r%d, counter", tmpReg)
+	g.line("      fai  r0, 0(r%d)", tmpReg)
+}

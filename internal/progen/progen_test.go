@@ -1,0 +1,92 @@
+package progen
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+)
+
+// Every generated program must assemble.
+func TestGeneratedProgramsAssemble(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := New(seed)
+		if _, err := asm.Assemble(p.Source); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, p.Source)
+		}
+	}
+}
+
+// Every generated program must terminate on the functional simulator at
+// every thread count, within a generous instruction budget.
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := New(seed)
+		obj, err := asm.Assemble(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, n := range []int{1, 3, 6} {
+			if _, err := funcsim.RunProgram(obj, n, 50_000_000); err != nil {
+				t.Fatalf("seed %d threads %d: %v", seed, n, err)
+			}
+		}
+	}
+}
+
+// Generation is deterministic in the seed.
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		if New(seed).Source != New(seed).Source {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+	}
+	if New(1).Source == New(2).Source {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+// Generated programs must respect the 6-thread register budget.
+func TestGeneratedRegisterBudget(t *testing.T) {
+	budget := uint8(isa.RegsPerThread(6))
+	for seed := int64(0); seed < 50; seed++ {
+		obj, err := asm.Assemble(New(seed).Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, w := range obj.Text {
+			in, err := isa.Decode(w)
+			if err != nil {
+				t.Fatalf("seed %d word %d: %v", seed, i, err)
+			}
+			for _, r := range []uint8{in.Rd, in.Rs1, in.Rs2} {
+				if r >= budget {
+					t.Fatalf("seed %d inst %d (%v) uses r%d beyond budget %d", seed, i, in, r, budget)
+				}
+			}
+		}
+	}
+}
+
+// The mix should exercise the interesting op classes reasonably often
+// across a corpus (not necessarily in each program).
+func TestOperationMix(t *testing.T) {
+	classes := map[isa.Class]int{}
+	for seed := int64(0); seed < 50; seed++ {
+		obj, err := asm.Assemble(New(seed).Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, w := range obj.Text {
+			in, _ := isa.Decode(w)
+			classes[in.Op.FUClass()]++
+		}
+	}
+	for _, cl := range []isa.Class{isa.ClassALU, isa.ClassLoad, isa.ClassStore,
+		isa.ClassCT, isa.ClassIMul, isa.ClassIDiv, isa.ClassFPAdd, isa.ClassSync} {
+		if classes[cl] == 0 {
+			t.Errorf("corpus never generated a %v instruction", cl)
+		}
+	}
+}

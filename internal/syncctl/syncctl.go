@@ -1,0 +1,60 @@
+// Package syncctl models the synchronization controller: a small
+// uncached port onto the flag segment used by the FLDW, FSTW, and FAI
+// primitives. Spin locks and barriers are built in software on top of
+// it, which is what keeps a waiting thread committing instructions (and
+// therefore never deadlocking the shared scheduling unit).
+package syncctl
+
+import (
+	"fmt"
+
+	"repro/internal/loader"
+	"repro/internal/mem"
+)
+
+// Controller serializes all flag-segment accesses; because the simulator
+// executes one operation at a time, FAI's read-modify-write is atomic by
+// construction.
+type Controller struct {
+	m *mem.Memory
+
+	reads, writes, rmws uint64
+}
+
+// New wraps main memory's flag segment.
+func New(m *mem.Memory) *Controller { return &Controller{m: m} }
+
+func (c *Controller) check(addr uint32) {
+	if !loader.IsFlagAddr(addr) {
+		panic(fmt.Sprintf("syncctl: %#08x is outside the flag segment", addr))
+	}
+}
+
+// Read returns the flag word at addr.
+func (c *Controller) Read(addr uint32) uint32 {
+	c.check(addr)
+	c.reads++
+	return c.m.LoadWord(addr)
+}
+
+// Write stores v to the flag word at addr.
+func (c *Controller) Write(addr, v uint32) {
+	c.check(addr)
+	c.writes++
+	c.m.StoreWord(addr, v)
+}
+
+// FetchAdd atomically returns the flag word at addr and increments it.
+func (c *Controller) FetchAdd(addr uint32) uint32 {
+	c.check(addr)
+	c.rmws++
+	old := c.m.LoadWord(addr)
+	c.m.StoreWord(addr, old+1)
+	return old
+}
+
+// Stats counts controller traffic.
+type Stats struct{ Reads, Writes, RMWs uint64 }
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return Stats{c.reads, c.writes, c.rmws} }

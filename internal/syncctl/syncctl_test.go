@@ -1,0 +1,65 @@
+package syncctl
+
+import (
+	"testing"
+
+	"repro/internal/loader"
+	"repro/internal/mem"
+)
+
+func newCtl() (*Controller, *mem.Memory) {
+	m := mem.New(loader.MemSize)
+	return New(m), m
+}
+
+func TestReadWrite(t *testing.T) {
+	c, m := newCtl()
+	addr := uint32(loader.FlagBase + 8)
+	c.Write(addr, 42)
+	if got := c.Read(addr); got != 42 {
+		t.Errorf("Read = %d, want 42", got)
+	}
+	if got := m.LoadWord(addr); got != 42 {
+		t.Error("controller writes must be visible in backing memory")
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	c, _ := newCtl()
+	addr := uint32(loader.FlagBase)
+	for i := uint32(0); i < 5; i++ {
+		if got := c.FetchAdd(addr); got != i {
+			t.Errorf("FetchAdd #%d returned %d", i, got)
+		}
+	}
+	if got := c.Read(addr); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := newCtl()
+	addr := uint32(loader.FlagBase)
+	c.Write(addr, 1)
+	c.Read(addr)
+	c.Read(addr)
+	c.FetchAdd(addr)
+	s := c.Stats()
+	if s.Reads != 2 || s.Writes != 1 || s.RMWs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestOutOfSegmentPanics(t *testing.T) {
+	c, _ := newCtl()
+	for _, addr := range []uint32{0, loader.DataBase, loader.FlagBase - 4, loader.FlagBase + loader.FlagSize} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("access at %#x did not panic", addr)
+				}
+			}()
+			c.Read(addr)
+		}()
+	}
+}

@@ -1,0 +1,171 @@
+// Package sdsp is the public API of the multithreaded SDSP superscalar
+// simulator, a reproduction of Gulati & Bagherzadeh, "Performance Study
+// of a Multithreaded Superscalar Microprocessor" (HPCA 1996).
+//
+// The typical flow is three lines: pick a workload, pick a
+// configuration, run.
+//
+//	obj, _ := sdsp.Workload("Matrix", sdsp.WorkloadParams{Threads: 4})
+//	res, _ := sdsp.Run(obj, sdsp.DefaultConfig(4))
+//	fmt.Println(res.Cycles, res.IPC())
+//
+// Custom programs are assembled from SDSP-32 assembly source with
+// Assemble, and machines can be stepped cycle-by-cycle through NewMachine
+// for fine-grained inspection.
+package sdsp
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/funcsim"
+	"repro/internal/kernels"
+	"repro/internal/loader"
+	"repro/internal/minic"
+)
+
+// Config is the machine configuration (paper Table 2). It aliases the
+// core configuration type; construct with DefaultConfig and adjust.
+type Config = core.Config
+
+// Stats is the result of a run.
+type Stats = core.Stats
+
+// Machine is a configured SDSP core with a loaded program.
+type Machine = core.Machine
+
+// Object is a linked SDSP-32 program.
+type Object = loader.Object
+
+// Fetch policies (paper §5.1, plus the §6.1 "judicious" ICount
+// extension).
+const (
+	TrueRR     = core.TrueRR
+	MaskedRR   = core.MaskedRR
+	CondSwitch = core.CondSwitch
+	ICount     = core.ICount
+)
+
+// Commit policies (paper §5.6).
+const (
+	FlexibleCommit = core.FlexibleCommit
+	LowestOnly     = core.LowestOnly
+)
+
+// DefaultConfig returns the paper's default hardware configuration for
+// the given number of resident threads.
+func DefaultConfig(threads int) Config {
+	cfg := core.DefaultConfig()
+	cfg.Threads = threads
+	return cfg
+}
+
+// EnhancedFUs returns the paper's "++" functional unit configuration.
+func EnhancedFUs() core.FUConfig { return core.EnhancedFUs() }
+
+// Assemble translates SDSP-32 assembly into a runnable object.
+func Assemble(src string) (*Object, error) { return asm.Assemble(src) }
+
+// CompileMiniC compiles MiniC source (docs/MINIC.md) for the given
+// register budget — the paper's 128/N partition knob. A regs of 0 uses
+// the 6-thread-safe default of 21.
+func CompileMiniC(src string, regs int) (*Object, error) {
+	return minic.CompileToObject(src, minic.Options{Regs: regs})
+}
+
+// Disassemble renders an object's text segment.
+func Disassemble(obj *Object) []string { return asm.Disassemble(obj.Text) }
+
+// WorkloadParams selects a benchmark build.
+type WorkloadParams struct {
+	Threads int
+	// PaperScale selects the experiment-harness problem sizes; the
+	// default is the small test scale.
+	PaperScale bool
+}
+
+// Workloads lists the names of the paper's eleven benchmarks.
+func Workloads() []string {
+	var names []string
+	for _, b := range kernels.All() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// Workload builds one of the paper's benchmarks.
+func Workload(name string, p WorkloadParams) (*Object, error) {
+	b, err := kernels.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(kernelParams(p))
+}
+
+// CheckWorkload validates a finished machine's memory against the
+// benchmark's golden model.
+func CheckWorkload(name string, m *Machine, obj *Object, p WorkloadParams) error {
+	b, err := kernels.Get(name)
+	if err != nil {
+		return err
+	}
+	return b.Check(m.Memory(), obj, kernelParams(p))
+}
+
+func kernelParams(p WorkloadParams) kernels.Params {
+	scale := kernels.Small
+	if p.PaperScale {
+		scale = kernels.Paper
+	}
+	return kernels.Params{Threads: p.Threads, Scale: scale}
+}
+
+// NewMachine builds a machine without running it, for cycle-stepping.
+func NewMachine(obj *Object, cfg Config) (*Machine, error) { return core.New(obj, cfg) }
+
+// Run executes obj to completion under cfg and returns statistics.
+func Run(obj *Object, cfg Config) (*Stats, error) {
+	m, err := core.New(obj, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// RunFunctional interprets obj on the in-order reference simulator,
+// returning it for state inspection. Useful to sanity-check custom
+// programs before timing them.
+func RunFunctional(obj *Object, threads int) (*funcsim.Sim, error) {
+	return funcsim.RunProgram(obj, threads, 500_000_000)
+}
+
+// Speedup computes the paper's speedup metric between two cycle counts.
+func Speedup(multiCycles, singleCycles uint64) float64 {
+	return core.Speedup(multiCycles, singleCycles)
+}
+
+// Verify runs obj on both simulators and reports any divergence in
+// final memory — the repository's core correctness invariant.
+func Verify(obj *Object, cfg Config) error {
+	ref, err := funcsim.RunProgram(obj, cfg.Threads, 500_000_000)
+	if err != nil {
+		return fmt.Errorf("functional run: %w", err)
+	}
+	m, err := core.New(obj, cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Run(); err != nil {
+		return fmt.Errorf("pipeline run: %w", err)
+	}
+	refMem := ref.Memory().Snapshot()
+	gotMem := m.Memory().Snapshot()
+	for i := range refMem {
+		if refMem[i] != gotMem[i] {
+			return fmt.Errorf("memory diverges at %#x: pipeline %#x, functional %#x",
+				i*4, gotMem[i], refMem[i])
+		}
+	}
+	return nil
+}

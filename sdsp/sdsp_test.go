@@ -1,0 +1,133 @@
+package sdsp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsList(t *testing.T) {
+	names := Workloads()
+	if len(names) != 11 {
+		t.Fatalf("got %d workloads, want the paper's 11", len(names))
+	}
+	for _, want := range []string{"LL1", "LL5", "Matrix", "Water", "Sieve"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("workload %q missing", want)
+		}
+	}
+}
+
+func TestWorkloadRunAndCheck(t *testing.T) {
+	p := WorkloadParams{Threads: 2}
+	obj, err := Workload("Matrix", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	m, err := NewMachine(obj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 || st.IPC() <= 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if err := CheckWorkload("Matrix", m, obj, p); err != nil {
+		t.Errorf("golden check failed: %v", err)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Workload("nope", WorkloadParams{Threads: 1}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestAssembleRunVerify(t *testing.T) {
+	obj, err := Assemble(`
+		main: tid  r1
+		      addi r2, r1, 3
+		      slli r3, r1, 2
+		      li   r4, out
+		      add  r4, r4, r3
+		      sw   r2, 0(r4)
+		      halt
+		.data
+		out: .space 16
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(obj, DefaultConfig(4)); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	st, err := Run(obj, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed == 0 {
+		t.Error("nothing committed")
+	}
+}
+
+func TestRunFunctional(t *testing.T) {
+	obj, err := Assemble("main: addi r1, r0, 9\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RunFunctional(obj, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Reg(0, 1) != 9 {
+		t.Errorf("r1 = %d, want 9", s.Reg(0, 1))
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	obj, err := Assemble("main: add r1, r2, r3\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Disassemble(obj)
+	if len(lines) != 2 || !strings.Contains(lines[0], "add r1, r2, r3") {
+		t.Errorf("disassembly = %q", lines)
+	}
+}
+
+func TestDefaultConfigThreads(t *testing.T) {
+	cfg := DefaultConfig(3)
+	if cfg.Threads != 3 {
+		t.Errorf("threads = %d", cfg.Threads)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(80, 100); got < 0.2499 || got > 0.2501 {
+		t.Errorf("speedup = %v, want 0.25", got)
+	}
+}
+
+func TestVerifyCatchesNothingOnGoodPrograms(t *testing.T) {
+	for _, name := range []string{"LL5", "Sieve"} {
+		obj, err := Workload(name, WorkloadParams{Threads: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(obj, DefaultConfig(3)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
