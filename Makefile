@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz-seeds golden check report
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel experiment runner and the concurrency smoke tests are
+# only a proof when run under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Replay the committed fuzz corpus seeds as ordinary tests.
+fuzz-seeds:
+	$(GO) test -run=Fuzz ./internal/asm
+
+# Regenerate the small-scale golden tables after an intentional change
+# to a kernel, the core, or an experiment.
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenSmallTables -update
+
+# Everything CI runs.
+check: vet build test race fuzz-seeds
+
+# Full paper-scale experiment report (several minutes; all cores).
+report:
+	$(GO) run ./cmd/sdsp-report -o results.md

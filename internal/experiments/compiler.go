@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kernels"
@@ -101,7 +102,7 @@ func CompilerStudy(r *Runner) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			comp, err := runMiniC(row.csrc, n, 128/n)
+			comp, err := r.runMiniC(row.name, row.csrc, n, 128/n)
 			if err != nil {
 				return nil, err
 			}
@@ -119,13 +120,13 @@ func CompilerStudy(r *Runner) ([]Table, error) {
 	}
 	for _, regs := range []int{9, 12, 16, 21, 32, 64, 128} {
 		row := []string{fmt.Sprint(regs)}
-		for _, src := range []string{matrixC, dotC} {
+		for _, w := range []struct{ name, src string }{{"Matrix", matrixC}, {"Inner product", dotC}} {
 			for _, n := range []int{1, 4} {
 				if regs > 128/n {
 					row = append(row, "—") // partition cannot grant this many
 					continue
 				}
-				st, err := runMiniC(src, n, regs)
+				st, err := r.runMiniC(w.name, w.src, n, regs)
 				if err != nil {
 					return nil, err
 				}
@@ -140,17 +141,31 @@ func CompilerStudy(r *Runner) ([]Table, error) {
 	return []Table{quality, budget}, nil
 }
 
-func runMiniC(src string, threads, regs int) (*core.Stats, error) {
-	obj, err := minic.CompileToObject(src, minic.Options{Regs: regs})
-	if err != nil {
-		return nil, err
-	}
+// runMiniC compiles src with a regs-register budget and simulates it on
+// `threads` threads. It is a runner cell like any benchmark run, so the
+// parallel scheduler dedupes and fans it out alongside the kernel cells.
+func (r *Runner) runMiniC(name, src string, threads, regs int) (*core.Stats, error) {
 	cfg := core.DefaultConfig()
 	cfg.Threads = threads
 	cfg.MaxCycles = 100_000_000
-	m, err := core.New(obj, cfg)
-	if err != nil {
-		return nil, err
+	key := fmt.Sprintf("minic/%s/t%d/r%d", name, threads, regs)
+	run := func() (*core.Stats, error) {
+		start := time.Now()
+		obj, err := minic.CompileToObject(src, minic.Options{Regs: regs})
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(obj, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st, err := m.Run()
+		if err != nil {
+			return nil, fmt.Errorf("minic %s (threads=%d regs=%d): %w", name, threads, regs, err)
+		}
+		r.progressf("minic %-8s threads=%d regs=%d: %d cycles (IPC %.2f) [%v]",
+			name, threads, regs, st.Cycles, st.IPC(), time.Since(start).Round(time.Millisecond))
+		return st, nil
 	}
-	return m.Run()
+	return r.runCell(key, "minic/"+name, func() *core.Stats { return placeholderStats(cfg) }, run)
 }

@@ -3,6 +3,14 @@
 // returns one or more text tables whose rows mirror the series the paper
 // plots; EXPERIMENTS.md records the measured values next to the paper's
 // qualitative claims.
+//
+// Experiments are written as straight-line code against a Runner, but a
+// sweep executes as a declare/schedule/assemble pipeline (see
+// Runner.RunExperiments): the benchmark × configuration cells an
+// experiment needs are declared up front, deduplicated across all
+// selected experiments, simulated on a bounded worker pool, and only
+// then assembled into tables — so the rendered output is byte-identical
+// for any worker count.
 package experiments
 
 import (

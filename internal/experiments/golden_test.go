@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the small-scale golden tables")
+
+const goldenPath = "testdata/small_tables.golden"
+
+// TestGoldenSmallTables pins the complete `sdsp-exp -scale small`
+// output: every table of every experiment, rendered. Any change to a
+// kernel, the core, or an experiment that shifts a single cycle count
+// shows up as a diff here. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenSmallTables -update
+func TestGoldenSmallTables(t *testing.T) {
+	got, _ := sweeps(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		d := firstDiff(got, string(want))
+		t.Errorf("small-scale tables diverge from %s at byte %d:\n  got  %q\n  want %q\n(regenerate with -update if the change is intended)",
+			goldenPath, d, excerpt(got, d), excerpt(string(want), d))
+	}
+}

@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -50,20 +52,81 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
+// cell is one declared unit of simulation work: a benchmark ×
+// configuration point identified by its cache key. The run closure is
+// self-contained (build, simulate, validate) and safe to execute
+// concurrently with any other cell.
+type cell struct {
+	key   string
+	label string
+	run   func() (*core.Stats, error)
+}
+
+// cellResult memoizes a completed cell, errors included, so a failing
+// cell surfaces the same error at every experiment that requests it.
+type cellResult struct {
+	stats *core.Stats
+	err   error
+}
+
+// CellTiming records the wall-clock cost of one freshly simulated cell.
+type CellTiming struct {
+	Key         string  `json:"key"`
+	Label       string  `json:"label"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Cycles      uint64  `json:"cycles"` // simulated cycles; 0 if the cell failed
+	Err         string  `json:"error,omitempty"`
+}
+
 // Runner executes benchmark × configuration cells with caching (many
 // figures share cells, e.g. the 4-thread TrueRR default run) and golden
 // validation of every simulated run.
+//
+// A Runner has two modes of operation:
+//
+//   - Direct: Run/RunWith simulate on the calling goroutine, memoized.
+//     This is the historical sequential behavior.
+//   - Pipelined: RunExperiments first replays the experiments in a
+//     declaration pass that records every requested cell (deduped by
+//     cache key) without simulating, then executes the cells on a
+//     bounded worker pool, then replays the experiments again to
+//     assemble tables purely from the completed cell map. Because the
+//     assembly pass runs sequentially against final results, the
+//     rendered tables are byte-identical to the direct mode regardless
+//     of worker count or completion order.
 type Runner struct {
 	Scale kernels.Scale
-	// Progress, when non-nil, receives a line per fresh simulation.
+	// Progress, when non-nil, receives a line per fresh simulation. It
+	// is invoked from worker goroutines during a parallel sweep, but
+	// never concurrently (calls are serialized by the runner).
 	Progress func(format string, args ...any)
 
-	cache map[string]*core.Stats
+	mu        sync.Mutex
+	cache     map[string]cellResult
+	declaring bool
+	pending   []*cell
+	pendingBy map[string]bool
+
+	progressMu sync.Mutex
 }
 
 // NewRunner builds a runner at the given problem scale.
 func NewRunner(scale kernels.Scale) *Runner {
-	return &Runner{Scale: scale, cache: map[string]*core.Stats{}}
+	return &Runner{
+		Scale:     scale,
+		cache:     map[string]cellResult{},
+		pendingBy: map[string]bool{},
+	}
+}
+
+// progressf emits one progress line, serializing concurrent workers.
+func (r *Runner) progressf(format string, args ...any) {
+	if r.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	r.Progress(format, args...)
 }
 
 // config returns the paper-default configuration for n threads.
@@ -73,13 +136,56 @@ func (r *Runner) config(n int) core.Config {
 	return cfg
 }
 
-// cacheKey folds every timing-relevant configuration field.
+// cacheKey folds every timing-relevant configuration field (plus the
+// runaway guard, which decides whether a long run errors out or not).
 func cacheKey(b *kernels.Benchmark, cfg core.Config, p kernels.Params) string {
-	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d",
+	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d",
 		b.Name, p.Scale, cfg.Threads, cfg.FetchPolicy, cfg.CommitPolicy, cfg.CommitWindow,
 		cfg.SUEntries, cfg.IssueWidth, cfg.WritebackWidth, cfg.StoreBuffer, cfg.BTBEntries,
 		cfg.PredictorBits, cfg.PerThreadBTB, cfg.Renaming, cfg.Bypassing, cfg.StoreForwarding,
-		cfg.Cache.Ways, cfg.Cache.Ports, cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk)
+		cfg.Cache.Ways, cfg.Cache.Ports, cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk,
+		cfg.MaxCycles)
+}
+
+// placeholderStats is what a declared-but-not-yet-simulated cell returns
+// during the declaration pass. The values are inert but safe: counters
+// are 1 so no ratio divides by zero, and the slices are sized like a
+// real run so assembly code may index them. Tables built from
+// placeholders are discarded; only the assembly pass's tables survive.
+func placeholderStats(cfg core.Config) *core.Stats {
+	st := &core.Stats{Cycles: 1, Committed: 1, FetchedBlocks: 1, FetchedInsts: 1}
+	st.CommittedByThread = make([]uint64, cfg.Threads)
+	for cl := range st.FUUsage {
+		st.FUUsage[cl] = make([]uint64, cfg.FUs.Count[cl])
+	}
+	return st
+}
+
+// runCell is the single entry point for all simulation work. Cached
+// cells return their memoized result; in declaration mode fresh cells
+// are recorded and answered with a placeholder; otherwise the cell runs
+// on the calling goroutine.
+func (r *Runner) runCell(key, label string, placeholder func() *core.Stats, run func() (*core.Stats, error)) (*core.Stats, error) {
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res.stats, res.err
+	}
+	if r.declaring {
+		if !r.pendingBy[key] {
+			r.pending = append(r.pending, &cell{key: key, label: label, run: run})
+			r.pendingBy[key] = true
+		}
+		r.mu.Unlock()
+		return placeholder(), nil
+	}
+	r.mu.Unlock()
+
+	st, err := run()
+	r.mu.Lock()
+	r.cache[key] = cellResult{st, err}
+	r.mu.Unlock()
+	return st, err
 }
 
 // Run simulates benchmark b under cfg (memoized) and validates the
@@ -94,30 +200,130 @@ func (r *Runner) RunWith(b *kernels.Benchmark, cfg core.Config, p kernels.Params
 	p.Threads = cfg.Threads
 	p.Scale = r.Scale
 	key := cacheKey(b, cfg, p)
-	if st, ok := r.cache[key]; ok {
+	run := func() (*core.Stats, error) {
+		start := time.Now()
+		obj, err := b.Build(p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(obj, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st, err := m.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s (threads=%d): %w", b.Name, cfg.Threads, err)
+		}
+		if err := b.Check(m.Memory(), obj, p); err != nil {
+			return nil, fmt.Errorf("%s (threads=%d) failed validation: %w", b.Name, cfg.Threads, err)
+		}
+		r.progressf("%-8s threads=%d ways=%d su=%d policy=%v: %d cycles (IPC %.2f) [%v]",
+			b.Name, cfg.Threads, cfg.Cache.Ways, cfg.SUEntries, cfg.FetchPolicy, st.Cycles, st.IPC(),
+			time.Since(start).Round(time.Millisecond))
 		return st, nil
 	}
-	obj, err := b.Build(p)
-	if err != nil {
-		return nil, err
+	return r.runCell(key, b.Name, func() *core.Stats { return placeholderStats(cfg) }, run)
+}
+
+// declare replays exps with the runner in declaration mode, recording
+// the deduplicated cell set each experiment will need.
+func (r *Runner) declare(exps []Experiment) error {
+	r.mu.Lock()
+	r.declaring = true
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.declaring = false
+		r.mu.Unlock()
+	}()
+	for _, e := range exps {
+		if _, err := e.Run(r); err != nil {
+			return fmt.Errorf("declaring %s: %w", e.Name, err)
+		}
 	}
-	m, err := core.New(obj, cfg)
-	if err != nil {
-		return nil, err
+	return nil
+}
+
+// executePending simulates every declared cell on a pool of `jobs`
+// workers and returns per-cell timings in declaration order. Results
+// (including failures) land in the cell cache keyed by cache key, so
+// completion order cannot influence anything downstream.
+func (r *Runner) executePending(jobs int) []CellTiming {
+	r.mu.Lock()
+	cells := r.pending
+	r.pending = nil
+	r.pendingBy = map[string]bool{}
+	r.mu.Unlock()
+	if len(cells) == 0 {
+		return nil
 	}
-	st, err := m.Run()
-	if err != nil {
-		return nil, fmt.Errorf("%s (threads=%d): %w", b.Name, cfg.Threads, err)
+	if jobs < 1 {
+		jobs = 1
 	}
-	if err := b.Check(m.Memory(), obj, p); err != nil {
-		return nil, fmt.Errorf("%s (threads=%d) failed validation: %w", b.Name, cfg.Threads, err)
+	if jobs > len(cells) {
+		jobs = len(cells)
 	}
-	if r.Progress != nil {
-		r.Progress("%-8s threads=%d ways=%d su=%d policy=%v: %d cycles (IPC %.2f)",
-			b.Name, cfg.Threads, cfg.Cache.Ways, cfg.SUEntries, cfg.FetchPolicy, st.Cycles, st.IPC())
+	timings := make([]CellTiming, len(cells))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cells[i]
+				start := time.Now()
+				st, err := c.run()
+				wall := time.Since(start)
+				r.mu.Lock()
+				r.cache[c.key] = cellResult{st, err}
+				r.mu.Unlock()
+				tm := CellTiming{Key: c.key, Label: c.label, WallSeconds: wall.Seconds()}
+				if st != nil {
+					tm.Cycles = st.Cycles
+				}
+				if err != nil {
+					tm.Err = err.Error()
+				}
+				timings[i] = tm
+			}
+		}()
 	}
-	r.cache[key] = st
-	return st, nil
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return timings
+}
+
+// RunExperiments executes exps as a declare/schedule/assemble pipeline:
+// every cell the experiments request is collected up front, deduped
+// across experiments, simulated on `jobs` parallel workers, and the
+// tables are then assembled sequentially from the completed cell map.
+//
+// Determinism guarantee: the returned tables are byte-identical (once
+// rendered) to running each experiment directly on a fresh sequential
+// runner, for any jobs >= 1. Should an experiment's control flow
+// request a cell that the declaration pass did not predict, the cell is
+// simulated synchronously during assembly — a performance fallback,
+// never a correctness one.
+//
+// The timings cover the freshly simulated cells in declaration order.
+func (r *Runner) RunExperiments(exps []Experiment, jobs int) ([][]Table, []CellTiming, error) {
+	if err := r.declare(exps); err != nil {
+		return nil, nil, err
+	}
+	timings := r.executePending(jobs)
+	tables := make([][]Table, len(exps))
+	for i, e := range exps {
+		ts, err := e.Run(r)
+		if err != nil {
+			return nil, timings, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		tables[i] = ts
+	}
+	return tables, timings, nil
 }
 
 func classOf(cl int) isa.Class { return isa.Class(cl) }

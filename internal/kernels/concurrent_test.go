@@ -1,0 +1,168 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Concurrency smoke tests: the parallel experiment runner executes many
+// core.Machine instances on worker goroutines at once, so nothing in
+// the simulation path (assembler, loader, memory, caches, sync
+// controller, golden checks) may share mutable state between machines.
+// These tests are most meaningful under `go test -race`.
+
+// TestConcurrentMachinesSameKernel simulates the same kernel on 8
+// goroutines simultaneously, each building its own object, and checks
+// every run against the golden model.
+func TestConcurrentMachinesSameKernel(t *testing.T) {
+	b, err := Get("LL3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Threads: 4, Scale: Small}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	cycles := make([]uint64, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			obj, err := b.Build(p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfg := core.DefaultConfig()
+			cfg.Threads = p.Threads
+			m, err := core.New(obj, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			st, err := m.Run()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := b.Check(m.Memory(), obj, p); err != nil {
+				errs[i] = fmt.Errorf("goroutine %d failed validation: %w", i, err)
+				return
+			}
+			cycles[i] = st.Cycles
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] != cycles[0] {
+			t.Errorf("goroutine %d took %d cycles, goroutine 0 took %d; identical simulations must agree",
+				i, cycles[i], cycles[0])
+		}
+	}
+}
+
+// TestConcurrentMachinesSharedObject shares one assembled object across
+// 8 simultaneous machines: loader.Object is read-only after assembly,
+// and each Load() must give the machine a private memory image.
+func TestConcurrentMachinesSharedObject(t *testing.T) {
+	b, err := Get("LL1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Threads: 4, Scale: Small}
+	obj, err := b.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := core.DefaultConfig()
+			cfg.Threads = p.Threads
+			m, err := core.New(obj, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := m.Run(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = b.Check(m.Memory(), obj, p)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentMixedConfigs runs 8 goroutines over a mix of kernels
+// and machine configurations at once — the shape of a real parallel
+// sweep, where heterogeneous cells execute side by side.
+func TestConcurrentMixedConfigs(t *testing.T) {
+	mods := []func(*core.Config){
+		nil,
+		func(c *core.Config) { c.FetchPolicy = core.MaskedRR },
+		func(c *core.Config) { c.Cache.Ways = 1 },
+		func(c *core.Config) { c.Renaming = false },
+		func(c *core.Config) { c.FUs = core.EnhancedFUs() },
+		func(c *core.Config) { c.StoreForwarding = true },
+		func(c *core.Config) { c.CommitPolicy = core.LowestOnly; c.CommitWindow = 1 },
+		func(c *core.Config) { c.SUEntries = 16 },
+	}
+	names := []string{"LL1", "LL2", "LL5", "Sieve"}
+	var wg sync.WaitGroup
+	errs := make([]error, len(mods))
+	for i, mod := range mods {
+		wg.Add(1)
+		go func(i int, mod func(*core.Config)) {
+			defer wg.Done()
+			b, err := Get(names[i%len(names)])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			threads := 1 + i%4
+			p := Params{Threads: threads, Scale: Small}
+			obj, err := b.Build(p)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfg := core.DefaultConfig()
+			cfg.Threads = threads
+			if mod != nil {
+				mod(&cfg)
+			}
+			m, err := core.New(obj, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := m.Run(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = b.Check(m.Memory(), obj, p)
+		}(i, mod)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+}
