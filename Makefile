@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz-seeds golden check report
+.PHONY: all build vet test race fuzz-seeds paranoid fault-smoke golden check report
 
 all: check
 
@@ -21,6 +21,22 @@ race:
 # Replay the committed fuzz corpus seeds as ordinary tests.
 fuzz-seeds:
 	$(GO) test -run=Fuzz ./internal/asm
+	$(GO) test -run=FuzzVerify ./sdsp
+
+# Every paper kernel under full per-cycle invariant checking, and the
+# experiment pipeline in paranoid mode at small scale.
+paranoid:
+	$(GO) test ./sdsp -run TestAllKernelsParanoid
+	$(GO) run ./cmd/sdsp-exp -scale small -paranoid > /dev/null
+
+# Fault-injection smoke matrix: one preset per mechanism through the
+# CLI, with invariants armed; each run must still validate its golden
+# result and match the functional simulator.
+fault-smoke:
+	for spec in light heavy cache-storm wb-storm bpred-storm squash-storm; do \
+		$(GO) run ./cmd/sdsp-sim -bench Matrix -threads 4 -paranoid -functional -fault $$spec,seed=7 > /dev/null || exit 1; \
+	done
+	$(GO) run ./cmd/sdsp-sim -bench LL5 -threads 2 -paranoid -functional -fault seed=13,miss=0.05,wb=0.05,flip=0.05,squash=0.01 > /dev/null
 
 # Regenerate the small-scale golden tables after an intentional change
 # to a kernel, the core, or an experiment.
@@ -28,7 +44,7 @@ golden:
 	$(GO) test ./internal/experiments -run TestGoldenSmallTables -update
 
 # Everything CI runs.
-check: vet build test race fuzz-seeds
+check: vet build test race fuzz-seeds paranoid fault-smoke
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/kernels"
+	"repro/sdsp"
 )
 
 // timingExport is the machine-readable -json payload.
@@ -47,6 +48,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "log each fresh simulation (with wall time) to stderr")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max cells simulated in parallel (1 = sequential)")
 		jsonOut  = flag.String("json", "", "write per-cell timing JSON to this file ('-' for stdout)")
+		paranoid = flag.Bool("paranoid", false, "check machine invariants every cycle in every cell")
+		fault    = flag.String("fault", "", "apply a deterministic fault schedule to every cell (preset or seed=N,miss=R,...)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,13 @@ func main() {
 	}
 
 	runner := experiments.NewRunner(sc)
+	runner.Paranoid = *paranoid
+	inj, err := sdsp.ParseFaultSpec(*fault)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", err)
+		os.Exit(2)
+	}
+	runner.Injector = inj
 	if *verbose {
 		runner.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

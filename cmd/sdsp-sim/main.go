@@ -40,6 +40,9 @@ func main() {
 		predBits   = flag.Int("pred-bits", 2, "branch predictor counter bits (1-4)")
 		privateBTB = flag.Bool("private-btb", false, "per-thread BTB instead of the shared one")
 		trace      = flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
+		paranoid   = flag.Bool("paranoid", false, "check machine invariants every cycle")
+		faultSpec  = flag.String("fault", "", "deterministic fault schedule: preset (light, heavy, ...) or seed=N,miss=R,wb=R,flip=R,squash=R")
+		watchdog   = flag.Int64("watchdog", 0, "deadlock watchdog limit in cycles (0 = default 100000, negative = off)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,17 @@ func main() {
 	cfg.Cache.Ports = *ports
 	cfg.PredictorBits = *predBits
 	cfg.PerThreadBTB = *privateBTB
+	cfg.CheckInvariants = *paranoid
+	if *watchdog < 0 {
+		cfg.Watchdog = sdsp.NoWatchdog
+	} else {
+		cfg.Watchdog = uint64(*watchdog)
+	}
+	inj, ferr := sdsp.ParseFaultSpec(*faultSpec)
+	if ferr != nil {
+		fatal("%v", ferr)
+	}
+	cfg.Injector = inj
 
 	var obj *sdsp.Object
 	var err error
@@ -154,6 +168,11 @@ func printStats(name string, cfg core.Config, st *core.Stats) {
 	fmt.Fprintf(w, "SU stalls\t%d\tavg SU occupancy\t%.1f\n", st.SUStalls, st.AvgSUOccupancy())
 	fmt.Fprintf(w, "fetch idle cycles\t%d\tdispatch stalls\t%d\n", st.FetchIdle, st.DispatchStall)
 	fmt.Fprintf(w, "load blocked\t%d\tstore buffer full\t%d\n", st.LoadBlocked, st.StoreBufferFull)
+	if cfg.Injector != nil {
+		fmt.Fprintf(w, "fault schedule\t%s\n", cfg.Injector)
+		fmt.Fprintf(w, "injected\t%d cache delays, %d wb delays, %d bpred flips, %d squashes\n",
+			st.Faults.CacheDelays, st.Faults.WritebackDelays, st.Faults.PredictorFlips, st.Faults.SpuriousSquashes)
+	}
 	for t, c := range st.CommittedByThread {
 		fmt.Fprintf(w, "thread %d committed\t%d\n", t, c)
 	}

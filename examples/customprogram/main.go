@@ -98,7 +98,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	result := math.Float32frombits(m.Memory().LoadWord(obj.MustSymbol("result")))
+	resultAddr, err := obj.Symbol("result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	result := math.Float32frombits(m.Memory().LoadWord(resultAddr))
 	fmt.Printf("dot product = %v (expected 0 for zero vectors)\n", result)
 	fmt.Printf("%d cycles, %d instructions committed, IPC %.2f\n",
 		st.Cycles, st.Committed, st.IPC())

@@ -73,7 +73,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sum := math.Float32frombits(m.Memory().LoadWord(obj.MustSymbol("sum")))
+		sumAddr, err := obj.Symbol("sum")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := math.Float32frombits(m.Memory().LoadWord(sumAddr))
 		if n == 1 {
 			base = st.Cycles
 		}

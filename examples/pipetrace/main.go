@@ -52,7 +52,11 @@ func main() {
 	}
 	fmt.Printf("...\n(total %d cycles, %d instructions, IPC %.2f, %d mispredicts)\n",
 		st.Cycles, st.Committed, st.IPC(), st.Mispredicts)
+	out, err := obj.Symbol("out")
+	if err != nil {
+		log.Fatal(err)
+	}
 	for t := 0; t < 2; t++ {
-		fmt.Printf("thread %d result: %d\n", t, m.Memory().LoadWord(obj.MustSymbol("out")+uint32(t)*4))
+		fmt.Printf("thread %d result: %d\n", t, m.Memory().LoadWord(out+uint32(t)*4))
 	}
 }

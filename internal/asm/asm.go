@@ -88,15 +88,6 @@ func Assemble(src string) (*loader.Object, error) {
 	return obj, nil
 }
 
-// MustAssemble is Assemble but panics on error; for generated kernels.
-func MustAssemble(src string) *loader.Object {
-	obj, err := Assemble(src)
-	if err != nil {
-		panic(err)
-	}
-	return obj
-}
-
 func errAt(line int, format string, args ...any) error {
 	return fmt.Errorf("asm: line %d: %s", line, fmt.Sprintf(format, args...))
 }
@@ -322,8 +313,12 @@ func (a *assembler) emit() error {
 		if s.mnemonic == ".balign" {
 			// Pad to the next fetch-block boundary with NOPs so branch
 			// targets land on block starts (the paper's improvement #2).
+			nop, err := isa.Encode(isa.Inst{Op: isa.NOP})
+			if err != nil {
+				return errAt(s.line, "encoding nop padding: %v", err)
+			}
 			for n := uint32(0); n < s.size; n += 4 {
-				a.text = append(a.text, isa.MustEncode(isa.Inst{Op: isa.NOP}))
+				a.text = append(a.text, nop)
 			}
 			continue
 		}

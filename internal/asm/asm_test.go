@@ -20,6 +20,15 @@ func mustAssemble(t *testing.T, src string) *loader.Object {
 	return obj
 }
 
+func sym(t *testing.T, obj *loader.Object, name string) uint32 {
+	t.Helper()
+	addr, err := obj.Symbol(name)
+	if err != nil {
+		t.Fatalf("Symbol(%q): %v", name, err)
+	}
+	return addr
+}
+
 func decodeAll(t *testing.T, text []uint32) []isa.Inst {
 	t.Helper()
 	out := make([]isa.Inst, len(text))
@@ -109,14 +118,14 @@ func TestDataSegmentAndSymbols(t *testing.T) {
 		buf:    .space 8
 		end:    .space 0
 	`)
-	table := obj.MustSymbol("table")
+	table := sym(t, obj, "table")
 	if table != loader.DataBase {
 		t.Errorf("table = %#x, want %#x", table, uint32(loader.DataBase))
 	}
-	if got := obj.MustSymbol("vec"); got != table+12 {
+	if got := sym(t, obj, "vec"); got != table+12 {
 		t.Errorf("vec = %#x, want %#x", got, table+12)
 	}
-	if got := obj.MustSymbol("end"); got != table+24 {
+	if got := sym(t, obj, "end"); got != table+24 {
 		t.Errorf("end = %#x, want %#x", got, table+24)
 	}
 	if len(obj.Data) != 6 {
@@ -147,10 +156,10 @@ func TestFlagsSegment(t *testing.T) {
 		lock:    .space 4
 		barrier: .space 8
 	`)
-	if got := obj.MustSymbol("lock"); got != loader.FlagBase {
+	if got := sym(t, obj, "lock"); got != loader.FlagBase {
 		t.Errorf("lock = %#x, want %#x", got, uint32(loader.FlagBase))
 	}
-	if got := obj.MustSymbol("barrier"); got != loader.FlagBase+4 {
+	if got := sym(t, obj, "barrier"); got != loader.FlagBase+4 {
 		t.Errorf("barrier = %#x", got)
 	}
 	if obj.FlagLen != 12 {
@@ -245,7 +254,7 @@ func TestTrailingLabel(t *testing.T) {
 		a:    .word 1
 		end_of_data:
 	`)
-	if got := obj.MustSymbol("end_of_data"); got != loader.DataBase+4 {
+	if got := sym(t, obj, "end_of_data"); got != loader.DataBase+4 {
 		t.Errorf("trailing label = %#x, want %#x", got, loader.DataBase+4)
 	}
 }
@@ -259,7 +268,7 @@ func TestLabelPlusOffset(t *testing.T) {
 	`)
 	insts := decodeAll(t, obj.Text)
 	regs := materialize(insts[:2])
-	if want := obj.MustSymbol("table") + 8; regs[1] != want {
+	if want := sym(t, obj, "table") + 8; regs[1] != want {
 		t.Errorf("li table+8 = %#x, want %#x", regs[1], want)
 	}
 }
@@ -315,7 +324,7 @@ func TestBalign(t *testing.T) {
 		       bne  r1, r0, loop
 		       halt
 	`)
-	if got := obj.MustSymbol("loop"); got != 16 {
+	if got := sym(t, obj, "loop"); got != 16 {
 		t.Errorf("loop = %#x, want 16 (block-aligned)", got)
 	}
 	insts := decodeAll(t, obj.Text)
@@ -338,7 +347,7 @@ func TestBalignAlreadyAligned(t *testing.T) {
 		      .balign
 		l:    halt
 	`)
-	if got := obj.MustSymbol("l"); got != 16 {
+	if got := sym(t, obj, "l"); got != 16 {
 		t.Errorf("already-aligned .balign moved the label to %#x", got)
 	}
 	if len(obj.Text) != 5 {

@@ -48,7 +48,11 @@ func FuzzAssemble(f *testing.F) {
 func FuzzDisassemble(f *testing.F) {
 	f.Add(uint32(0))
 	f.Add(uint32(0xFFFFFFFF))
-	f.Add(isa.MustEncode(isa.Inst{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3}))
+	w, err := isa.Encode(isa.Inst{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(w)
 	f.Fuzz(func(t *testing.T, w uint32) {
 		in, err := isa.Decode(w)
 		if err != nil {

@@ -108,6 +108,20 @@ func (p *Predictor) Update(pc uint32, taken bool, target uint32, correct bool) {
 	}
 }
 
+// FlipEntry inverts the direction of BTB slot i's saturating counter
+// (i is reduced modulo the BTB size) and reports whether a valid entry
+// was perturbed. Used by deterministic fault injection: predictor state
+// is timing-only, so arbitrary perturbation must never change
+// architectural results — only mispredict counts and cycle times.
+func (p *Predictor) FlipEntry(i int) bool {
+	e := &p.entries[uint32(i)&p.mask]
+	if !e.valid {
+		return false
+	}
+	e.counter = p.max - e.counter
+	return true
+}
+
 // Stats reports lookup and accuracy counters.
 type Stats struct {
 	Lookups, BTBHits     uint64

@@ -38,6 +38,26 @@ func DirectMapped() Config {
 	return c
 }
 
+// Validate reports configuration errors. New requires a valid config;
+// callers building configs from untrusted input validate first.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0 || c.LineBytes == 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: zero-valued config")
+	case c.LineBytes%4 != 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d must be a power-of-two multiple of 4", c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*uint32(c.Ways)) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line size %d times %d ways", c.SizeBytes, c.LineBytes, c.Ways)
+	case c.Ports < 0:
+		return fmt.Errorf("cache: negative port count %d", c.Ports)
+	}
+	nsets := c.SizeBytes / c.LineBytes / uint32(c.Ways)
+	if nsets&(nsets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", nsets)
+	}
+	return nil
+}
+
 // Result is the outcome of a cache request this cycle.
 type Result int
 
@@ -73,6 +93,7 @@ type Stats struct {
 	Writebacks     uint64
 	BlockedRejects uint64 // requests refused while the cache was blocked
 	PortRejects    uint64 // requests refused for lack of a free port
+	Forced         uint64 // misses forced by fault injection (subset of Misses)
 }
 
 // HitRate returns the fraction of counted accesses that hit.
@@ -111,24 +132,25 @@ type Cache struct {
 	portsUsed int    // accesses serviced this cycle
 	portCycle uint64 // cycle portsUsed refers to
 
+	// FaultDelay, when set, is consulted on each counted access (an
+	// architectural access's first attempt); a non-zero return makes the
+	// access behave as a miss that completes after that many cycles.
+	// Line state is untouched — a forced "miss" must never re-install a
+	// line over dirty data — so the perturbation is timing-only.
+	FaultDelay func(now uint64, addr uint32, write bool) uint64
+	delays     map[uint32]uint64 // addr -> cycle the forced delay expires
+
 	stats Stats
 }
 
-// New builds a cache over backing memory.
+// New builds a cache over backing memory. The config must be valid
+// (Validate); New panics otherwise, so callers handling untrusted
+// configs validate first (core.Config.Validate does).
 func New(cfg Config, backing *mem.Memory) *Cache {
-	if cfg.SizeBytes == 0 || cfg.LineBytes == 0 || cfg.Ways <= 0 {
-		panic("cache: zero-valued config")
-	}
-	if cfg.SizeBytes%(cfg.LineBytes*uint32(cfg.Ways)) != 0 {
-		panic("cache: size not divisible by line*ways")
-	}
-	if cfg.LineBytes%4 != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
-		panic("cache: line size must be a power-of-two multiple of 4")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	nsets := cfg.SizeBytes / cfg.LineBytes / uint32(cfg.Ways)
-	if nsets&(nsets-1) != 0 {
-		panic("cache: set count must be a power of two")
-	}
 	sets := make([][]line, nsets)
 	for i := range sets {
 		sets[i] = make([]line, cfg.Ways)
@@ -136,7 +158,8 @@ func New(cfg Config, backing *mem.Memory) *Cache {
 			sets[i][w].words = make([]uint32, cfg.LineBytes/4)
 		}
 	}
-	return &Cache{cfg: cfg, sets: sets, backing: backing, nsets: nsets}
+	return &Cache{cfg: cfg, sets: sets, backing: backing, nsets: nsets,
+		delays: make(map[uint32]uint64)}
 }
 
 func (c *Cache) lineAddr(addr uint32) uint32 { return addr &^ (c.cfg.LineBytes - 1) }
@@ -209,7 +232,7 @@ func (c *Cache) writeback(l *line) {
 func (c *Cache) blocked() bool { return c.pending != nil }
 
 // request implements the shared hit/miss/busy state machine.
-func (c *Cache) request(addr uint32, now uint64, count bool) (*line, Result) {
+func (c *Cache) request(addr uint32, now uint64, count, write bool) (*line, Result) {
 	if c.blocked() {
 		c.stats.BlockedRejects++
 		return nil, Busy
@@ -223,6 +246,22 @@ func (c *Cache) request(addr uint32, now uint64, count bool) (*line, Result) {
 			return nil, Busy
 		}
 		c.portsUsed++
+	}
+	// Fault injection: a forced delay makes this access behave as a miss
+	// that completes after the delay, without touching line state.
+	if count && c.FaultDelay != nil {
+		if d := c.FaultDelay(now, addr, write); d > 0 {
+			c.delays[addr] = now + d
+			c.stats.Misses++
+			c.stats.Forced++
+			return nil, Miss
+		}
+	}
+	if until, ok := c.delays[addr]; ok {
+		if now < until {
+			return nil, Busy
+		}
+		delete(c.delays, addr)
 	}
 	if l := c.lookup(addr); l != nil {
 		c.useClock++
@@ -257,7 +296,7 @@ func (c *Cache) Read(addr uint32, now uint64, count bool) (uint32, Result) {
 	if count {
 		c.stats.Reads++
 	}
-	l, res := c.request(addr, now, count)
+	l, res := c.request(addr, now, count, false)
 	if res != Hit {
 		return 0, res
 	}
@@ -270,7 +309,7 @@ func (c *Cache) Write(addr, val uint32, now uint64, count bool) Result {
 	if count {
 		c.stats.Writes++
 	}
-	l, res := c.request(addr, now, count)
+	l, res := c.request(addr, now, count, true)
 	if res != Hit {
 		return res
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/isa"
 )
 
@@ -13,6 +11,9 @@ import (
 // the register file, releases stores to drain, trains the branch
 // predictor, and pops the block so new entries can be made.
 func (m *Machine) commit() {
+	if m.fault != nil {
+		return
+	}
 	window := m.cfg.CommitWindow
 	if m.cfg.CommitPolicy == LowestOnly {
 		window = 1
@@ -57,22 +58,55 @@ func (m *Machine) commit() {
 
 	m.stats.CommitsPerWin[chosen]++
 	b := m.su[chosen]
+	// Paranoid mode re-verifies Flexible Result Commit legality against
+	// the paper's rule (§3.5) independently of the selection loop above:
+	// the chosen block must be complete, inside the window, and its
+	// thread must differ from every uncommitted block below it.
+	if m.cfg.CheckInvariants {
+		switch {
+		case !b.done():
+			m.failf(FaultInvariant, "commit", b.thread, 0, "chose incomplete block for commit")
+		case m.cfg.CommitPolicy == LowestOnly && chosen != 0:
+			m.failf(FaultInvariant, "commit", b.thread, 0, "LowestOnly committed from slot %d", chosen)
+		case chosen >= m.cfg.CommitWindow:
+			m.failf(FaultInvariant, "commit", b.thread, 0, "committed from slot %d outside window %d", chosen, m.cfg.CommitWindow)
+		}
+		for j := 0; j < chosen; j++ {
+			if m.su[j].thread == b.thread {
+				m.failf(FaultInvariant, "commit", b.thread, 0,
+					"block committed over an older uncommitted block of the same thread (slot %d)", j)
+			}
+		}
+		if m.fault != nil {
+			return
+		}
+	}
 	m.trace("commit   t%d block from window slot %d", b.thread, chosen)
 	for _, e := range b.entries {
 		if e == nil || !e.valid || e.squashed {
 			continue
 		}
 		m.commitEntry(e)
+		if m.fault != nil {
+			return // leave the faulting block in place for the dump
+		}
 	}
 	m.su = append(m.su[:chosen], m.su[chosen+1:]...)
+	m.lastProgress = m.now
 }
 
 func (m *Machine) commitEntry(e *suEntry) {
 	if e.badAddr {
-		panic(fmt.Sprintf("core: committed instruction with illegal address %#08x: %v", e.addr, e))
+		// The address was illegal when computed; it stayed speculative in
+		// case a squash removed it, but the program really committed it —
+		// a program error, reported with full attribution.
+		m.failMem("commit", e, "%v committed an illegal address (outside its segment, or unaligned)", e.inst)
+		return
 	}
 	if e.writesReg() {
-		m.regs[m.physReg(e.thread, e.inst.Rd)] = e.result
+		if p := m.physReg(e.thread, e.inst.Rd); p >= 0 {
+			m.regs[p] = e.result
+		}
 	}
 	switch {
 	case e.inst.Op == isa.SW || e.inst.Op == isa.FSTW:
@@ -89,14 +123,18 @@ func (m *Machine) commitEntry(e *suEntry) {
 }
 
 // releaseStore marks e's store buffer entry committed and queues it for
-// draining in commit order.
+// draining in commit order, stamping the commit-order sequence the
+// invariant checker uses to verify in-order drain.
 func (m *Machine) releaseStore(e *suEntry) {
 	for _, so := range m.storeBuf {
 		if so.entry == e {
 			so.committed = true
+			m.storeSeq++
+			so.seq = m.storeSeq
 			m.drainQueue = append(m.drainQueue, so)
 			return
 		}
 	}
-	panic(fmt.Sprintf("core: committed store %v has no store buffer entry", e))
+	m.failf(FaultInternal, "commit", e.thread, e.pc,
+		"committed store %v has no store buffer entry", e)
 }

@@ -155,7 +155,30 @@ type Config struct {
 	FUs    FUConfig
 
 	MaxCycles uint64 // runaway guard; 0 means a generous default
+
+	// Watchdog is the forward-progress limit: if no block commits and no
+	// store drains for this many cycles while work is outstanding, the
+	// run stops immediately with a structured deadlock diagnostic instead
+	// of spinning to MaxCycles. 0 means the default (100k cycles, far
+	// beyond any legitimate stall); NoWatchdog disables the check.
+	Watchdog uint64
+
+	// CheckInvariants enables the per-cycle invariant checker: SU age
+	// ordering, rename-tag uniqueness, register-partition isolation,
+	// store-buffer capacity and in-order drain, flexible-commit legality,
+	// and selective-squash containment. Roughly doubles simulation time;
+	// exposed as -paranoid on the CLIs.
+	CheckInvariants bool
+
+	// Injector, when non-nil, applies a deterministic fault schedule of
+	// timing-only perturbations (forced cache miss delays, predictor
+	// counter flips, writeback delays, spurious squashes). Architectural
+	// results must be unaffected; internal/fault implements it.
+	Injector FaultInjector
 }
+
+// NoWatchdog disables the forward-progress watchdog.
+const NoWatchdog = ^uint64(0)
 
 // DefaultConfig is the paper's default hardware configuration.
 func DefaultConfig() Config {
@@ -202,6 +225,20 @@ func (c *Config) Validate() error {
 	if c.PredictorBits < 0 || c.PredictorBits > 4 {
 		return fmt.Errorf("core: predictor bits %d out of range", c.PredictorBits)
 	}
+	if c.FetchPolicy < TrueRR || c.FetchPolicy > ICount {
+		return fmt.Errorf("core: unknown fetch policy %v", c.FetchPolicy)
+	}
+	if c.CommitPolicy != FlexibleCommit && c.CommitPolicy != LowestOnly {
+		return fmt.Errorf("core: unknown commit policy %v", c.CommitPolicy)
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return fmt.Errorf("core: data cache: %w", err)
+	}
+	if c.ICache != nil {
+		if err := c.ICache.Validate(); err != nil {
+			return fmt.Errorf("core: instruction cache: %w", err)
+		}
+	}
 	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
 		if c.FUs.Count[cl] < 1 {
 			return fmt.Errorf("core: no %v units configured", cl)
@@ -227,4 +264,15 @@ func (c *Config) maxCycles() uint64 {
 		return c.MaxCycles
 	}
 	return 500_000_000
+}
+
+// watchdogLimit returns the forward-progress limit, or 0 when disabled.
+func (c *Config) watchdogLimit() uint64 {
+	switch c.Watchdog {
+	case NoWatchdog:
+		return 0
+	case 0:
+		return 100_000
+	}
+	return c.Watchdog
 }

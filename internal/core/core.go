@@ -55,6 +55,11 @@ type Machine struct {
 	now   uint64
 	stats Stats
 
+	// Robustness layer (see docs/ROBUSTNESS.md).
+	fault        *MachineError // first structured fault; freezes the machine
+	lastProgress uint64        // last cycle a block committed or a store drained
+	storeSeq     uint64        // commit-order sequence stamped on drained stores
+
 	// Trace, when set, receives one line per pipeline event (fetch,
 	// dispatch, issue, writeback, mispredict, commit), prefixed with the
 	// cycle number. Heavy; intended for debugging and teaching.
@@ -78,10 +83,18 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	text := make([]isa.Inst, len(obj.Text))
+	kregs := isa.RegsPerThread(cfg.Threads)
 	for i, w := range obj.Text {
 		in, err := isa.Decode(w)
 		if err != nil {
 			return nil, fmt.Errorf("core: text word %d: %w", i, err)
+		}
+		// Pre-validate the register budget so no rename-time panic is
+		// reachable from a loadable object: every register field must fit
+		// the static per-thread partition.
+		if r := in.MaxReg(); int(r) >= kregs {
+			return nil, fmt.Errorf("core: text word %d (%v at %#x) uses r%d, but the %d-thread partition budget is %d registers per thread",
+				i, in, uint32(i)*4, r, cfg.Threads, kregs)
 		}
 		text[i] = in
 	}
@@ -95,7 +108,7 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:          cfg,
-		kregs:        isa.RegsPerThread(cfg.Threads),
+		kregs:        kregs,
 		memory:       m0,
 		dcache:       cache.New(cfg.Cache, m0),
 		sync:         syncctl.New(m0),
@@ -110,6 +123,15 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 	}
 	if cfg.ICache != nil {
 		m.icache = cache.New(*cfg.ICache, m0)
+	}
+	if inj := cfg.Injector; inj != nil {
+		m.dcache.FaultDelay = func(now uint64, addr uint32, write bool) uint64 {
+			d := inj.CacheDelay(now, addr, write)
+			if d > 0 {
+				m.stats.Faults.CacheDelays++
+			}
+			return d
+		}
 	}
 	for t := range m.pc {
 		m.pc[t] = obj.Entry
@@ -129,8 +151,9 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) Memory() *mem.Memory { return m.memory }
 
 // Reg reads thread t's logical register r as of the committed state.
+// Out-of-partition registers read as zero.
 func (m *Machine) Reg(t, r int) uint32 {
-	if r == 0 {
+	if r <= 0 || r >= m.kregs || t < 0 || t >= m.cfg.Threads {
 		return 0
 	}
 	return m.regs[t*m.kregs+r]
@@ -151,15 +174,22 @@ func (m *Machine) Done() bool {
 		len(m.drainQueue) == 0 && len(m.completions) == 0 && len(m.pendingLoads) == 0
 }
 
-// Run executes cycles until done. It errors out if the runaway guard
-// trips, including a state dump for debugging.
+// Run executes cycles until done. Any fault — runaway guard, watchdog
+// deadlock, invariant violation, or a committed illegal memory access —
+// is returned as a *MachineError carrying the faulting cycle, phase,
+// thread, PC, and a state dump.
 func (m *Machine) Run() (*Stats, error) {
 	limit := m.cfg.maxCycles()
-	for !m.Done() {
+	for !m.Done() && m.fault == nil {
 		if m.now >= limit {
-			return nil, fmt.Errorf("core: exceeded %d cycles without finishing\n%s", limit, m.dump())
+			m.failf(FaultRunaway, "run", -1, 0, "exceeded %d cycles without finishing", limit)
+			break
 		}
 		m.Cycle()
+	}
+	if m.fault != nil {
+		m.finishStats()
+		return nil, m.fault
 	}
 	m.dcache.FlushAll()
 	m.finishStats()
@@ -203,12 +233,19 @@ func (m *Machine) finishStats() {
 }
 
 // Cycle advances the machine one clock. Stages run commit-first so data
-// moves at most one stage per cycle.
+// moves at most one stage per cycle. A faulted machine does not advance;
+// check Err between cycles when driving the clock by hand.
 func (m *Machine) Cycle() {
+	if m.fault != nil {
+		return
+	}
 	m.now++
 	m.dcache.Tick(m.now)
 	if m.icache != nil {
 		m.icache.Tick(m.now)
+	}
+	if m.cfg.Injector != nil {
+		m.injectPredictorFlip()
 	}
 	m.commit()
 	m.drainStores()
@@ -217,7 +254,60 @@ func (m *Machine) Cycle() {
 	m.issue()
 	m.dispatch()
 	m.fetch()
+	if m.fault == nil && m.cfg.CheckInvariants {
+		if err := m.CheckInvariants(); err != nil {
+			m.failf(FaultInvariant, "invariant check", -1, 0, "%v", err)
+		}
+	}
+	m.watchdogCheck()
 	m.cycleStats()
+}
+
+// injectPredictorFlip applies this cycle's BTB counter perturbation, if
+// the fault schedule calls for one. Predictor state is timing-only, so
+// arbitrary flips must never change architectural results.
+func (m *Machine) injectPredictorFlip() {
+	slot, ok := m.cfg.Injector.FlipPredictor(m.now)
+	if !ok {
+		return
+	}
+	p := m.preds[slot%len(m.preds)]
+	if p.FlipEntry(slot / len(m.preds)) {
+		m.stats.Faults.PredictorFlips++
+	}
+}
+
+// watchdogCheck trips the forward-progress watchdog: outstanding work
+// but no block commit and no store drain for the configured limit means
+// the machine is deadlocked, so report it now rather than spinning to
+// MaxCycles.
+func (m *Machine) watchdogCheck() {
+	limit := m.cfg.watchdogLimit()
+	if limit == 0 || m.fault != nil || m.Done() {
+		return
+	}
+	if m.now-m.lastProgress <= limit {
+		return
+	}
+	thread, pc := -1, uint32(0)
+	why := "no blocks in flight"
+	if len(m.su) > 0 {
+		b := m.su[0]
+		thread = b.thread
+		for _, e := range b.entries {
+			if e != nil && e.valid && !e.squashed {
+				pc = e.pc
+				why = fmt.Sprintf("bottom block is thread %d at pc %#x, oldest state %v", b.thread, e.pc, e.state)
+				break
+			}
+		}
+	} else if len(m.drainQueue) > 0 {
+		so := m.drainQueue[0]
+		thread, pc = so.entry.thread, so.entry.pc
+		why = fmt.Sprintf("store to %#x committed but never drained", so.entry.addr)
+	}
+	m.failf(FaultDeadlock, "watchdog", thread, pc,
+		"no commit or store drain for %d cycles; %s", m.now-m.lastProgress, why)
 }
 
 func (m *Machine) cycleStats() {
@@ -244,13 +334,18 @@ func (m *Machine) cycleStats() {
 }
 
 // physReg maps thread t's logical register to its physical register, or
-// -1 for the hardwired zero register.
+// -1 for the hardwired zero register. Out-of-budget registers cannot
+// reach here (New validates every text word against the partition), so
+// an over-budget request is reported as an internal fault and treated
+// as the zero register to keep the machine in a defined state.
 func (m *Machine) physReg(t int, r uint8) int {
 	if r == 0 {
 		return -1
 	}
 	if int(r) >= m.kregs {
-		panic(fmt.Sprintf("core: thread %d uses r%d but budget is %d registers", t, r, m.kregs))
+		m.failf(FaultInternal, "rename", t, 0,
+			"r%d exceeds the %d-register partition (text was validated at load)", r, m.kregs)
+		return -1
 	}
 	return t*m.kregs + int(r)
 }
@@ -281,5 +376,8 @@ func (m *Machine) dump() string {
 		s += fmt.Sprintf("  storeBuf: %v addr=%#x committed=%v drained=%v squashed=%v\n",
 			so.entry, so.entry.addr, so.committed, so.drained, so.entry.squashed)
 	}
+	cs := m.dcache.Stats()
+	s += fmt.Sprintf("  dcache: reads=%d writes=%d hits=%d misses=%d writebacks=%d pending=%v\n",
+		cs.Reads, cs.Writes, cs.Hits, cs.Misses, cs.Writebacks, m.dcache.Pending())
 	return s
 }

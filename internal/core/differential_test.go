@@ -291,7 +291,11 @@ func TestDifferentialEightThreads(t *testing.T) {
 					}
 				}
 				// The counter must read 64 regardless of arrival order.
-				if got := ref.Memory().LoadWord(obj.MustSymbol("counter")); got != 64 {
+				counter, err := obj.Symbol("counter")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := ref.Memory().LoadWord(counter); got != 64 {
 					t.Fatalf("counter = %d, want 64", got)
 				}
 			})

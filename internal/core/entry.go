@@ -44,6 +44,8 @@ type suEntry struct {
 	wbCycle    uint64 // cycle the result was written back
 	fuUnit     int    // unit index within its class pool, for usage stats
 	badAddr    bool   // speculative wrong-path address; fatal if committed
+	wbDelayed  bool   // fault injection already consulted for this writeback
+	squashedBy uint64 // tag of the CT that squashed this entry (diagnostics)
 
 	// Control transfer bookkeeping.
 	predTaken    bool
@@ -116,5 +118,6 @@ type storeOp struct {
 	entry     *suEntry
 	committed bool
 	drained   bool
-	counted   bool // cache access counted on first drain attempt
+	counted   bool   // cache access counted on first drain attempt
+	seq       uint64 // commit order, for the in-order-drain invariant
 }

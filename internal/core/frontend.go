@@ -8,6 +8,9 @@ import (
 // fetch selects a thread under the configured policy and brings one
 // aligned block of four contiguous instructions into the decode latch.
 func (m *Machine) fetch() {
+	if m.fault != nil {
+		return
+	}
 	if m.latch != nil {
 		return // latch still waiting for dispatch
 	}
@@ -88,7 +91,9 @@ func (m *Machine) selectThread() int {
 		}
 		return best
 	}
-	panic("core: unknown fetch policy")
+	// Unreachable: Config.Validate rejects unknown policies.
+	m.failf(FaultInternal, "fetch", -1, 0, "unknown fetch policy %v", m.cfg.FetchPolicy)
+	return -1
 }
 
 // rotateThread moves CondSwitch to the next thread (called when the
@@ -194,7 +199,7 @@ func (m *Machine) predictCT(t int, in isa.Inst, pc uint32) (bool, uint32) {
 // per valid instruction, renamed with globally unique tags, operands
 // resolved against the SU (newest first) then the register file.
 func (m *Machine) dispatch() {
-	if m.latch == nil {
+	if m.fault != nil || m.latch == nil {
 		return
 	}
 	if len(m.su) == m.suCap {
@@ -300,7 +305,11 @@ func (m *Machine) lookupOperand(thread int, reg uint8, current *block) operand {
 			return producerOperand(p, m.cfg.Bypassing)
 		}
 	}
-	return operand{ready: true, value: m.regs[m.physReg(thread, reg)]}
+	p := m.physReg(thread, reg)
+	if p < 0 {
+		return operand{ready: true} // out-of-budget (faulted) reads as zero
+	}
+	return operand{ready: true, value: m.regs[p]}
 }
 
 // newestWriter scans a block's slots from newest to oldest for a live

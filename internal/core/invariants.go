@@ -7,8 +7,13 @@ import (
 )
 
 // CheckInvariants validates the machine's internal consistency; tests
-// call it between cycles to catch state corruption early. It returns
-// the first violation found.
+// call it between cycles to catch state corruption early, and
+// Config.CheckInvariants (-paranoid) runs it every cycle. It returns
+// the first violation found. The checks map to the paper's mechanisms:
+// FIFO age ordering and globally unique renaming tags in the SU (§3.3),
+// static register partition isolation (§3.2), the 8-entry in-order
+// store buffer (§3.6), and selective-squash containment (§3.4);
+// flexible-commit legality (§3.5) is re-verified inline in commit.
 func (m *Machine) CheckInvariants() error {
 	if len(m.su) > m.suCap {
 		return fmt.Errorf("SU holds %d blocks, capacity %d", len(m.su), m.suCap)
@@ -17,6 +22,7 @@ func (m *Machine) CheckInvariants() error {
 	// Tags are unique and strictly increase in SU order; every block is
 	// single-threaded; per-thread tags appear in program order.
 	seen := map[uint64]bool{}
+	byTag := map[uint64]*suEntry{}
 	lastTag := uint64(0)
 	for bi, b := range m.su {
 		if b.thread < 0 || b.thread >= m.cfg.Threads {
@@ -33,12 +39,18 @@ func (m *Machine) CheckInvariants() error {
 				return fmt.Errorf("duplicate tag %d at block %d slot %d", e.tag, bi, si)
 			}
 			seen[e.tag] = true
+			byTag[e.tag] = e
 			if e.tag <= lastTag {
 				return fmt.Errorf("tag %d out of order after %d", e.tag, lastTag)
 			}
 			lastTag = e.tag
 			if e.tag > m.nextTag {
 				return fmt.Errorf("tag %d beyond allocator %d", e.tag, m.nextTag)
+			}
+			// Register-partition isolation: no register field may reach
+			// outside the thread's static partition.
+			if r := e.inst.MaxReg(); int(r) >= m.kregs {
+				return fmt.Errorf("%v uses r%d outside the %d-register partition", e, r, m.kregs)
 			}
 			// Operand tags must reference an older in-flight producer.
 			for i := 0; i < e.nsrc; i++ {
@@ -50,6 +62,39 @@ func (m *Machine) CheckInvariants() error {
 			if e.state != stWaiting && e.inst.Op.IsMemRef() && !e.addrValid && !e.squashed {
 				return fmt.Errorf("%v issued without an address", e)
 			}
+			// Squash containment: a squashed entry records its squasher,
+			// which must be an older CT of the same thread.
+			if e.squashed && e.squashedBy != 0 {
+				if e.squashedBy >= e.tag {
+					return fmt.Errorf("%v squashed by non-older tag %d", e, e.squashedBy)
+				}
+				if sq, ok := byTag[e.squashedBy]; ok && sq.thread != e.thread {
+					return fmt.Errorf("%v squashed across threads by %v", e, sq)
+				}
+			}
+		}
+	}
+
+	// Scoreboard claims (maintained in both modes; only scoreboard mode
+	// stalls on them): a claimed register must name a live,
+	// not-yet-written-back SU entry that writes exactly that physical
+	// register, inside its own thread's partition.
+	for p, claim := range m.busyReg {
+		if claim == 0 {
+			continue
+		}
+		e, ok := byTag[claim-1]
+		if !ok {
+			return fmt.Errorf("scoreboard claim on phys r%d by tag %d, which is not in the SU", p, claim-1)
+		}
+		if e.squashed || e.state == stDone || !e.writesReg() {
+			return fmt.Errorf("scoreboard claim on phys r%d by %v (squashed=%v)", p, e, e.squashed)
+		}
+		if p < e.thread*m.kregs || p >= (e.thread+1)*m.kregs {
+			return fmt.Errorf("scoreboard claim on phys r%d outside thread %d's partition", p, e.thread)
+		}
+		if want := e.thread*m.kregs + int(e.inst.Rd); p != want {
+			return fmt.Errorf("scoreboard claim on phys r%d but %v writes phys r%d", p, e, want)
 		}
 	}
 
@@ -66,10 +111,28 @@ func (m *Machine) CheckInvariants() error {
 			return fmt.Errorf("drained store %v still buffered", so.entry)
 		}
 	}
+	lastSeq := uint64(0)
 	for _, so := range m.drainQueue {
 		if !so.committed || so.drained {
 			return fmt.Errorf("drain queue holds %v (committed=%v drained=%v)",
 				so.entry, so.committed, so.drained)
+		}
+		// Stores drain strictly in commit order (§3.6).
+		if so.seq <= lastSeq {
+			return fmt.Errorf("drain queue out of commit order: %v (seq %d after %d)",
+				so.entry, so.seq, lastSeq)
+		}
+		lastSeq = so.seq
+		// Every queued drain still occupies its store buffer slot.
+		found := false
+		for _, sb := range m.storeBuf {
+			if sb == so {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("drain queue holds %v with no store buffer slot", so.entry)
 		}
 	}
 

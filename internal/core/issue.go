@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/cache"
@@ -14,6 +13,9 @@ import (
 // IssueWidth per cycle. It is thread-blind — dependencies are entirely
 // expressed by tags — exactly as the paper argues.
 func (m *Machine) issue() {
+	if m.fault != nil {
+		return
+	}
 	issued := 0
 	for _, b := range m.su {
 		for _, e := range b.entries {
@@ -81,12 +83,17 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			return true
 		}
 	case isa.ClassStore:
-		// The last free slot is reserved for the oldest un-issued store;
-		// otherwise younger ready stores can fill the buffer while an
-		// older store (whose block therefore never commits and never
-		// drains) starves, deadlocking the machine.
+		// Deadlock avoidance: a store may take a slot only if enough free
+		// slots remain for every waiting store at or below its block.
+		// Slots free only when a store drains, draining needs its block to
+		// commit, and a block commits only once ALL its stores have
+		// issued — so if younger stores (or even an older sibling) exhaust
+		// the buffer while any store of an older block still waits, the
+		// machine wedges. Reserving per waiting store guarantees the
+		// bottom block can always issue all of its stores (Validate keeps
+		// StoreBuffer >= BlockSize), commit, and drain.
 		free := m.cfg.StoreBuffer - len(m.storeBuf)
-		if free <= 0 || (free == 1 && e.tag != m.oldestWaitingStoreTag()) {
+		if free <= m.waitingStoresBelow(e) {
 			m.stats.StoreBufferFull++
 			return false
 		}
@@ -154,9 +161,21 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			e.badAddr = true
 			e.result = 0
 		} else if op == isa.FAI {
-			e.result = m.sync.FetchAdd(e.addr)
+			v, err := m.sync.FetchAdd(e.addr)
+			if err != nil {
+				// Unreachable: the address was validated above. A rejection
+				// here means the model contradicts the controller.
+				m.failf(FaultInternal, "issue", e.thread, e.pc,
+					"sync controller rejected validated FAI address %#x: %v", e.addr, err)
+			}
+			e.result = v
 		} else { // FLDW
-			e.result = m.sync.Read(e.addr)
+			v, err := m.sync.Read(e.addr)
+			if err != nil {
+				m.failf(FaultInternal, "issue", e.thread, e.pc,
+					"sync controller rejected validated FLDW address %#x: %v", e.addr, err)
+			}
+			e.result = v
 		}
 		e.completeAt = pool.issue(unit, m.now)
 		m.completions = append(m.completions, e)
@@ -208,18 +227,23 @@ func (m *Machine) resolveCT(e *suEntry, rs1 uint32) {
 	}
 }
 
-// oldestWaitingStoreTag returns the tag of the oldest store still
-// waiting in the SU, or 0 if none.
-func (m *Machine) oldestWaitingStoreTag() uint64 {
+// waitingStoresBelow counts the un-issued stores (other than e itself)
+// in e's block and every block below it — the stores whose buffer slots
+// must stay reservable for the machine to keep draining.
+func (m *Machine) waitingStoresBelow(e *suEntry) int {
+	n := 0
 	for _, b := range m.su {
-		for _, e := range b.entries {
-			if e != nil && e.valid && !e.squashed && e.state == stWaiting &&
-				e.inst.Op.FUClass() == isa.ClassStore {
-				return e.tag
+		for _, o := range b.entries {
+			if o != nil && o.valid && !o.squashed && o != e && o.state == stWaiting &&
+				o.inst.Op.FUClass() == isa.ClassStore {
+				n++
 			}
 		}
+		if b == e.blk {
+			break
+		}
 	}
-	return 0
+	return n
 }
 
 // olderUnresolvedCT reports whether any older same-thread control
@@ -335,7 +359,7 @@ func (m *Machine) olderUnresolvedSync(e *suEntry) bool {
 // serviceLoads retries pending loads against the cache, oldest first.
 // A hit schedules the result and frees the load unit.
 func (m *Machine) serviceLoads() {
-	if len(m.pendingLoads) == 0 {
+	if m.fault != nil || len(m.pendingLoads) == 0 {
 		return
 	}
 	pool := &m.pools[isa.ClassLoad]
@@ -362,16 +386,22 @@ func (m *Machine) serviceLoads() {
 // drainStores retires at most one committed store per cycle from the
 // store buffer to the cache (or the sync controller for FSTW).
 func (m *Machine) drainStores() {
-	if len(m.drainQueue) == 0 {
+	if m.fault != nil || len(m.drainQueue) == 0 {
 		return
 	}
 	so := m.drainQueue[0]
 	e := so.entry
 	if e.badAddr {
-		panic(fmt.Sprintf("core: committed store with illegal address %#08x: %v", e.addr, e))
+		m.failMem("drain", e, "%v committed an illegal store address", e.inst)
+		return
 	}
 	if e.inst.Op == isa.FSTW {
-		m.sync.Write(e.addr, e.storeData)
+		if err := m.sync.Write(e.addr, e.storeData); err != nil {
+			// Unreachable: badAddr covers segment violations at issue.
+			m.failf(FaultInternal, "drain", e.thread, e.pc,
+				"sync controller rejected validated FSTW address %#x: %v", e.addr, err)
+			return
+		}
 	} else {
 		res := m.dcache.Write(e.addr, e.storeData, m.now, !so.counted)
 		so.counted = true
@@ -382,6 +412,7 @@ func (m *Machine) drainStores() {
 	so.drained = true
 	m.drainQueue = m.drainQueue[1:]
 	m.removeFromStoreBuf(so)
+	m.lastProgress = m.now
 }
 
 func (m *Machine) removeFromStoreBuf(target *storeOp) {

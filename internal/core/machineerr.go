@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FaultKind classifies a structured machine fault.
+type FaultKind int
+
+const (
+	// FaultRunaway: the run exceeded Config.MaxCycles without finishing.
+	FaultRunaway FaultKind = iota
+	// FaultDeadlock: the forward-progress watchdog saw no commit and no
+	// store drain for Config.Watchdog cycles while work was outstanding.
+	FaultDeadlock
+	// FaultInvariant: the per-cycle invariant checker (Config.
+	// CheckInvariants) found the machine state inconsistent.
+	FaultInvariant
+	// FaultMem: a committed memory reference carried an illegal address
+	// (outside its segment, or unaligned) — a program error, reported
+	// with the faulting cycle, thread, and PC.
+	FaultMem
+	// FaultInternal: the model contradicted itself (e.g. a committed
+	// store without a store-buffer entry). Always a simulator bug.
+	FaultInternal
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultRunaway:
+		return "runaway"
+	case FaultDeadlock:
+		return "deadlock"
+	case FaultInvariant:
+		return "invariant violation"
+	case FaultMem:
+		return "memory fault"
+	case FaultInternal:
+		return "internal fault"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// ThreadState is one thread's architectural front-end state at the time
+// of a fault.
+type ThreadState struct {
+	PC           uint32
+	Halted       bool
+	FetchStopped bool
+}
+
+// MachineError is the structured diagnostic Machine.Run returns instead
+// of panicking: what went wrong, when, where in the pipeline, which
+// thread and instruction (when attributable), and a dump of the
+// scheduling unit, store buffer, and cache at the moment of the fault.
+type MachineError struct {
+	Kind   FaultKind
+	Cycle  uint64
+	Phase  string // pipeline phase that detected the fault
+	Thread int    // offending thread, or -1 when not attributable
+	PC     uint32 // offending instruction's PC, when known
+	Addr   uint32 // faulting address, for memory faults
+	Reason string // one-line description
+
+	Threads  []ThreadState // per-thread PCs at the fault
+	Snapshot string        // SU, store buffer, and cache dump
+}
+
+// Summary renders the one-line form (kind, cycle, phase, attribution).
+func (e *MachineError) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %v at cycle %d", e.Kind, e.Cycle)
+	if e.Phase != "" {
+		fmt.Fprintf(&b, " in %s", e.Phase)
+	}
+	if e.Thread >= 0 {
+		fmt.Fprintf(&b, " (thread %d, pc %#x)", e.Thread, e.PC)
+	}
+	if e.Kind == FaultMem {
+		fmt.Fprintf(&b, " addr %#x", e.Addr)
+	}
+	fmt.Fprintf(&b, ": %s", e.Reason)
+	return b.String()
+}
+
+// Error renders the summary followed by the full state dump.
+func (e *MachineError) Error() string {
+	var b strings.Builder
+	b.WriteString(e.Summary())
+	for t, ts := range e.Threads {
+		fmt.Fprintf(&b, "\n  thread %d: pc=%#x halted=%v stopped=%v",
+			t, ts.PC, ts.Halted, ts.FetchStopped)
+	}
+	if e.Snapshot != "" {
+		b.WriteString("\n")
+		b.WriteString(e.Snapshot)
+	}
+	return b.String()
+}
+
+// failf records the machine's first fault; later faults are ignored
+// (the machine is frozen once faulted, so they would be echoes). thread
+// may be -1 when the fault is not attributable to one thread.
+func (m *Machine) failf(kind FaultKind, phase string, thread int, pc uint32, format string, args ...any) {
+	if m.fault != nil {
+		return
+	}
+	e := &MachineError{
+		Kind:    kind,
+		Cycle:   m.now,
+		Phase:   phase,
+		Thread:  thread,
+		PC:      pc,
+		Reason:  fmt.Sprintf(format, args...),
+		Threads: make([]ThreadState, m.cfg.Threads),
+	}
+	for t := 0; t < m.cfg.Threads; t++ {
+		e.Threads[t] = ThreadState{PC: m.pc[t], Halted: m.halted[t], FetchStopped: m.fetchStopped[t]}
+	}
+	e.Snapshot = m.dump()
+	m.fault = e
+}
+
+// failMem records a memory fault for entry e detected in the given
+// pipeline phase.
+func (m *Machine) failMem(phase string, e *suEntry, format string, args ...any) {
+	if m.fault != nil {
+		return
+	}
+	m.failf(FaultMem, phase, e.thread, e.pc, format, args...)
+	m.fault.Addr = e.addr
+}
+
+// Err returns the machine's fault, or nil. Cycle-stepping callers check
+// it between Cycle calls; Run surfaces it directly.
+func (m *Machine) Err() error {
+	if m.fault == nil {
+		return nil
+	}
+	return m.fault
+}
+
+// FaultInjector perturbs timing-only microarchitectural state for
+// robustness testing: every method must leave architectural results
+// unchanged (memory and registers still match the functional reference
+// simulator). Implementations must be deterministic pure functions of
+// their arguments and safe for concurrent use by multiple machines —
+// the experiment runner shares one injector across parallel cells.
+// internal/fault provides the standard seeded implementation.
+type FaultInjector interface {
+	// CacheDelay is consulted once per architectural D-cache access
+	// (first attempt only); a non-zero return forces the access to
+	// behave as a miss that completes after that many cycles, without
+	// touching line state.
+	CacheDelay(now uint64, addr uint32, write bool) uint64
+	// WritebackDelay is consulted once per completed execution; a
+	// non-zero return holds the result off the writeback bus for that
+	// many extra cycles.
+	WritebackDelay(now uint64, tag uint64) uint64
+	// FlipPredictor is consulted once per cycle; ok=true flips the
+	// direction of one BTB entry's saturating counter (slot is reduced
+	// modulo the BTB size).
+	FlipPredictor(now uint64) (slot int, ok bool)
+	// SpuriousSquash is consulted when a correctly predicted control
+	// transfer resolves; true forces a same-thread squash-and-refetch
+	// anyway, exactly as if it had mispredicted.
+	SpuriousSquash(now uint64, tag uint64) bool
+	// String identifies the schedule (seed and rates) for cache keys
+	// and diagnostics.
+	String() string
+}
+
+// FaultStats counts injected perturbations.
+type FaultStats struct {
+	CacheDelays      uint64 // forced D-cache miss delays
+	WritebackDelays  uint64 // results held off the writeback bus
+	PredictorFlips   uint64 // BTB counters inverted
+	SpuriousSquashes uint64 // correct CTs forced through recovery
+}

@@ -10,7 +10,7 @@ import (
 // SU: results update matching tags (waking dependents), and resolved
 // control transfers trigger selective mispredict recovery.
 func (m *Machine) writeback() {
-	if len(m.completions) == 0 {
+	if m.fault != nil || len(m.completions) == 0 {
 		return
 	}
 	// Gather completions due this cycle, oldest first for determinism
@@ -22,6 +22,17 @@ func (m *Machine) writeback() {
 			continue // dropped; its block slot is a hole
 		}
 		if e.completeAt <= m.now {
+			// Fault injection: hold the result off the writeback bus for a
+			// few extra cycles, consulting the schedule once per entry.
+			if inj := m.cfg.Injector; inj != nil && !e.wbDelayed {
+				e.wbDelayed = true
+				if d := inj.WritebackDelay(m.now, e.tag); d > 0 {
+					m.stats.Faults.WritebackDelays++
+					e.completeAt = m.now + d
+					rest = append(rest, e)
+					continue
+				}
+			}
 			due = append(due, e)
 		} else {
 			rest = append(rest, e)
@@ -84,6 +95,20 @@ func (m *Machine) handleResolvedCT(e *suEntry) {
 	correct := e.actualTaken == e.predTaken &&
 		(!e.actualTaken || e.actualTarget == e.predTarget)
 	if correct {
+		// Fault injection: force a correctly predicted CT through the full
+		// recovery path anyway. The redirect target is the true next PC,
+		// so the squash-and-refetch is timing-only.
+		if inj := m.cfg.Injector; inj != nil && inj.SpuriousSquash(m.now, e.tag) {
+			m.stats.Faults.SpuriousSquashes++
+			m.trace("spurious squash %v (injected)", e)
+			m.squashYounger(e)
+			if e.actualTaken {
+				m.pc[e.thread] = e.actualTarget
+			} else {
+				m.pc[e.thread] = e.pc + 4
+			}
+			m.fetchStopped[e.thread] = false
+		}
 		return
 	}
 	m.stats.Mispredicts++
@@ -112,6 +137,9 @@ func (m *Machine) squashYounger(ct *suEntry) {
 				continue
 			}
 			e.squashed = true
+			// Record the squasher; the invariant checker verifies
+			// containment (same thread, older tag) from this.
+			e.squashedBy = ct.tag
 			m.stats.Squashed++
 			if e.writesReg() {
 				if p := m.physReg(e.thread, e.inst.Rd); p >= 0 && m.busyReg[p] == e.tag+1 {

@@ -101,6 +101,15 @@ type Runner struct {
 	// never concurrently (calls are serialized by the runner).
 	Progress func(format string, args ...any)
 
+	// Paranoid turns on per-cycle invariant checking for every cell
+	// (sdsp-exp -paranoid): the full experiment suite then doubles as an
+	// invariant stress test.
+	Paranoid bool
+	// Injector applies a deterministic fault schedule to every cell.
+	// Schedules are stateless, so one injector is safely shared by all
+	// parallel workers; its String() is folded into each cache key.
+	Injector core.FaultInjector
+
 	mu        sync.Mutex
 	cache     map[string]cellResult
 	declaring bool
@@ -137,14 +146,20 @@ func (r *Runner) config(n int) core.Config {
 }
 
 // cacheKey folds every timing-relevant configuration field (plus the
-// runaway guard, which decides whether a long run errors out or not).
+// runaway guard, which decides whether a long run errors out or not,
+// the watchdog, and the fault schedule — injected faults change cycle
+// counts, so two cells differing only in schedule must not share).
 func cacheKey(b *kernels.Benchmark, cfg core.Config, p kernels.Params) string {
-	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d",
+	inj := "none"
+	if cfg.Injector != nil {
+		inj = cfg.Injector.String()
+	}
+	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/inj{%s}",
 		b.Name, p.Scale, cfg.Threads, cfg.FetchPolicy, cfg.CommitPolicy, cfg.CommitWindow,
 		cfg.SUEntries, cfg.IssueWidth, cfg.WritebackWidth, cfg.StoreBuffer, cfg.BTBEntries,
 		cfg.PredictorBits, cfg.PerThreadBTB, cfg.Renaming, cfg.Bypassing, cfg.StoreForwarding,
 		cfg.Cache.Ways, cfg.Cache.Ports, cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk,
-		cfg.MaxCycles)
+		cfg.MaxCycles, cfg.Watchdog, inj)
 }
 
 // placeholderStats is what a declared-but-not-yet-simulated cell returns
@@ -199,6 +214,10 @@ func (r *Runner) Run(b *kernels.Benchmark, cfg core.Config) (*core.Stats, error)
 func (r *Runner) RunWith(b *kernels.Benchmark, cfg core.Config, p kernels.Params) (*core.Stats, error) {
 	p.Threads = cfg.Threads
 	p.Scale = r.Scale
+	cfg.CheckInvariants = cfg.CheckInvariants || r.Paranoid
+	if cfg.Injector == nil {
+		cfg.Injector = r.Injector
+	}
 	key := cacheKey(b, cfg, p)
 	run := func() (*core.Stats, error) {
 		start := time.Now()

@@ -1,0 +1,224 @@
+// Package fault provides deterministic, seeded schedules of timing-only
+// microarchitectural perturbations for robustness testing of the SDSP
+// core: forced extra D-cache miss delays, flipped branch-predictor
+// counters, delayed writebacks, and spurious same-thread
+// squash-and-refetch events. Every perturbation attacks a mechanism the
+// paper's performance claims rest on (the cache's single outstanding
+// refill, the shared 2-bit predictor, the writeback bus, selective
+// squash) while leaving architectural results untouched — under any
+// schedule the core must still produce memory byte-identical to the
+// functional reference simulator, only slower.
+//
+// Schedules are stateless: every decision is a pure hash of the seed
+// and the event's coordinates (cycle, address, tag). That makes a
+// schedule deterministic — the same seed replays the same faults — and
+// safe to share across machines running in parallel, which the
+// experiment runner requires.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rates sets the per-opportunity probability of each perturbation.
+type Rates struct {
+	CacheMiss float64 // per architectural D-cache access: forced miss delay
+	Writeback float64 // per completed execution: result held off the bus
+	FlipBTB   float64 // per cycle: one BTB counter direction inverted
+	Squash    float64 // per correct CT resolution: spurious squash-and-refetch
+}
+
+// zero reports whether the schedule would never fire.
+func (r Rates) zero() bool {
+	return r.CacheMiss <= 0 && r.Writeback <= 0 && r.FlipBTB <= 0 && r.Squash <= 0
+}
+
+// Schedule is a deterministic fault schedule implementing the core's
+// FaultInjector interface. The zero value injects nothing; build with
+// New or ParseSpec.
+type Schedule struct {
+	seed  uint64
+	rates Rates
+}
+
+// New builds a schedule from a seed and rates.
+func New(seed uint64, rates Rates) *Schedule {
+	return &Schedule{seed: seed, rates: rates}
+}
+
+// Maximum injected delays, in cycles. Kept moderate: large enough to
+// reorder events across the machine (a forced cache delay outlasts the
+// real miss penalty), small enough that runs terminate promptly.
+const (
+	maxCacheDelay     = 32
+	maxWritebackDelay = 8
+)
+
+// mix is the splitmix64 finalizer: a bijective avalanche mix.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Event kind salts, so the same coordinates draw independently per kind.
+const (
+	kindCacheRead uint64 = 0x6361636865726400 // "cacherd"
+	kindCacheWrit uint64 = 0x6361636865777200 // "cachewr"
+	kindWriteback uint64 = 0x7772697465626100 // "writeba"
+	kindFlip      uint64 = 0x666c697062746200 // "flipbtb"
+	kindSquash    uint64 = 0x7371756173680000 // "squash"
+)
+
+// roll hashes (kind, a, b) against the seed and compares the result to
+// rate. The full hash is returned so callers can derive secondary
+// values (delay lengths, slot indices) from independent bits.
+func (s *Schedule) roll(kind, a, b uint64, rate float64) (uint64, bool) {
+	if rate <= 0 {
+		return 0, false
+	}
+	h := mix(s.seed ^ mix(kind^mix(a)^mix(b)<<1))
+	return h, float64(h>>11)/float64(uint64(1)<<53) < rate
+}
+
+// CacheDelay implements core.FaultInjector: a forced miss of 1..32
+// cycles on a randomly chosen fraction of architectural cache accesses.
+func (s *Schedule) CacheDelay(now uint64, addr uint32, write bool) uint64 {
+	kind := kindCacheRead
+	if write {
+		kind = kindCacheWrit
+	}
+	h, hit := s.roll(kind, now, uint64(addr), s.rates.CacheMiss)
+	if !hit {
+		return 0
+	}
+	return 1 + (h>>17)%maxCacheDelay
+}
+
+// WritebackDelay implements core.FaultInjector: holds a fraction of
+// results off the writeback bus for 1..8 extra cycles.
+func (s *Schedule) WritebackDelay(now uint64, tag uint64) uint64 {
+	h, hit := s.roll(kindWriteback, now, tag, s.rates.Writeback)
+	if !hit {
+		return 0
+	}
+	return 1 + (h>>17)%maxWritebackDelay
+}
+
+// FlipPredictor implements core.FaultInjector: on a fraction of cycles,
+// inverts the direction of one BTB counter.
+func (s *Schedule) FlipPredictor(now uint64) (slot int, ok bool) {
+	h, hit := s.roll(kindFlip, now, 0, s.rates.FlipBTB)
+	if !hit {
+		return 0, false
+	}
+	return int((h >> 7) & 0x3fffffff), true
+}
+
+// SpuriousSquash implements core.FaultInjector: forces a fraction of
+// correctly predicted control transfers through full mispredict
+// recovery.
+func (s *Schedule) SpuriousSquash(now uint64, tag uint64) bool {
+	_, hit := s.roll(kindSquash, now, tag, s.rates.Squash)
+	return hit
+}
+
+// String renders the canonical spec; ParseSpec(s.String()) rebuilds an
+// identical schedule. Experiment cache keys fold this in.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("seed=%d,miss=%g,wb=%g,flip=%g,squash=%g",
+		s.seed, s.rates.CacheMiss, s.rates.Writeback, s.rates.FlipBTB, s.rates.Squash)
+}
+
+// Rates returns the schedule's configured rates.
+func (s *Schedule) Rates() Rates { return s.rates }
+
+// Seed returns the schedule's seed.
+func (s *Schedule) Seed() uint64 { return s.seed }
+
+// presets are named rate sets for the CLI. "light" stays close to a
+// normal run (useful as an always-on smoke schedule); "heavy" pushes
+// every mechanism hard; the storms isolate one mechanism each.
+var presets = map[string]Rates{
+	"light":  {CacheMiss: 0.005, Writeback: 0.005, FlipBTB: 0.01, Squash: 0.002},
+	"medium": {CacheMiss: 0.02, Writeback: 0.02, FlipBTB: 0.03, Squash: 0.008},
+	"heavy":  {CacheMiss: 0.05, Writeback: 0.05, FlipBTB: 0.08, Squash: 0.02},
+	"cache-storm":  {CacheMiss: 0.25},
+	"wb-storm":     {Writeback: 0.25},
+	"bpred-storm":  {FlipBTB: 0.5},
+	"squash-storm": {Squash: 0.1},
+}
+
+// Presets lists the named presets ParseSpec accepts, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseSpec builds a schedule from a comma-separated spec. Each token
+// is either a preset name (light, medium, heavy, cache-storm, wb-storm,
+// bpred-storm, squash-storm) or key=value with keys seed, miss, wb,
+// flip, squash. Later tokens override earlier ones, so
+// "heavy,seed=7,squash=0" is heavy rates with seed 7 and squashes off.
+// An empty spec or "none" returns (nil, nil): no injection.
+func ParseSpec(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	s := &Schedule{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, isKV := strings.Cut(tok, "=")
+		if !isKV {
+			r, ok := presets[tok]
+			if !ok {
+				return nil, fmt.Errorf("fault: unknown preset %q (have %s)", tok, strings.Join(Presets(), ", "))
+			}
+			s.rates = r
+			continue
+		}
+		if key == "seed" {
+			n, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", val, err)
+			}
+			s.seed = n
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad rate %q for %s: %v", val, key, err)
+		}
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("fault: rate %s=%g outside [0,1]", key, f)
+		}
+		switch key {
+		case "miss":
+			s.rates.CacheMiss = f
+		case "wb":
+			s.rates.Writeback = f
+		case "flip":
+			s.rates.FlipBTB = f
+		case "squash":
+			s.rates.Squash = f
+		default:
+			return nil, fmt.Errorf("fault: unknown key %q (want seed, miss, wb, flip, squash, or a preset)", key)
+		}
+	}
+	if s.rates.zero() {
+		return nil, fmt.Errorf("fault: spec %q injects nothing; use an empty spec to disable injection", spec)
+	}
+	return s, nil
+}

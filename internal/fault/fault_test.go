@@ -1,0 +1,121 @@
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// The schedule must satisfy the core's injector interface.
+var _ core.FaultInjector = (*fault.Schedule)(nil)
+
+func TestDeterministicReplay(t *testing.T) {
+	r := fault.Rates{CacheMiss: 0.1, Writeback: 0.1, FlipBTB: 0.1, Squash: 0.1}
+	a, b := fault.New(42, r), fault.New(42, r)
+	for now := uint64(1); now < 5000; now++ {
+		if x, y := a.CacheDelay(now, uint32(now*4), now%2 == 0), b.CacheDelay(now, uint32(now*4), now%2 == 0); x != y {
+			t.Fatalf("cycle %d: cache delay %d vs %d", now, x, y)
+		}
+		if x, y := a.WritebackDelay(now, now*3), b.WritebackDelay(now, now*3); x != y {
+			t.Fatalf("cycle %d: writeback delay %d vs %d", now, x, y)
+		}
+		sa, oka := a.FlipPredictor(now)
+		sb, okb := b.FlipPredictor(now)
+		if sa != sb || oka != okb {
+			t.Fatalf("cycle %d: flip (%d,%v) vs (%d,%v)", now, sa, oka, sb, okb)
+		}
+		if x, y := a.SpuriousSquash(now, now), b.SpuriousSquash(now, now); x != y {
+			t.Fatalf("cycle %d: squash %v vs %v", now, x, y)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	r := fault.Rates{CacheMiss: 0.1}
+	a, b := fault.New(1, r), fault.New(2, r)
+	same := true
+	for now := uint64(1); now < 2000 && same; now++ {
+		if a.CacheDelay(now, 0x80000, false) != b.CacheDelay(now, 0x80000, false) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical cache decision streams")
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	s := fault.New(7, fault.Rates{CacheMiss: 0.5})
+	fired := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if s.CacheDelay(uint64(i), uint32(i*4), false) > 0 {
+			fired++
+		}
+	}
+	frac := float64(fired) / trials
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("miss=0.5 fired %.3f of the time", frac)
+	}
+	// Zero-rate kinds never fire.
+	for i := 0; i < trials; i++ {
+		if s.WritebackDelay(uint64(i), uint64(i)) != 0 {
+			t.Fatal("writeback fired with rate 0")
+		}
+		if s.SpuriousSquash(uint64(i), uint64(i)) {
+			t.Fatal("squash fired with rate 0")
+		}
+	}
+}
+
+func TestDelaysBounded(t *testing.T) {
+	s := fault.New(3, fault.Rates{CacheMiss: 1, Writeback: 1})
+	for i := 0; i < 5000; i++ {
+		if d := s.CacheDelay(uint64(i), uint32(i*4), true); d < 1 || d > 32 {
+			t.Fatalf("cache delay %d outside [1,32]", d)
+		}
+		if d := s.WritebackDelay(uint64(i), uint64(i)); d < 1 || d > 8 {
+			t.Fatalf("writeback delay %d outside [1,8]", d)
+		}
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	s, err := fault.ParseSpec("seed=42,miss=0.01,wb=0.02,flip=0.03,squash=0.004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := fault.ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("canonical spec %q does not reparse: %v", s.String(), err)
+	}
+	if back.String() != s.String() {
+		t.Errorf("round trip changed spec: %q -> %q", s.String(), back.String())
+	}
+	if s.Seed() != 42 || s.Rates().CacheMiss != 0.01 {
+		t.Errorf("parsed schedule wrong: %v", s)
+	}
+}
+
+func TestParseSpecPresetsAndErrors(t *testing.T) {
+	for _, name := range fault.Presets() {
+		s, err := fault.ParseSpec(name + ",seed=9")
+		if err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		} else if s.Seed() != 9 {
+			t.Errorf("preset %s dropped the seed", name)
+		}
+	}
+	if s, err := fault.ParseSpec(""); err != nil || s != nil {
+		t.Errorf("empty spec: (%v, %v), want (nil, nil)", s, err)
+	}
+	if s, err := fault.ParseSpec("none"); err != nil || s != nil {
+		t.Errorf("none: (%v, %v), want (nil, nil)", s, err)
+	}
+	for _, bad := range []string{"bogus", "miss=2", "miss=x", "seed=", "zork=1", "miss=0"} {
+		if _, err := fault.ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -32,6 +32,27 @@ type Sim struct {
 	instCount uint64
 }
 
+// MemFault is the typed trap an illegal data access raises: outside its
+// segment, unaligned, or using the wrong primitive for the flag
+// segment. It carries the faulting thread, PC, and address, mirroring
+// the cycle-level core's structured MachineError.
+type MemFault struct {
+	Thread int
+	PC     uint32
+	Addr   uint32
+	Write  bool
+	Reason string
+}
+
+func (f *MemFault) Error() string {
+	dir := "load"
+	if f.Write {
+		dir = "store"
+	}
+	return fmt.Sprintf("funcsim: thread %d at pc %#x: illegal %s at %#08x: %s",
+		f.Thread, f.PC, dir, f.Addr, f.Reason)
+}
+
 // New loads obj and prepares nthreads threads, all starting at the entry
 // point with the register file statically partitioned.
 func New(obj *loader.Object, nthreads int) (*Sim, error) {
@@ -42,15 +63,21 @@ func New(obj *loader.Object, nthreads int) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	kregs := isa.RegsPerThread(nthreads)
 	insts := make([]isa.Inst, len(obj.Text))
 	for i, w := range obj.Text {
 		in, err := isa.Decode(w)
 		if err != nil {
 			return nil, fmt.Errorf("funcsim: text word %d: %w", i, err)
 		}
+		// Validate the register budget up front so no register access can
+		// fault mid-run for a loadable object.
+		if r := in.MaxReg(); int(r) >= kregs {
+			return nil, fmt.Errorf("funcsim: text word %d (%v) uses r%d, but the %d-thread partition budget is %d registers per thread",
+				i, in, r, nthreads, kregs)
+		}
 		insts[i] = in
 	}
-	kregs := isa.RegsPerThread(nthreads)
 	s := &Sim{
 		m:        m,
 		sync:     syncctl.New(m),
@@ -141,6 +168,21 @@ func (s *Sim) Run(maxSteps uint64) error {
 	return nil
 }
 
+// checkData validates an LW/SW address the same way the cycle-level
+// core does at issue: word-aligned and inside the data segment (flag
+// words require the sync primitives; text is not readable).
+func (s *Sim) checkData(t int, pc, addr uint32, write bool) error {
+	switch {
+	case loader.IsFlagAddr(addr):
+		return &MemFault{Thread: t, PC: pc, Addr: addr, Write: write, Reason: "flag segment requires fldw/fstw/fai"}
+	case !loader.IsDataAddr(addr):
+		return &MemFault{Thread: t, PC: pc, Addr: addr, Write: write, Reason: "outside the data segment"}
+	case addr&3 != 0:
+		return &MemFault{Thread: t, PC: pc, Addr: addr, Write: write, Reason: "unaligned word access"}
+	}
+	return nil
+}
+
 // step executes one instruction on thread t.
 func (s *Sim) step(t int) error {
 	pc := s.pc[t]
@@ -162,22 +204,35 @@ func (s *Sim) step(t int) error {
 		s.setReg(t, in.Rd, uint32(s.nthreads))
 	case in.Op == isa.LW:
 		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
-		if loader.IsFlagAddr(addr) {
-			return fmt.Errorf("funcsim: thread %d LW from flag segment at %#08x (use fldw)", t, addr)
+		if err := s.checkData(t, pc, addr, false); err != nil {
+			return err
 		}
 		s.setReg(t, in.Rd, s.m.LoadWord(addr))
 	case in.Op == isa.SW:
 		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
-		if loader.IsFlagAddr(addr) {
-			return fmt.Errorf("funcsim: thread %d SW to flag segment at %#08x (use fstw)", t, addr)
+		if err := s.checkData(t, pc, addr, true); err != nil {
+			return err
 		}
 		s.m.StoreWord(addr, s.reg(t, in.Rs2))
 	case in.Op == isa.FLDW:
-		s.setReg(t, in.Rd, s.sync.Read(isa.EffAddr(s.reg(t, in.Rs1), in.Imm)))
+		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
+		v, err := s.sync.Read(addr)
+		if err != nil {
+			return &MemFault{Thread: t, PC: pc, Addr: addr, Reason: "fldw outside the flag segment (or unaligned)"}
+		}
+		s.setReg(t, in.Rd, v)
 	case in.Op == isa.FSTW:
-		s.sync.Write(isa.EffAddr(s.reg(t, in.Rs1), in.Imm), s.reg(t, in.Rs2))
+		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
+		if err := s.sync.Write(addr, s.reg(t, in.Rs2)); err != nil {
+			return &MemFault{Thread: t, PC: pc, Addr: addr, Write: true, Reason: "fstw outside the flag segment (or unaligned)"}
+		}
 	case in.Op == isa.FAI:
-		s.setReg(t, in.Rd, s.sync.FetchAdd(isa.EffAddr(s.reg(t, in.Rs1), in.Imm)))
+		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
+		v, err := s.sync.FetchAdd(addr)
+		if err != nil {
+			return &MemFault{Thread: t, PC: pc, Addr: addr, Write: true, Reason: "fai outside the flag segment (or unaligned)"}
+		}
+		s.setReg(t, in.Rd, v)
 	case in.Op.IsBranch():
 		if isa.BranchTaken(in.Op, s.reg(t, in.Rs1), s.reg(t, in.Rs2)) {
 			next = isa.CTTarget(in, pc, 0)

@@ -8,6 +8,15 @@ import (
 	"repro/internal/loader"
 )
 
+func mustAssemble(t *testing.T, src string) *loader.Object {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return obj
+}
+
 func run(t *testing.T, src string, nthreads int) *Sim {
 	t.Helper()
 	obj, err := asm.Assemble(src)
@@ -35,7 +44,7 @@ func TestArithmeticLoop(t *testing.T) {
 		.data
 		result: .word 0
 	`, 1)
-	obj := asm.MustAssemble("main: halt\n.data\nresult: .word 0")
+	obj := mustAssemble(t, "main: halt\n.data\nresult: .word 0")
 	_ = obj
 	if got := s.Memory().LoadWord(loader.DataBase); got != 55 {
 		t.Errorf("sum = %d, want 55", got)
@@ -191,7 +200,7 @@ func (s *Sim) mustSym(t *testing.T, name string) uint32 {
 }
 
 func TestLWFromFlagSegmentFails(t *testing.T) {
-	obj := asm.MustAssemble(`
+	obj := mustAssemble(t, `
 		main: li r1, f
 		      lw r2, 0(r1)
 		      halt
@@ -208,7 +217,7 @@ func TestLWFromFlagSegmentFails(t *testing.T) {
 }
 
 func TestRunawayProgramDetected(t *testing.T) {
-	obj := asm.MustAssemble("main: b main")
+	obj := mustAssemble(t, "main: b main")
 	s, _ := New(obj, 1)
 	if err := s.Run(1000); err == nil {
 		t.Error("infinite loop not detected")
@@ -216,7 +225,7 @@ func TestRunawayProgramDetected(t *testing.T) {
 }
 
 func TestFetchOutsideTextFails(t *testing.T) {
-	obj := asm.MustAssemble("main: nop") // falls off the end
+	obj := mustAssemble(t, "main: nop") // falls off the end
 	s, _ := New(obj, 1)
 	if err := s.Run(1000); err == nil {
 		t.Error("fetch past end of text did not error")
@@ -224,7 +233,7 @@ func TestFetchOutsideTextFails(t *testing.T) {
 }
 
 func TestInvalidThreadCount(t *testing.T) {
-	obj := asm.MustAssemble("main: halt")
+	obj := mustAssemble(t, "main: halt")
 	if _, err := New(obj, 0); err == nil {
 		t.Error("0 threads accepted")
 	}
@@ -250,16 +259,14 @@ func TestJALAndJALR(t *testing.T) {
 }
 
 func TestRegisterBudgetEnforced(t *testing.T) {
-	// 6 threads -> 21 registers each; using r30 must panic.
-	obj := asm.MustAssemble("main: addi r30, r0, 1\n halt")
-	s, err := New(obj, 6)
-	if err != nil {
-		t.Fatal(err)
+	// 6 threads -> 21 registers each; using r30 must be rejected with a
+	// structured error at load time, never a panic.
+	obj := mustAssemble(t, "main: addi r30, r0, 1\n halt")
+	if _, err := New(obj, 6); err == nil {
+		t.Error("register over budget accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("register over budget did not panic")
-		}
-	}()
-	_ = s.Run(100)
+	// The same program is fine with a 1-thread (128-register) partition.
+	if _, err := New(obj, 1); err != nil {
+		t.Errorf("1-thread budget rejected: %v", err)
+	}
 }

@@ -85,16 +85,6 @@ func Encode(in Inst) (uint32, error) {
 	return w, nil
 }
 
-// MustEncode is Encode but panics on error; for use with known-good
-// generated code.
-func MustEncode(in Inst) uint32 {
-	w, err := Encode(in)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
-
 // Decode unpacks a 32-bit word into an Inst. It returns an error for an
 // undefined opcode (the fetch unit treats such words as illegal).
 func Decode(w uint32) (Inst, error) {

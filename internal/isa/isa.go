@@ -281,6 +281,22 @@ func (in Inst) SrcRegs() (r1, r2 uint8, n int) {
 	return 0, 0, 0
 }
 
+// MaxReg returns the highest register number any field of the
+// instruction names. Decode zeroes unused fields, so for decoded
+// instructions this is exactly the highest register the instruction can
+// touch — loaders use it to validate a program against the static
+// per-thread register partition before simulation starts.
+func (in Inst) MaxReg() uint8 {
+	r := in.Rd
+	if in.Rs1 > r {
+		r = in.Rs1
+	}
+	if in.Rs2 > r {
+		r = in.Rs2
+	}
+	return r
+}
+
 // String renders the instruction in assembler syntax.
 func (in Inst) String() string {
 	switch in.Op {

@@ -103,13 +103,20 @@ func TestDecodeRejectsUndefinedOpcode(t *testing.T) {
 
 func TestSignExtension(t *testing.T) {
 	in := Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: -1}
-	w := MustEncode(in)
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := Decode(w)
 	if err != nil || out.Imm != -1 {
 		t.Fatalf("Decode round trip of imm -1: got %+v, err %v", out, err)
 	}
 	in = Inst{Op: JAL, Rd: 0, Imm: imm19Min}
-	out, _ = Decode(MustEncode(in))
+	w, err = Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = Decode(w)
 	if out.Imm != imm19Min {
 		t.Fatalf("JAL imm19 min: got %d want %d", out.Imm, imm19Min)
 	}

@@ -70,15 +70,6 @@ func (o *Object) Symbol(name string) (uint32, error) {
 	return addr, nil
 }
 
-// MustSymbol is Symbol but panics on unknown labels.
-func (o *Object) MustSymbol(name string) uint32 {
-	addr, err := o.Symbol(name)
-	if err != nil {
-		panic(err)
-	}
-	return addr
-}
-
 // IsFlagAddr reports whether addr falls in the uncached flag segment.
 func IsFlagAddr(addr uint32) bool { return addr >= FlagBase && addr < FlagBase+FlagSize }
 

@@ -5,6 +5,29 @@ package mem
 
 import "fmt"
 
+// Fault is a typed memory trap: an unaligned or out-of-range word
+// access. Untrusted address paths (the functional simulator, the
+// synchronization controller) use the checked Load/Store accessors and
+// propagate the fault as an error; the simulators attach cycle, thread,
+// and PC context before surfacing it.
+type Fault struct {
+	Addr      uint32
+	Write     bool
+	Unaligned bool   // false: out of range
+	Size      uint32 // memory size, for out-of-range faults
+}
+
+func (f *Fault) Error() string {
+	op := "load"
+	if f.Write {
+		op = "store"
+	}
+	if f.Unaligned {
+		return fmt.Sprintf("mem: unaligned %s at %#08x", op, f.Addr)
+	}
+	return fmt.Sprintf("mem: %s at %#08x beyond memory size %#x", op, f.Addr, f.Size)
+}
+
 // Memory is a byte-addressed store of 32-bit words. All accesses must be
 // word-aligned; SDSP-32 has no sub-word memory operations.
 type Memory struct {
@@ -20,22 +43,59 @@ func New(sizeBytes uint32) *Memory {
 // Size returns the memory size in bytes.
 func (m *Memory) Size() uint32 { return uint32(len(m.words)) * 4 }
 
-func (m *Memory) index(addr uint32) uint32 {
+func (m *Memory) index(addr uint32, write bool) (uint32, *Fault) {
 	if addr&3 != 0 {
-		panic(fmt.Sprintf("mem: unaligned access at %#08x", addr))
+		return 0, &Fault{Addr: addr, Write: write, Unaligned: true}
 	}
 	i := addr / 4
 	if i >= uint32(len(m.words)) {
-		panic(fmt.Sprintf("mem: access at %#08x beyond memory size %#x", addr, m.Size()))
+		return 0, &Fault{Addr: addr, Write: write, Size: m.Size()}
 	}
-	return i
+	return i, nil
 }
 
-// LoadWord reads the word at addr.
-func (m *Memory) LoadWord(addr uint32) uint32 { return m.words[m.index(addr)] }
+// Load reads the word at addr, returning a *Fault for an unaligned or
+// out-of-range access.
+func (m *Memory) Load(addr uint32) (uint32, error) {
+	i, f := m.index(addr, false)
+	if f != nil {
+		return 0, f
+	}
+	return m.words[i], nil
+}
 
-// StoreWord writes v to the word at addr.
-func (m *Memory) StoreWord(addr, v uint32) { m.words[m.index(addr)] = v }
+// Store writes v to the word at addr, returning a *Fault for an
+// unaligned or out-of-range access.
+func (m *Memory) Store(addr, v uint32) error {
+	i, f := m.index(addr, true)
+	if f != nil {
+		return f
+	}
+	m.words[i] = v
+	return nil
+}
+
+// LoadWord reads the word at addr. The caller must have validated the
+// address (InRange); an illegal access panics with a *Fault. Untrusted
+// paths use Load instead.
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	i, f := m.index(addr, false)
+	if f != nil {
+		panic(f)
+	}
+	return m.words[i]
+}
+
+// StoreWord writes v to the word at addr. The caller must have validated
+// the address (InRange); an illegal access panics with a *Fault.
+// Untrusted paths use Store instead.
+func (m *Memory) StoreWord(addr, v uint32) {
+	i, f := m.index(addr, true)
+	if f != nil {
+		panic(f)
+	}
+	m.words[i] = v
+}
 
 // InRange reports whether a word access at addr would be legal.
 func (m *Memory) InRange(addr uint32) bool {

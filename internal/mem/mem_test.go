@@ -1,6 +1,9 @@
 package mem
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestLoadStore(t *testing.T) {
 	m := New(64)
@@ -23,22 +26,53 @@ func TestSizeRounding(t *testing.T) {
 	}
 }
 
-func TestUnalignedPanics(t *testing.T) {
+func TestCheckedFaults(t *testing.T) {
+	m := New(64)
+	cases := []struct {
+		addr      uint32
+		unaligned bool
+	}{{2, true}, {64, false}, {^uint32(0), true}, {1 << 30, false}}
+	for _, c := range cases {
+		_, err := m.Load(c.addr)
+		var f *Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("Load(%#x) err = %v, want *Fault", c.addr, err)
+		}
+		if f.Addr != c.addr || f.Write || f.Unaligned != c.unaligned {
+			t.Errorf("Load(%#x) fault = %+v", c.addr, f)
+		}
+		err = m.Store(c.addr, 1)
+		if !errors.As(err, &f) {
+			t.Fatalf("Store(%#x) err = %v, want *Fault", c.addr, err)
+		}
+		if f.Addr != c.addr || !f.Write || f.Unaligned != c.unaligned {
+			t.Errorf("Store(%#x) fault = %+v", c.addr, f)
+		}
+	}
+	if v, err := m.Load(60); err != nil || v != 0 {
+		t.Errorf("Load(60) = %d, %v", v, err)
+	}
+	if err := m.Store(60, 9); err != nil {
+		t.Errorf("Store(60) = %v", err)
+	}
+	if v, _ := m.Load(60); v != 9 {
+		t.Errorf("checked store not visible: %d", v)
+	}
+}
+
+// The unchecked accessors remain for validated hot paths; misuse traps
+// with the typed *Fault, never a bare string.
+func TestUncheckedPanicsWithTypedFault(t *testing.T) {
 	defer func() {
-		if recover() == nil {
-			t.Error("unaligned access did not panic")
+		r := recover()
+		if r == nil {
+			t.Fatal("unaligned access did not panic")
+		}
+		if _, ok := r.(*Fault); !ok {
+			t.Fatalf("panic value %T, want *Fault", r)
 		}
 	}()
 	New(64).LoadWord(2)
-}
-
-func TestOutOfRangePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("out-of-range access did not panic")
-		}
-	}()
-	New(64).StoreWord(64, 1)
 }
 
 func TestInRange(t *testing.T) {

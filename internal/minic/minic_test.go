@@ -187,7 +187,11 @@ func TestRegisterBudgetRetargeting(t *testing.T) {
 		if err != nil {
 			t.Fatalf("regs=%d run: %v", regs, err)
 		}
-		got := s.Memory().LoadWord(obj.MustSymbol("out"))
+		out, err := obj.Symbol("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Memory().LoadWord(out)
 		if i == 0 {
 			reference = got
 		} else if got != reference {
@@ -282,7 +286,11 @@ func TestCompiledOnPipeline(t *testing.T) {
 		for _, p := range partials {
 			want = want + p
 		}
-		got := math.Float32frombits(m.Memory().LoadWord(obj.MustSymbol("dot")))
+		dot, err := obj.Symbol("dot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := math.Float32frombits(m.Memory().LoadWord(dot))
 		if got != want {
 			t.Errorf("threads=%d dot = %v, want %v", threads, got, want)
 		}

@@ -24,33 +24,58 @@ type Controller struct {
 // New wraps main memory's flag segment.
 func New(m *mem.Memory) *Controller { return &Controller{m: m} }
 
-func (c *Controller) check(addr uint32) {
-	if !loader.IsFlagAddr(addr) {
-		panic(fmt.Sprintf("syncctl: %#08x is outside the flag segment", addr))
+// SegFault is the typed trap for a sync primitive whose address falls
+// outside the flag segment (or is unaligned). The simulators attach
+// cycle, thread, and PC context before surfacing it.
+type SegFault struct {
+	Addr  uint32
+	Write bool
+}
+
+func (f *SegFault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
 	}
+	return fmt.Sprintf("syncctl: %s at %#08x is outside the flag segment", op, f.Addr)
+}
+
+func (c *Controller) check(addr uint32, write bool) error {
+	if !loader.IsFlagAddr(addr) || addr&3 != 0 {
+		return &SegFault{Addr: addr, Write: write}
+	}
+	return nil
 }
 
 // Read returns the flag word at addr.
-func (c *Controller) Read(addr uint32) uint32 {
-	c.check(addr)
+func (c *Controller) Read(addr uint32) (uint32, error) {
+	if err := c.check(addr, false); err != nil {
+		return 0, err
+	}
 	c.reads++
-	return c.m.LoadWord(addr)
+	return c.m.Load(addr)
 }
 
 // Write stores v to the flag word at addr.
-func (c *Controller) Write(addr, v uint32) {
-	c.check(addr)
+func (c *Controller) Write(addr, v uint32) error {
+	if err := c.check(addr, true); err != nil {
+		return err
+	}
 	c.writes++
-	c.m.StoreWord(addr, v)
+	return c.m.Store(addr, v)
 }
 
 // FetchAdd atomically returns the flag word at addr and increments it.
-func (c *Controller) FetchAdd(addr uint32) uint32 {
-	c.check(addr)
+func (c *Controller) FetchAdd(addr uint32) (uint32, error) {
+	if err := c.check(addr, true); err != nil {
+		return 0, err
+	}
 	c.rmws++
-	old := c.m.LoadWord(addr)
-	c.m.StoreWord(addr, old+1)
-	return old
+	old, err := c.m.Load(addr)
+	if err != nil {
+		return 0, err
+	}
+	return old, c.m.Store(addr, old+1)
 }
 
 // Stats counts controller traffic.

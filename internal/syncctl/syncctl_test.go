@@ -1,6 +1,7 @@
 package syncctl
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/loader"
@@ -15,9 +16,11 @@ func newCtl() (*Controller, *mem.Memory) {
 func TestReadWrite(t *testing.T) {
 	c, m := newCtl()
 	addr := uint32(loader.FlagBase + 8)
-	c.Write(addr, 42)
-	if got := c.Read(addr); got != 42 {
-		t.Errorf("Read = %d, want 42", got)
+	if err := c.Write(addr, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Read(addr); err != nil || got != 42 {
+		t.Errorf("Read = %d, %v, want 42", got, err)
 	}
 	if got := m.LoadWord(addr); got != 42 {
 		t.Error("controller writes must be visible in backing memory")
@@ -28,11 +31,11 @@ func TestFetchAdd(t *testing.T) {
 	c, _ := newCtl()
 	addr := uint32(loader.FlagBase)
 	for i := uint32(0); i < 5; i++ {
-		if got := c.FetchAdd(addr); got != i {
-			t.Errorf("FetchAdd #%d returned %d", i, got)
+		if got, err := c.FetchAdd(addr); err != nil || got != i {
+			t.Errorf("FetchAdd #%d returned %d, %v", i, got, err)
 		}
 	}
-	if got := c.Read(addr); got != 5 {
+	if got, _ := c.Read(addr); got != 5 {
 		t.Errorf("counter = %d, want 5", got)
 	}
 }
@@ -50,16 +53,24 @@ func TestStats(t *testing.T) {
 	}
 }
 
-func TestOutOfSegmentPanics(t *testing.T) {
+func TestOutOfSegmentFaults(t *testing.T) {
 	c, _ := newCtl()
-	for _, addr := range []uint32{0, loader.DataBase, loader.FlagBase - 4, loader.FlagBase + loader.FlagSize} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("access at %#x did not panic", addr)
-				}
-			}()
-			c.Read(addr)
-		}()
+	for _, addr := range []uint32{0, loader.DataBase, loader.FlagBase - 4,
+		loader.FlagBase + loader.FlagSize, loader.FlagBase + 2} {
+		var f *SegFault
+		if _, err := c.Read(addr); !errors.As(err, &f) {
+			t.Errorf("Read(%#x) err = %v, want *SegFault", addr, err)
+		} else if f.Addr != addr || f.Write {
+			t.Errorf("Read(%#x) fault = %+v", addr, f)
+		}
+		if err := c.Write(addr, 1); !errors.As(err, &f) {
+			t.Errorf("Write(%#x) err = %v, want *SegFault", addr, err)
+		}
+		if _, err := c.FetchAdd(addr); !errors.As(err, &f) {
+			t.Errorf("FetchAdd(%#x) err = %v, want *SegFault", addr, err)
+		}
+	}
+	if s := c.Stats(); s.Reads != 0 || s.Writes != 0 || s.RMWs != 0 {
+		t.Errorf("faulting accesses must not count as traffic: %+v", s)
 	}
 }

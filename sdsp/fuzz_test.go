@@ -1,0 +1,50 @@
+package sdsp_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/progen"
+	"repro/sdsp"
+)
+
+// FuzzVerify feeds randomly generated SPMD programs through the full
+// differential pipeline (funcsim vs timing core) under seeded fault
+// schedules, with per-cycle invariant checking on. Any divergence in
+// final memory, any invariant violation, and any deadlock is a crash
+// the fuzzer minimizes. The generator's seed is the fuzz input, so
+// every interesting program is reproducible from the corpus entry.
+//
+// Seed corpus lives in testdata/fuzz/FuzzVerify; run with
+//
+//	go test ./sdsp -fuzz FuzzVerify -fuzztime 30s
+func FuzzVerify(f *testing.F) {
+	f.Add(int64(1), uint64(0), uint64(4), uint64(0))       // plain program, no faults
+	f.Add(int64(424242), uint64(7), uint64(4), uint64(5))  // medium faults
+	f.Add(int64(31337), uint64(3), uint64(1), uint64(9))   // single thread, heavy
+	f.Add(int64(99), uint64(12), uint64(6), uint64(2))     // full thread house
+	f.Add(int64(-5), uint64(1), uint64(2), uint64(13))     // negative seed, storm range
+	f.Fuzz(func(t *testing.T, progSeed int64, faultSeed, threads, intensity uint64) {
+		n := int(threads%6) + 1
+		p := progen.New(progSeed)
+		obj, err := sdsp.Assemble(p.Source)
+		if err != nil {
+			t.Fatalf("progen seed %d emitted unassemblable source: %v", progSeed, err)
+		}
+		cfg := sdsp.DefaultConfig(n)
+		cfg.CheckInvariants = true
+		cfg.Watchdog = 200_000
+		if r := float64(intensity%20) / 100; r > 0 { // 0 .. 0.19
+			cfg.Injector = fault.New(faultSeed, fault.Rates{
+				CacheMiss: r,
+				Writeback: r / 2,
+				FlipBTB:   r,
+				Squash:    r / 4,
+			})
+		}
+		if err := sdsp.Verify(obj, cfg); err != nil {
+			t.Fatalf("seed %d threads %d schedule %v: %v\n%s",
+				progSeed, n, cfg.Injector, err, p.Source)
+		}
+	})
+}

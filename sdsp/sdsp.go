@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/funcsim"
 	"repro/internal/kernels"
 	"repro/internal/loader"
@@ -37,6 +38,40 @@ type Machine = core.Machine
 
 // Object is a linked SDSP-32 program.
 type Object = loader.Object
+
+// MachineError is the structured diagnostic a failed run returns: the
+// fault kind (runaway, deadlock, invariant violation, memory fault),
+// the faulting cycle, pipeline phase, thread, PC, and a state dump.
+// Retrieve it with errors.As.
+type MachineError = core.MachineError
+
+// FaultInjector perturbs timing-only machine state for robustness
+// testing; set Config.Injector to one (see ParseFaultSpec).
+type FaultInjector = core.FaultInjector
+
+// NoWatchdog disables the forward-progress watchdog when assigned to
+// Config.Watchdog.
+const NoWatchdog = core.NoWatchdog
+
+// ParseFaultSpec builds a deterministic fault injector from a spec like
+// "seed=42,miss=0.01,wb=0.01,flip=0.02,squash=0.005" or a preset name
+// ("light", "medium", "heavy", "cache-storm", "wb-storm", "bpred-storm",
+// "squash-storm", optionally with ",seed=N"). An empty spec or "none"
+// returns (nil, nil). Under any schedule the machine must still produce
+// memory identical to the functional reference — faults are timing-only.
+func ParseFaultSpec(spec string) (FaultInjector, error) {
+	s, err := fault.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil // a typed-nil FaultInjector would look non-nil to core
+	}
+	return s, nil
+}
+
+// FaultPresets lists the named fault-schedule presets.
+func FaultPresets() []string { return fault.Presets() }
 
 // Fetch policies (paper §5.1, plus the §6.1 "judicious" ICount
 // extension).
