@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz-seeds paranoid fault-smoke golden check report
+.PHONY: all build vet test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke golden check report
 
 all: check
 
@@ -33,10 +33,16 @@ paranoid:
 # CLI, with invariants armed; each run must still validate its golden
 # result and match the functional simulator.
 fault-smoke:
-	for spec in light heavy cache-storm wb-storm bpred-storm squash-storm; do \
-		$(GO) run ./cmd/sdsp-sim -bench Matrix -threads 4 -paranoid -functional -fault $$spec,seed=7 > /dev/null || exit 1; \
+	for spec in light heavy cache-storm wb-storm bpred-storm squash-storm sync-storm fetch-storm; do \
+		$(GO) run ./cmd/sdsp-sim -bench Water -threads 4 -paranoid -functional -fault $$spec,seed=7 > /dev/null || exit 1; \
 	done
-	$(GO) run ./cmd/sdsp-sim -bench LL5 -threads 2 -paranoid -functional -fault seed=13,miss=0.05,wb=0.05,flip=0.05,squash=0.01 > /dev/null
+	$(GO) run ./cmd/sdsp-sim -bench LL5 -threads 2 -paranoid -functional -fault seed=13,miss=0.05,wb=0.05,flip=0.05,squash=0.01,sync=0.05,wake=0.02,fetch=0.05,fblock=0.02 > /dev/null
+
+# Tiny fault-sweep grid through the CLI: every axis must complete and
+# render deterministically (the in-process j1-vs-j8 byte comparison
+# lives in the experiments tests; this exercises the sdsp-exp path).
+fault-sweep-smoke:
+	$(GO) run ./cmd/sdsp-exp -faultsweep -scale small -j 8 > /dev/null
 
 # Regenerate the small-scale golden tables after an intentional change
 # to a kernel, the core, or an experiment.
@@ -44,7 +50,7 @@ golden:
 	$(GO) test ./internal/experiments -run TestGoldenSmallTables -update
 
 # Everything CI runs.
-check: vet build test race fuzz-seeds paranoid fault-smoke
+check: vet build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

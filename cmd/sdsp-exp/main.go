@@ -30,14 +30,15 @@ import (
 
 // timingExport is the machine-readable -json payload.
 type timingExport struct {
-	Scale            string                   `json:"scale"`
-	Jobs             int                      `json:"jobs"`
-	Experiments      []string                 `json:"experiments"`
-	Cells            []experiments.CellTiming `json:"cells"`
-	TotalWallSeconds float64                  `json:"total_wall_seconds"`
-	CellWallSeconds  float64                  `json:"cell_wall_seconds"`
-	SimulatedCycles  uint64                   `json:"simulated_cycles"`
-	CyclesPerSecond  float64                  `json:"cycles_per_second"`
+	Scale            string                         `json:"scale"`
+	Jobs             int                            `json:"jobs"`
+	Experiments      []string                       `json:"experiments"`
+	Cells            []experiments.CellTiming       `json:"cells"`
+	Degradation      []experiments.DegradationCurve `json:"degradation,omitempty"`
+	TotalWallSeconds float64                        `json:"total_wall_seconds"`
+	CellWallSeconds  float64                        `json:"cell_wall_seconds"`
+	SimulatedCycles  uint64                         `json:"simulated_cycles"`
+	CyclesPerSecond  float64                        `json:"cycles_per_second"`
 }
 
 func main() {
@@ -50,6 +51,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "write per-cell timing JSON to this file ('-' for stdout)")
 		paranoid = flag.Bool("paranoid", false, "check machine invariants every cycle in every cell")
 		fault    = flag.String("fault", "", "apply a deterministic fault schedule to every cell (preset or seed=N,miss=R,...)")
+		sweep    = flag.Bool("faultsweep", false, "run the fault-sweep experiment (shorthand for -exp faultsweep)")
+		crashDir = flag.String("crashdir", "", "write a crash-report bundle here when a cell fails with a machine error")
 	)
 	flag.Parse()
 
@@ -73,6 +76,7 @@ func main() {
 
 	runner := experiments.NewRunner(sc)
 	runner.Paranoid = *paranoid
+	runner.CrashDir = *crashDir
 	inj, err := sdsp.ParseFaultSpec(*fault)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", err)
@@ -86,6 +90,9 @@ func main() {
 	}
 
 	var selected []experiments.Experiment
+	if *sweep {
+		*expNames = "faultsweep"
+	}
 	if *expNames == "all" {
 		selected = experiments.Registry()
 	} else {
@@ -118,7 +125,7 @@ func main() {
 	reportTimings(os.Stderr, timings, elapsed, *jobs, *verbose)
 
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, *scale, *jobs, selected, timings, elapsed); err != nil {
+		if err := writeJSON(*jsonOut, *scale, *jobs, selected, runner.Curves, timings, elapsed); err != nil {
 			fmt.Fprintln(os.Stderr, "sdsp-exp:", err)
 			os.Exit(1)
 		}
@@ -158,7 +165,7 @@ func reportTimings(w *os.File, timings []experiments.CellTiming, elapsed time.Du
 		cellWall, cellWall/elapsed.Seconds())
 }
 
-func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, timings []experiments.CellTiming, elapsed time.Duration) error {
+func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, curves []experiments.DegradationCurve, timings []experiments.CellTiming, elapsed time.Duration) error {
 	var cellWall float64
 	var cycles uint64
 	for _, t := range timings {
@@ -174,6 +181,7 @@ func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, 
 		Jobs:             jobs,
 		Experiments:      names,
 		Cells:            timings,
+		Degradation:      curves,
 		TotalWallSeconds: elapsed.Seconds(),
 		CellWallSeconds:  cellWall,
 		SimulatedCycles:  cycles,

@@ -9,13 +9,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/crash"
 	"repro/internal/isa"
 	"repro/sdsp"
 )
@@ -43,11 +46,18 @@ func main() {
 		paranoid   = flag.Bool("paranoid", false, "check machine invariants every cycle")
 		faultSpec  = flag.String("fault", "", "deterministic fault schedule: preset (light, heavy, ...) or seed=N,miss=R,wb=R,flip=R,squash=R")
 		watchdog   = flag.Int64("watchdog", 0, "deadlock watchdog limit in cycles (0 = default 100000, negative = off)")
+		crashDir   = flag.String("crashdir", ".", "write a crash-report bundle into this directory on a machine error ('' disables)")
+		replayDir  = flag.String("replay", "", "replay a crash-report bundle directory and verify it reproduces the recorded failure")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(sdsp.Workloads(), "\n"))
+		return
+	}
+
+	if *replayDir != "" {
+		replayBundle(*replayDir)
 		return
 	}
 
@@ -135,6 +145,16 @@ func main() {
 	}
 	st, err := m.Run()
 	if err != nil {
+		var me *core.MachineError
+		if *crashDir != "" && errors.As(err, &me) {
+			bundle := crash.New(name, obj, cfg, me)
+			dir := filepath.Join(*crashDir, bundle.DirName(""))
+			if replay, werr := bundle.Write(dir); werr == nil {
+				fmt.Fprintf(os.Stderr, "sdsp-sim: crash bundle: %s\nsdsp-sim: reproduce with: %s\n", dir, replay)
+			} else {
+				fmt.Fprintf(os.Stderr, "sdsp-sim: crash bundle not written: %v\n", werr)
+			}
+		}
 		fatal("%v", err)
 	}
 
@@ -154,6 +174,28 @@ func main() {
 	printStats(name, cfg, st)
 }
 
+// replayBundle reproduces a crash-report bundle: rebuild the machine
+// from the bundle's object, config, and fault spec, run it, and verify
+// the failure matches (kind, cycle, thread, PC). Exits non-zero on any
+// divergence, so CI can assert reproducibility.
+func replayBundle(dir string) {
+	b, err := crash.Read(dir)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("replaying %s (%s)\n", dir, b.Workload)
+	fmt.Printf("recorded:   %s\n", b.Err.Summary())
+	got, err := b.Replay()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("reproduced: %s\n", got.Summary())
+	if !crash.SameFailure(got, b.Err) {
+		fatal("replay DIVERGED from the recorded failure")
+	}
+	fmt.Println("replay: identical failure (kind, cycle, thread, pc)")
+}
+
 func printStats(name string, cfg core.Config, st *core.Stats) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer w.Flush()
@@ -170,8 +212,12 @@ func printStats(name string, cfg core.Config, st *core.Stats) {
 	fmt.Fprintf(w, "load blocked\t%d\tstore buffer full\t%d\n", st.LoadBlocked, st.StoreBufferFull)
 	if cfg.Injector != nil {
 		fmt.Fprintf(w, "fault schedule\t%s\n", cfg.Injector)
-		fmt.Fprintf(w, "injected\t%d cache delays, %d wb delays, %d bpred flips, %d squashes\n",
-			st.Faults.CacheDelays, st.Faults.WritebackDelays, st.Faults.PredictorFlips, st.Faults.SpuriousSquashes)
+		fmt.Fprintf(w, "injected faults\t%d\n", st.Faults.Total())
+		for _, ch := range core.FaultChannels() {
+			if n := st.Faults[ch]; n > 0 {
+				fmt.Fprintf(w, "  %s\t%d\n", ch, n)
+			}
+		}
 	}
 	for t, c := range st.CommittedByThread {
 		fmt.Fprintf(w, "thread %d committed\t%d\n", t, c)

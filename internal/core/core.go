@@ -128,7 +128,14 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 		m.dcache.FaultDelay = func(now uint64, addr uint32, write bool) uint64 {
 			d := inj.CacheDelay(now, addr, write)
 			if d > 0 {
-				m.stats.Faults.CacheDelays++
+				m.stats.Faults.Add(ChanCacheDelay)
+			}
+			return d
+		}
+		m.sync.FaultDelay = func(now uint64, addr uint32, rmw bool) uint64 {
+			d := inj.SyncDelay(now, addr, rmw)
+			if d > 0 {
+				m.stats.Faults.Add(ChanSyncDelay)
 			}
 			return d
 		}
@@ -273,7 +280,7 @@ func (m *Machine) injectPredictorFlip() {
 	}
 	p := m.preds[slot%len(m.preds)]
 	if p.FlipEntry(slot / len(m.preds)) {
-		m.stats.Faults.PredictorFlips++
+		m.stats.Faults.Add(ChanPredictorFlip)
 	}
 }
 

@@ -47,6 +47,11 @@ type suEntry struct {
 	wbDelayed  bool   // fault injection already consulted for this writeback
 	squashedBy uint64 // tag of the CT that squashed this entry (diagnostics)
 
+	// Sync fault injection (FLDW/FAI only).
+	syncRolled    bool   // grant-delay schedule already consulted
+	syncWoken     bool   // spurious-wakeup schedule already consulted
+	syncHoldUntil uint64 // issue held until this cycle by an injected fault
+
 	// Control transfer bookkeeping.
 	predTaken    bool
 	predTarget   uint32

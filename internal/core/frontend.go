@@ -14,12 +14,40 @@ func (m *Machine) fetch() {
 	if m.latch != nil {
 		return // latch still waiting for dispatch
 	}
+	// Fault injection: the fetch slot may be stolen outright (no thread
+	// fetches), or the policy's decision overridden to a different
+	// eligible thread. Both are timing-only front-end perturbations.
+	if inj := m.cfg.Injector; inj != nil && inj.FetchBlock(m.now) {
+		m.stats.Faults.Add(ChanFetchBlock)
+		m.stats.FetchIdle++
+		return
+	}
 	t := m.selectThread()
 	if t < 0 {
 		m.stats.FetchIdle++
 		return
 	}
+	if inj := m.cfg.Injector; inj != nil && inj.FetchMisdecide(m.now) {
+		if alt := m.nextEligibleAfter(t); alt != t {
+			m.stats.Faults.Add(ChanFetchMisdecide)
+			m.trace("fetch misdecide t%d -> t%d (injected)", t, alt)
+			t = alt
+		}
+	}
 	m.fetchBlockFor(t)
+}
+
+// nextEligibleAfter returns the next eligible thread after t in round-
+// robin order, or t itself when no other thread can fetch.
+func (m *Machine) nextEligibleAfter(t int) int {
+	n := m.cfg.Threads
+	for i := 1; i < n; i++ {
+		alt := (t + i) % n
+		if m.eligible(alt) {
+			return alt
+		}
+	}
+	return t
 }
 
 // eligible reports whether thread t can fetch this cycle.

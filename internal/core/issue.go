@@ -33,6 +33,10 @@ func (m *Machine) issue() {
 	}
 }
 
+// spuriousWakeupBackoff is how many cycles an FLDW retries after an
+// injected spurious wakeup discarded its delivered value.
+const spuriousWakeupBackoff = 4
+
 // tryIssue applies per-class constraints, acquires a unit, and begins
 // execution. Reports whether the instruction left the window.
 func (m *Machine) tryIssue(e *suEntry) bool {
@@ -108,6 +112,38 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		// until older flag stores have drained.
 		if m.olderPendingFlagStore(e) {
 			return false
+		}
+		// Fault injection: the controller may hold the grant (delayed
+		// lock grant), and an FLDW grant may arrive as a spurious wakeup
+		// — the thread reads the flag, discards the value, and retries a
+		// few cycles later. Timing-only: the retry's read supplies the
+		// architectural result. FAI is never woken spuriously (its
+		// read-modify-write must execute exactly once).
+		if m.cfg.Injector != nil {
+			if e.syncHoldUntil > m.now {
+				return false
+			}
+			addr := isa.EffAddr(e.src[0].value, e.inst.Imm)
+			if !e.syncRolled {
+				e.syncRolled = true
+				if d := m.sync.GrantDelay(m.now, addr, op == isa.FAI); d > 0 {
+					e.syncHoldUntil = m.now + d
+					m.trace("sync hold %v for %d cycles (injected)", e, d)
+					return false
+				}
+			}
+			if op == isa.FLDW && !e.syncWoken {
+				e.syncWoken = true
+				if m.cfg.Injector.SpuriousWakeup(m.now, e.tag) {
+					m.stats.Faults.Add(ChanSyncWakeup)
+					if loader.IsFlagAddr(addr) && addr&3 == 0 {
+						_, _ = m.sync.Read(addr) // woken early: read and discard
+					}
+					e.syncHoldUntil = m.now + spuriousWakeupBackoff
+					m.trace("spurious wakeup %v (injected)", e)
+					return false
+				}
+			}
 		}
 	}
 

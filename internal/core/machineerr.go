@@ -166,15 +166,67 @@ type FaultInjector interface {
 	// transfer resolves; true forces a same-thread squash-and-refetch
 	// anyway, exactly as if it had mispredicted.
 	SpuriousSquash(now uint64, tag uint64) bool
+	// SyncDelay is consulted once per synchronization-controller
+	// request (FLDW/FAI with a valid flag address); a non-zero return
+	// holds the grant for that many cycles before the primitive may
+	// execute — a delayed lock grant.
+	SyncDelay(now uint64, addr uint32, rmw bool) uint64
+	// SpuriousWakeup is consulted once per FLDW grant; true makes the
+	// thread discard the delivered value and re-request the flag a few
+	// cycles later (the re-read supplies the architectural result).
+	SpuriousWakeup(now uint64, tag uint64) bool
+	// FetchMisdecide is consulted once per successful fetch decision;
+	// true redirects the slot to a different eligible thread than the
+	// one the configured policy chose.
+	FetchMisdecide(now uint64) bool
+	// FetchBlock is consulted once per fetch cycle with a free latch;
+	// true steals the slot — no thread fetches this cycle.
+	FetchBlock(now uint64) bool
 	// String identifies the schedule (seed and rates) for cache keys
 	// and diagnostics.
 	String() string
 }
 
-// FaultStats counts injected perturbations.
-type FaultStats struct {
-	CacheDelays      uint64 // forced D-cache miss delays
-	WritebackDelays  uint64 // results held off the writeback bus
-	PredictorFlips   uint64 // BTB counters inverted
-	SpuriousSquashes uint64 // correct CTs forced through recovery
+// Injection channel names, the keys of Stats.Faults. One name per
+// perturbation the injector can apply, so a run's statistics show
+// exactly which mechanisms were attacked and how often.
+const (
+	ChanCacheDelay     = "cache-delay"     // forced D-cache miss delays
+	ChanWritebackDelay = "writeback-delay" // results held off the writeback bus
+	ChanPredictorFlip  = "predictor-flip"  // BTB counters inverted
+	ChanSpuriousSquash = "spurious-squash" // correct CTs forced through recovery
+	ChanSyncDelay      = "sync-delay"      // sync-controller grants delayed
+	ChanSyncWakeup     = "sync-wakeup"     // FLDW grants spuriously woken
+	ChanFetchMisdecide = "fetch-misdecide" // fetch-policy decisions overridden
+	ChanFetchBlock     = "fetch-block"     // fetch slots stolen outright
+)
+
+// FaultChannels lists every injection channel name, sorted.
+func FaultChannels() []string {
+	return []string{
+		ChanCacheDelay, ChanFetchBlock, ChanFetchMisdecide, ChanPredictorFlip,
+		ChanSpuriousSquash, ChanSyncDelay, ChanSyncWakeup, ChanWritebackDelay,
+	}
+}
+
+// FaultCounts counts injected perturbations per channel, keyed by the
+// Chan* names above. The zero value is usable; Add allocates lazily, so
+// a run without an injector carries a nil map.
+type FaultCounts map[string]uint64
+
+// Add records one injection on the named channel.
+func (c *FaultCounts) Add(channel string) {
+	if *c == nil {
+		*c = FaultCounts{}
+	}
+	(*c)[channel]++
+}
+
+// Total sums the injections across all channels.
+func (c FaultCounts) Total() uint64 {
+	var n uint64
+	for _, v := range c {
+		n += v
+	}
+	return n
 }

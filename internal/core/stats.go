@@ -40,7 +40,7 @@ type Stats struct {
 	Cache  cache.Stats
 	ICache cache.Stats // zero-valued when the I-cache is perfect
 	Sync   syncctl.Stats
-	Faults FaultStats // injected perturbations (zero without an Injector)
+	Faults FaultCounts // injected perturbations per channel (nil without an Injector)
 }
 
 // IPC returns committed instructions per cycle.

@@ -27,7 +27,7 @@ func (m *Machine) writeback() {
 			if inj := m.cfg.Injector; inj != nil && !e.wbDelayed {
 				e.wbDelayed = true
 				if d := inj.WritebackDelay(m.now, e.tag); d > 0 {
-					m.stats.Faults.WritebackDelays++
+					m.stats.Faults.Add(ChanWritebackDelay)
 					e.completeAt = m.now + d
 					rest = append(rest, e)
 					continue
@@ -99,7 +99,7 @@ func (m *Machine) handleResolvedCT(e *suEntry) {
 		// recovery path anyway. The redirect target is the true next PC,
 		// so the squash-and-refetch is timing-only.
 		if inj := m.cfg.Injector; inj != nil && inj.SpuriousSquash(m.now, e.tag) {
-			m.stats.Faults.SpuriousSquashes++
+			m.stats.Faults.Add(ChanSpuriousSquash)
 			m.trace("spurious squash %v (injected)", e)
 			m.squashYounger(e)
 			if e.actualTaken {

@@ -1,0 +1,178 @@
+// Package crash writes and replays crash-report bundles: when a run
+// surfaces a structured *core.MachineError, the CLI saves a
+// self-contained directory — the loaded object, the full machine
+// configuration, the fault-injection spec, and the error itself — from
+// which `sdsp-sim -replay <dir>` deterministically reproduces the
+// identical failure. The simulator is fully deterministic given
+// (object, config, fault schedule), so a bundle is a perfect repro.
+package crash
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/loader"
+)
+
+// Version is bumped whenever the bundle layout changes incompatibly.
+const Version = 1
+
+// Bundle is one crash report: everything needed to rebuild the machine
+// that faulted and run it to the same failure.
+type Bundle struct {
+	Version  int    `json:"version"`
+	Workload string `json:"workload"` // human label: bench name, file, or experiment cell
+	// FaultSpec is the injector's canonical spec (fault.ParseSpec form),
+	// empty when the run had no injector. Config.Injector itself is not
+	// serialized (it is an interface); Replay reconstructs it from this.
+	FaultSpec string `json:"fault_spec,omitempty"`
+
+	Config core.Config        `json:"-"`
+	Object *loader.Object     `json:"-"`
+	Err    *core.MachineError `json:"-"`
+}
+
+// manifest is the bundle's index file: identity plus the one-line repro
+// command, so a human can act on a bundle without reading this package.
+type manifest struct {
+	Version   int    `json:"version"`
+	Workload  string `json:"workload"`
+	FaultSpec string `json:"fault_spec,omitempty"`
+	Summary   string `json:"summary"`
+	Replay    string `json:"replay"`
+}
+
+// New assembles a bundle from a faulted run. The config's Injector is
+// captured as its spec string and cleared (interfaces do not survive
+// JSON), so callers may pass the live config.
+func New(workload string, obj *loader.Object, cfg core.Config, err *core.MachineError) *Bundle {
+	spec := ""
+	if cfg.Injector != nil {
+		spec = cfg.Injector.String()
+	}
+	cfg.Injector = nil
+	return &Bundle{
+		Version:   Version,
+		Workload:  workload,
+		FaultSpec: spec,
+		Config:    cfg,
+		Object:    obj,
+		Err:       err,
+	}
+}
+
+// DirName derives a stable, filesystem-safe directory name for the
+// bundle: sdsp-crash-<kind>-c<cycle>-t<thread>[-<suffix>]. Deterministic
+// so repeated runs of the same failure land on the same path.
+func (b *Bundle) DirName(suffix string) string {
+	kind := strings.ReplaceAll(b.Err.Kind.String(), " ", "-")
+	name := fmt.Sprintf("sdsp-crash-%s-c%d-t%d", kind, b.Err.Cycle, b.Err.Thread)
+	if suffix != "" {
+		name += "-" + suffix
+	}
+	return name
+}
+
+// Write saves the bundle under dir (created if absent): manifest.json,
+// config.json, object.json, and error.json. Returns the replay command.
+func (b *Bundle) Write(dir string) (replay string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("crash: %w", err)
+	}
+	replay = fmt.Sprintf("sdsp-sim -replay %s", dir)
+	files := map[string]any{
+		"manifest.json": manifest{
+			Version:   b.Version,
+			Workload:  b.Workload,
+			FaultSpec: b.FaultSpec,
+			Summary:   b.Err.Summary(),
+			Replay:    replay,
+		},
+		"config.json": b.Config,
+		"object.json": b.Object,
+		"error.json":  b.Err,
+	}
+	for name, v := range files {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("crash: marshal %s: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return "", fmt.Errorf("crash: %w", err)
+		}
+	}
+	return replay, nil
+}
+
+// Read loads a bundle from dir.
+func Read(dir string) (*Bundle, error) {
+	b := &Bundle{}
+	var man manifest
+	for name, v := range map[string]any{
+		"manifest.json": &man,
+		"config.json":   &b.Config,
+		"object.json":   &b.Object,
+		"error.json":    &b.Err,
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("crash: %w", err)
+		}
+		if err := json.Unmarshal(data, v); err != nil {
+			return nil, fmt.Errorf("crash: parse %s: %w", name, err)
+		}
+	}
+	if man.Version != Version {
+		return nil, fmt.Errorf("crash: bundle version %d, this build reads %d", man.Version, Version)
+	}
+	b.Version = man.Version
+	b.Workload = man.Workload
+	b.FaultSpec = man.FaultSpec
+	if b.Object == nil || b.Err == nil {
+		return nil, fmt.Errorf("crash: bundle %s is incomplete", dir)
+	}
+	return b, nil
+}
+
+// Replay rebuilds the machine from the bundle and runs it, returning
+// the reproduced fault. A run that finishes cleanly (or fails with a
+// different error class) returns an error — the bundle did not
+// reproduce.
+func (b *Bundle) Replay() (*core.MachineError, error) {
+	cfg := b.Config
+	if b.FaultSpec != "" {
+		s, err := fault.ParseSpec(b.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("crash: bundle fault spec: %w", err)
+		}
+		if s != nil {
+			cfg.Injector = s
+		}
+	}
+	m, err := core.New(b.Object, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("crash: rebuild machine: %w", err)
+	}
+	_, err = m.Run()
+	if err == nil {
+		return nil, fmt.Errorf("crash: replay finished cleanly; the bundle does not reproduce")
+	}
+	me, ok := err.(*core.MachineError)
+	if !ok {
+		return nil, fmt.Errorf("crash: replay failed outside the machine: %w", err)
+	}
+	return me, nil
+}
+
+// SameFailure reports whether two machine errors are the same fault:
+// identical kind, cycle, thread, and PC — the replay identity the
+// bundle guarantees.
+func SameFailure(a, b *core.MachineError) bool {
+	return a != nil && b != nil &&
+		a.Kind == b.Kind && a.Cycle == b.Cycle && a.Thread == b.Thread && a.PC == b.PC
+}

@@ -1,0 +1,168 @@
+package crash_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/crash"
+	"repro/internal/fault"
+	"repro/internal/loader"
+)
+
+func cfg1t() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Threads = 1
+	return cfg
+}
+
+// forceError runs obj under cfg and returns the MachineError it must
+// produce.
+func forceError(t *testing.T, obj *loader.Object, cfg core.Config) *core.MachineError {
+	t.Helper()
+	m, err := core.New(obj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	if err == nil {
+		t.Fatal("run finished cleanly; wanted a MachineError")
+	}
+	me, ok := err.(*core.MachineError)
+	if !ok {
+		t.Fatalf("error is %T, want *MachineError: %v", err, err)
+	}
+	return me
+}
+
+// A runaway bundle must survive the disk round trip and replay to the
+// byte-identical failure — the repo's crash-repro acceptance criterion.
+func TestBundleRoundTripAndReplay(t *testing.T) {
+	obj, err := asm.Assemble("main: b main\n      halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfg1t()
+	cfg.MaxCycles = 2_000
+	me := forceError(t, obj, cfg)
+	if me.Kind != core.FaultRunaway {
+		t.Fatalf("kind = %v, want runaway", me.Kind)
+	}
+
+	b := crash.New("spin.s", obj, cfg, me)
+	dir := filepath.Join(t.TempDir(), b.DirName(""))
+	replayCmd, err := b.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(replayCmd, "-replay "+dir) {
+		t.Errorf("replay command %q does not name the bundle", replayCmd)
+	}
+	for _, name := range []string{"manifest.json", "config.json", "object.json", "error.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+
+	back, err := crash.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != "spin.s" || back.FaultSpec != "" {
+		t.Errorf("identity changed: workload %q fault %q", back.Workload, back.FaultSpec)
+	}
+	if !crash.SameFailure(back.Err, me) {
+		t.Fatalf("stored error differs: %v vs %v", back.Err.Summary(), me.Summary())
+	}
+	got, err := back.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !crash.SameFailure(got, me) {
+		t.Fatalf("replay diverged:\n  original: %v\n  replay:   %v", me.Summary(), got.Summary())
+	}
+}
+
+// A bundle carrying a fault-injection spec must rebuild the injector on
+// replay: a watchdog deadlock caused by a forced-miss schedule only
+// reproduces when the schedule is reinstated.
+func TestBundleReplaysInjectedFault(t *testing.T) {
+	obj, err := asm.Assemble(`
+main: li   r1, xs
+loop: lw   r2, 0(r1)
+      b    loop
+      halt
+.data
+xs: .word 5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfg1t()
+	cfg.MaxCycles = 1_000_000
+	cfg.Watchdog = 4 // any forced miss longer than this trips the watchdog
+	cfg.Injector = fault.New(7, fault.Rates{CacheMiss: 1})
+	me := forceError(t, obj, cfg)
+	if me.Kind != core.FaultDeadlock {
+		t.Fatalf("kind = %v, want deadlock: %v", me.Kind, me.Summary())
+	}
+
+	b := crash.New("spin-load.s", obj, cfg, me)
+	if b.FaultSpec == "" {
+		t.Fatal("bundle dropped the fault spec")
+	}
+	dir := filepath.Join(t.TempDir(), b.DirName("inj"))
+	if _, err := b.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := crash.Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !crash.SameFailure(got, me) {
+		t.Fatalf("replay diverged:\n  original: %v\n  replay:   %v", me.Summary(), got.Summary())
+	}
+}
+
+// A bundle whose machine no longer fails must say so rather than
+// claiming reproduction.
+func TestReplayCleanRunIsAnError(t *testing.T) {
+	obj, err := asm.Assemble("main: b main\n      halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfg1t()
+	cfg.MaxCycles = 2_000
+	me := forceError(t, obj, cfg)
+
+	b := crash.New("spin.s", obj, cfg, me)
+	b.Config.MaxCycles = 0 // default guard: the loop is still infinite…
+	b.Config.Watchdog = core.NoWatchdog
+	// …but an actually-clean program shows the failure path:
+	okObj, err := asm.Assemble("main: halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Object = okObj
+	if _, err := b.Replay(); err == nil || !strings.Contains(err.Error(), "does not reproduce") {
+		t.Errorf("clean replay returned %v, want a does-not-reproduce error", err)
+	}
+}
+
+func TestDirNameIsStable(t *testing.T) {
+	me := &core.MachineError{Kind: core.FaultInvariant, Cycle: 123, Thread: 2}
+	b := &crash.Bundle{Err: me}
+	if got := b.DirName(""); got != "sdsp-crash-invariant-violation-c123-t2" {
+		t.Errorf("DirName = %q", got)
+	}
+	if got := b.DirName("cell7"); got != "sdsp-crash-invariant-violation-c123-t2-cell7" {
+		t.Errorf("DirName with suffix = %q", got)
+	}
+}

@@ -53,6 +53,7 @@ func Registry() []Experiment {
 		{"improvements", "Paper §6.1: all four proposed improvements, implemented", Improvements},
 		{"hwablations", "Extension ablations: predictor, BTB sharing, I-cache, forwarding", HardwareAblations},
 		{"compiler", "Toolchain study: MiniC vs hand-written asm; register budget sweep", CompilerStudy},
+		{"faultsweep", "Fault sweep: IPC degradation under injected faults, per mechanism", FaultSweep},
 	}
 }
 

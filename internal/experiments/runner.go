@@ -1,16 +1,28 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"path/filepath"
 	"sync"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/crash"
 	"repro/internal/isa"
 	"repro/internal/kernels"
 )
+
+// keyHash shortens a cell cache key into a stable bundle-dir suffix, so
+// distinct failing cells of one sweep never collide.
+func keyHash(key string) string {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%08x", h.Sum32())
+}
 
 // Table is a rendered experiment result: the rows/series of one paper
 // figure or table.
@@ -109,6 +121,16 @@ type Runner struct {
 	// Schedules are stateless, so one injector is safely shared by all
 	// parallel workers; its String() is folded into each cache key.
 	Injector core.FaultInjector
+	// CrashDir, when non-empty, makes any cell that fails with a
+	// *core.MachineError write a crash-report bundle (object, config,
+	// fault spec, error) under this directory; the cell's error then
+	// names the bundle and its sdsp-sim -replay command.
+	CrashDir string
+
+	// Curves accumulates the degradation curves of the fault-sweep
+	// experiment during table assembly, for the -json export. Read after
+	// RunExperiments returns.
+	Curves []DegradationCurve
 
 	mu        sync.Mutex
 	cache     map[string]cellResult
@@ -117,6 +139,16 @@ type Runner struct {
 	pendingBy map[string]bool
 
 	progressMu sync.Mutex
+}
+
+// recordCurve appends a degradation curve unless the runner is in the
+// declaration pass (whose tables — and curves — are discarded).
+func (r *Runner) recordCurve(c DegradationCurve) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.declaring {
+		r.Curves = append(r.Curves, c)
+	}
 }
 
 // NewRunner builds a runner at the given problem scale.
@@ -231,7 +263,18 @@ func (r *Runner) RunWith(b *kernels.Benchmark, cfg core.Config, p kernels.Params
 		}
 		st, err := m.Run()
 		if err != nil {
-			return nil, fmt.Errorf("%s (threads=%d): %w", b.Name, cfg.Threads, err)
+			err = fmt.Errorf("%s (threads=%d): %w", b.Name, cfg.Threads, err)
+			var me *core.MachineError
+			if r.CrashDir != "" && errors.As(err, &me) {
+				bundle := crash.New(b.Name, obj, cfg, me)
+				dir := filepath.Join(r.CrashDir, bundle.DirName(keyHash(key)))
+				if replay, werr := bundle.Write(dir); werr == nil {
+					err = fmt.Errorf("%w\ncrash bundle: %s (reproduce: %s)", err, dir, replay)
+				} else {
+					err = fmt.Errorf("%w\n(crash bundle not written: %v)", err, werr)
+				}
+			}
+			return nil, err
 		}
 		if err := b.Check(m.Memory(), obj, p); err != nil {
 			return nil, fmt.Errorf("%s (threads=%d) failed validation: %w", b.Name, cfg.Threads, err)

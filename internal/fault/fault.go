@@ -1,13 +1,16 @@
 // Package fault provides deterministic, seeded schedules of timing-only
 // microarchitectural perturbations for robustness testing of the SDSP
 // core: forced extra D-cache miss delays, flipped branch-predictor
-// counters, delayed writebacks, and spurious same-thread
-// squash-and-refetch events. Every perturbation attacks a mechanism the
-// paper's performance claims rest on (the cache's single outstanding
-// refill, the shared 2-bit predictor, the writeback bus, selective
-// squash) while leaving architectural results untouched — under any
-// schedule the core must still produce memory byte-identical to the
-// functional reference simulator, only slower.
+// counters, delayed writebacks, spurious same-thread squash-and-refetch
+// events, delayed synchronization-controller grants, spurious FLDW
+// wakeups, and fetch-slot faults (policy misdecisions and blocked
+// slots). Every perturbation attacks a mechanism the paper's
+// performance claims rest on (the cache's single outstanding refill,
+// the shared 2-bit predictor, the writeback bus, selective squash, the
+// sync controller that keeps spinning threads committing, the fetch
+// policies of §5.1) while leaving architectural results untouched —
+// under any schedule the core must still produce memory byte-identical
+// to the functional reference simulator, only slower.
 //
 // Schedules are stateless: every decision is a pure hash of the seed
 // and the event's coordinates (cycle, address, tag). That makes a
@@ -29,11 +32,17 @@ type Rates struct {
 	Writeback float64 // per completed execution: result held off the bus
 	FlipBTB   float64 // per cycle: one BTB counter direction inverted
 	Squash    float64 // per correct CT resolution: spurious squash-and-refetch
+
+	SyncGrant  float64 // per sync-controller request: grant delayed 1..16 cycles
+	SyncWakeup float64 // per FLDW grant: spurious wakeup (value discarded, re-read)
+	FetchMis   float64 // per fetch decision: policy choice overridden
+	FetchBlock float64 // per fetch cycle: the fetch slot is stolen outright
 }
 
 // zero reports whether the schedule would never fire.
 func (r Rates) zero() bool {
-	return r.CacheMiss <= 0 && r.Writeback <= 0 && r.FlipBTB <= 0 && r.Squash <= 0
+	return r.CacheMiss <= 0 && r.Writeback <= 0 && r.FlipBTB <= 0 && r.Squash <= 0 &&
+		r.SyncGrant <= 0 && r.SyncWakeup <= 0 && r.FetchMis <= 0 && r.FetchBlock <= 0
 }
 
 // Schedule is a deterministic fault schedule implementing the core's
@@ -55,6 +64,7 @@ func New(seed uint64, rates Rates) *Schedule {
 const (
 	maxCacheDelay     = 32
 	maxWritebackDelay = 8
+	maxSyncDelay      = 16
 )
 
 // mix is the splitmix64 finalizer: a bijective avalanche mix.
@@ -72,6 +82,10 @@ const (
 	kindWriteback uint64 = 0x7772697465626100 // "writeba"
 	kindFlip      uint64 = 0x666c697062746200 // "flipbtb"
 	kindSquash    uint64 = 0x7371756173680000 // "squash"
+	kindSyncGrant uint64 = 0x73796e6367720000 // "syncgr"
+	kindSyncWake  uint64 = 0x73796e63776b0000 // "syncwk"
+	kindFetchMis  uint64 = 0x66657463686d0000 // "fetchm"
+	kindFetchBlk  uint64 = 0x6665746368620000 // "fetchb"
 )
 
 // roll hashes (kind, a, b) against the seed and compares the result to
@@ -127,11 +141,49 @@ func (s *Schedule) SpuriousSquash(now uint64, tag uint64) bool {
 	return hit
 }
 
+// SyncDelay implements core.FaultInjector: delays the synchronization
+// controller's grant of a fraction of FLDW/FAI requests by 1..16 cycles
+// (a busy controller port; the "delayed lock grant" channel).
+func (s *Schedule) SyncDelay(now uint64, addr uint32, rmw bool) uint64 {
+	h, hit := s.roll(kindSyncGrant, now, uint64(addr), s.rates.SyncGrant)
+	if !hit {
+		return 0
+	}
+	return 1 + (h>>17)%maxSyncDelay
+}
+
+// SpuriousWakeup implements core.FaultInjector: a fraction of FLDW
+// grants deliver a value the thread must discard and re-request — the
+// classic spurious wakeup. The re-read happens a few cycles later and
+// supplies the architectural result, so the perturbation is timing-only
+// for programs whose outcome is interleaving-independent.
+func (s *Schedule) SpuriousWakeup(now uint64, tag uint64) bool {
+	_, hit := s.roll(kindSyncWake, now, tag, s.rates.SyncWakeup)
+	return hit
+}
+
+// FetchMisdecide implements core.FaultInjector: overrides a fraction of
+// fetch-policy decisions, redirecting the slot to a different eligible
+// thread than the one the policy chose.
+func (s *Schedule) FetchMisdecide(now uint64) bool {
+	_, hit := s.roll(kindFetchMis, now, 0, s.rates.FetchMis)
+	return hit
+}
+
+// FetchBlock implements core.FaultInjector: steals a fraction of fetch
+// cycles outright — no thread fetches, as if the fetch stage lost
+// arbitration for its slot.
+func (s *Schedule) FetchBlock(now uint64) bool {
+	_, hit := s.roll(kindFetchBlk, now, 0, s.rates.FetchBlock)
+	return hit
+}
+
 // String renders the canonical spec; ParseSpec(s.String()) rebuilds an
 // identical schedule. Experiment cache keys fold this in.
 func (s *Schedule) String() string {
-	return fmt.Sprintf("seed=%d,miss=%g,wb=%g,flip=%g,squash=%g",
-		s.seed, s.rates.CacheMiss, s.rates.Writeback, s.rates.FlipBTB, s.rates.Squash)
+	return fmt.Sprintf("seed=%d,miss=%g,wb=%g,flip=%g,squash=%g,sync=%g,wake=%g,fetch=%g,fblock=%g",
+		s.seed, s.rates.CacheMiss, s.rates.Writeback, s.rates.FlipBTB, s.rates.Squash,
+		s.rates.SyncGrant, s.rates.SyncWakeup, s.rates.FetchMis, s.rates.FetchBlock)
 }
 
 // Rates returns the schedule's configured rates.
@@ -144,13 +196,18 @@ func (s *Schedule) Seed() uint64 { return s.seed }
 // normal run (useful as an always-on smoke schedule); "heavy" pushes
 // every mechanism hard; the storms isolate one mechanism each.
 var presets = map[string]Rates{
-	"light":  {CacheMiss: 0.005, Writeback: 0.005, FlipBTB: 0.01, Squash: 0.002},
-	"medium": {CacheMiss: 0.02, Writeback: 0.02, FlipBTB: 0.03, Squash: 0.008},
-	"heavy":  {CacheMiss: 0.05, Writeback: 0.05, FlipBTB: 0.08, Squash: 0.02},
+	"light": {CacheMiss: 0.005, Writeback: 0.005, FlipBTB: 0.01, Squash: 0.002,
+		SyncGrant: 0.005, SyncWakeup: 0.002, FetchMis: 0.01, FetchBlock: 0.005},
+	"medium": {CacheMiss: 0.02, Writeback: 0.02, FlipBTB: 0.03, Squash: 0.008,
+		SyncGrant: 0.02, SyncWakeup: 0.008, FetchMis: 0.03, FetchBlock: 0.02},
+	"heavy": {CacheMiss: 0.05, Writeback: 0.05, FlipBTB: 0.08, Squash: 0.02,
+		SyncGrant: 0.05, SyncWakeup: 0.02, FetchMis: 0.08, FetchBlock: 0.05},
 	"cache-storm":  {CacheMiss: 0.25},
 	"wb-storm":     {Writeback: 0.25},
 	"bpred-storm":  {FlipBTB: 0.5},
 	"squash-storm": {Squash: 0.1},
+	"sync-storm":   {SyncGrant: 0.25, SyncWakeup: 0.1},
+	"fetch-storm":  {FetchMis: 0.25, FetchBlock: 0.25},
 }
 
 // Presets lists the named presets ParseSpec accepts, sorted.
@@ -163,12 +220,20 @@ func Presets() []string {
 	return names
 }
 
+// SpecKeys lists the key=value keys ParseSpec accepts, in canonical
+// (String) order, seed first.
+func SpecKeys() []string {
+	return []string{"seed", "miss", "wb", "flip", "squash", "sync", "wake", "fetch", "fblock"}
+}
+
 // ParseSpec builds a schedule from a comma-separated spec. Each token
 // is either a preset name (light, medium, heavy, cache-storm, wb-storm,
-// bpred-storm, squash-storm) or key=value with keys seed, miss, wb,
-// flip, squash. Later tokens override earlier ones, so
-// "heavy,seed=7,squash=0" is heavy rates with seed 7 and squashes off.
-// An empty spec or "none" returns (nil, nil): no injection.
+// bpred-storm, squash-storm, sync-storm, fetch-storm) or key=value with
+// keys seed, miss, wb, flip, squash, sync, wake, fetch, fblock. Later
+// tokens override earlier ones, so "heavy,seed=7,squash=0" is heavy
+// rates with seed 7 and squashes off. An unknown key or preset is a
+// usage error naming the valid ones — never silently ignored. An empty
+// spec or "none" returns (nil, nil): no injection.
 func ParseSpec(spec string) (*Schedule, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" || spec == "none" {
@@ -184,7 +249,8 @@ func ParseSpec(spec string) (*Schedule, error) {
 		if !isKV {
 			r, ok := presets[tok]
 			if !ok {
-				return nil, fmt.Errorf("fault: unknown preset %q (have %s)", tok, strings.Join(Presets(), ", "))
+				return nil, fmt.Errorf("fault: unknown preset %q (valid presets: %s; valid keys: %s)",
+					tok, strings.Join(Presets(), ", "), strings.Join(SpecKeys(), ", "))
 			}
 			s.rates = r
 			continue
@@ -197,6 +263,31 @@ func ParseSpec(spec string) (*Schedule, error) {
 			s.seed = n
 			continue
 		}
+		// Resolve the key before validating the value, so a typo like
+		// "sseed=3" reports the unknown key (with the valid list), not a
+		// misleading rate-range error.
+		var field *float64
+		switch key {
+		case "miss":
+			field = &s.rates.CacheMiss
+		case "wb":
+			field = &s.rates.Writeback
+		case "flip":
+			field = &s.rates.FlipBTB
+		case "squash":
+			field = &s.rates.Squash
+		case "sync":
+			field = &s.rates.SyncGrant
+		case "wake":
+			field = &s.rates.SyncWakeup
+		case "fetch":
+			field = &s.rates.FetchMis
+		case "fblock":
+			field = &s.rates.FetchBlock
+		default:
+			return nil, fmt.Errorf("fault: unknown key %q (valid keys: %s; or a preset: %s)",
+				key, strings.Join(SpecKeys(), ", "), strings.Join(Presets(), ", "))
+		}
 		f, err := strconv.ParseFloat(val, 64)
 		if err != nil {
 			return nil, fmt.Errorf("fault: bad rate %q for %s: %v", val, key, err)
@@ -204,18 +295,7 @@ func ParseSpec(spec string) (*Schedule, error) {
 		if f < 0 || f > 1 {
 			return nil, fmt.Errorf("fault: rate %s=%g outside [0,1]", key, f)
 		}
-		switch key {
-		case "miss":
-			s.rates.CacheMiss = f
-		case "wb":
-			s.rates.Writeback = f
-		case "flip":
-			s.rates.FlipBTB = f
-		case "squash":
-			s.rates.Squash = f
-		default:
-			return nil, fmt.Errorf("fault: unknown key %q (want seed, miss, wb, flip, squash, or a preset)", key)
-		}
+		*field = f
 	}
 	if s.rates.zero() {
 		return nil, fmt.Errorf("fault: spec %q injects nothing; use an empty spec to disable injection", spec)

@@ -1,6 +1,7 @@
 package fault_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -11,7 +12,10 @@ import (
 var _ core.FaultInjector = (*fault.Schedule)(nil)
 
 func TestDeterministicReplay(t *testing.T) {
-	r := fault.Rates{CacheMiss: 0.1, Writeback: 0.1, FlipBTB: 0.1, Squash: 0.1}
+	r := fault.Rates{
+		CacheMiss: 0.1, Writeback: 0.1, FlipBTB: 0.1, Squash: 0.1,
+		SyncGrant: 0.1, SyncWakeup: 0.1, FetchMis: 0.1, FetchBlock: 0.1,
+	}
 	a, b := fault.New(42, r), fault.New(42, r)
 	for now := uint64(1); now < 5000; now++ {
 		if x, y := a.CacheDelay(now, uint32(now*4), now%2 == 0), b.CacheDelay(now, uint32(now*4), now%2 == 0); x != y {
@@ -27,6 +31,18 @@ func TestDeterministicReplay(t *testing.T) {
 		}
 		if x, y := a.SpuriousSquash(now, now), b.SpuriousSquash(now, now); x != y {
 			t.Fatalf("cycle %d: squash %v vs %v", now, x, y)
+		}
+		if x, y := a.SyncDelay(now, uint32(now*4), now%3 == 0), b.SyncDelay(now, uint32(now*4), now%3 == 0); x != y {
+			t.Fatalf("cycle %d: sync delay %d vs %d", now, x, y)
+		}
+		if x, y := a.SpuriousWakeup(now, now*5), b.SpuriousWakeup(now, now*5); x != y {
+			t.Fatalf("cycle %d: wakeup %v vs %v", now, x, y)
+		}
+		if x, y := a.FetchMisdecide(now), b.FetchMisdecide(now); x != y {
+			t.Fatalf("cycle %d: fetch misdecide %v vs %v", now, x, y)
+		}
+		if x, y := a.FetchBlock(now), b.FetchBlock(now); x != y {
+			t.Fatalf("cycle %d: fetch block %v vs %v", now, x, y)
 		}
 	}
 }
@@ -70,7 +86,7 @@ func TestRatesRoughlyHonored(t *testing.T) {
 }
 
 func TestDelaysBounded(t *testing.T) {
-	s := fault.New(3, fault.Rates{CacheMiss: 1, Writeback: 1})
+	s := fault.New(3, fault.Rates{CacheMiss: 1, Writeback: 1, SyncGrant: 1})
 	for i := 0; i < 5000; i++ {
 		if d := s.CacheDelay(uint64(i), uint32(i*4), true); d < 1 || d > 32 {
 			t.Fatalf("cache delay %d outside [1,32]", d)
@@ -78,22 +94,63 @@ func TestDelaysBounded(t *testing.T) {
 		if d := s.WritebackDelay(uint64(i), uint64(i)); d < 1 || d > 8 {
 			t.Fatalf("writeback delay %d outside [1,8]", d)
 		}
+		if d := s.SyncDelay(uint64(i), uint32(i*4), i%2 == 0); d < 1 || d > 16 {
+			t.Fatalf("sync delay %d outside [1,16]", d)
+		}
+	}
+}
+
+// The sync/fetch channels fire at roughly their configured rates and
+// stay silent at rate zero, like the original four.
+func TestNewChannelRatesHonored(t *testing.T) {
+	s := fault.New(11, fault.Rates{SyncGrant: 0.5, FetchMis: 0.25})
+	var grants, mis int
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if s.SyncDelay(uint64(i), uint32(i*4), false) > 0 {
+			grants++
+		}
+		if s.FetchMisdecide(uint64(i)) {
+			mis++
+		}
+		if s.SpuriousWakeup(uint64(i), uint64(i)) {
+			t.Fatal("wakeup fired with rate 0")
+		}
+		if s.FetchBlock(uint64(i)) {
+			t.Fatal("fetch block fired with rate 0")
+		}
+	}
+	if f := float64(grants) / trials; f < 0.45 || f > 0.55 {
+		t.Errorf("sync=0.5 fired %.3f of the time", f)
+	}
+	if f := float64(mis) / trials; f < 0.20 || f > 0.30 {
+		t.Errorf("fetch=0.25 fired %.3f of the time", f)
 	}
 }
 
 func TestParseSpecRoundTrip(t *testing.T) {
-	s, err := fault.ParseSpec("seed=42,miss=0.01,wb=0.02,flip=0.03,squash=0.004")
+	for _, spec := range []string{
+		"seed=42,miss=0.01,wb=0.02,flip=0.03,squash=0.004",
+		"seed=42,sync=0.1,wake=0.05,fetch=0.2,fblock=0.1",
+		"sync-storm,seed=7",
+	} {
+		s, err := fault.ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := fault.ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("canonical spec %q does not reparse: %v", s.String(), err)
+		}
+		if back.String() != s.String() {
+			t.Errorf("round trip changed spec: %q -> %q", s.String(), back.String())
+		}
+	}
+	s, err := fault.ParseSpec("seed=42,miss=0.01,sync=0.2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := fault.ParseSpec(s.String())
-	if err != nil {
-		t.Fatalf("canonical spec %q does not reparse: %v", s.String(), err)
-	}
-	if back.String() != s.String() {
-		t.Errorf("round trip changed spec: %q -> %q", s.String(), back.String())
-	}
-	if s.Seed() != 42 || s.Rates().CacheMiss != 0.01 {
+	if s.Seed() != 42 || s.Rates().CacheMiss != 0.01 || s.Rates().SyncGrant != 0.2 {
 		t.Errorf("parsed schedule wrong: %v", s)
 	}
 }
@@ -113,9 +170,38 @@ func TestParseSpecPresetsAndErrors(t *testing.T) {
 	if s, err := fault.ParseSpec("none"); err != nil || s != nil {
 		t.Errorf("none: (%v, %v), want (nil, nil)", s, err)
 	}
-	for _, bad := range []string{"bogus", "miss=2", "miss=x", "seed=", "zork=1", "miss=0"} {
+	for _, bad := range []string{"bogus", "miss=2", "miss=x", "seed=", "zork=1", "miss=0", "sync=1.5", "sseed=3"} {
 		if _, err := fault.ParseSpec(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// A mistyped key must fail fast with a message that names every valid
+// key, so a user who writes "sseed=3" can self-correct from the error
+// alone.
+func TestParseSpecUnknownKeyListsValidKeys(t *testing.T) {
+	_, err := fault.ParseSpec("sseed=3")
+	if err == nil {
+		t.Fatal("sseed=3 accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"sseed"`) {
+		t.Errorf("error does not name the bad key: %q", msg)
+	}
+	for _, key := range fault.SpecKeys() {
+		if !strings.Contains(msg, key) {
+			t.Errorf("error does not list valid key %q: %q", key, msg)
+		}
+	}
+	// A mistyped bare preset gets the same treatment.
+	_, err = fault.ParseSpec("sync-strom")
+	if err == nil {
+		t.Fatal("sync-strom accepted")
+	}
+	for _, p := range fault.Presets() {
+		if !strings.Contains(err.Error(), p) {
+			t.Errorf("preset error does not list %q: %q", p, err.Error())
 		}
 	}
 }

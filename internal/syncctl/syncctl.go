@@ -18,7 +18,14 @@ import (
 type Controller struct {
 	m *mem.Memory
 
-	reads, writes, rmws uint64
+	// FaultDelay, when set, is consulted once per FLDW/FAI request with a
+	// valid flag address; a non-zero return reports how many cycles the
+	// grant is held before the primitive may execute (a delayed lock
+	// grant, for robustness testing). Timing-only: the eventual access is
+	// unchanged.
+	FaultDelay func(now uint64, addr uint32, rmw bool) uint64
+
+	reads, writes, rmws, delayed uint64
 }
 
 // New wraps main memory's flag segment.
@@ -78,8 +85,28 @@ func (c *Controller) FetchAdd(addr uint32) (uint32, error) {
 	return old, c.m.Store(addr, old+1)
 }
 
+// GrantDelay reports how many cycles the controller holds the grant for
+// a request at addr before it may execute — zero normally, non-zero only
+// under an installed FaultDelay schedule. Invalid addresses never roll a
+// delay (they fault at execute instead).
+func (c *Controller) GrantDelay(now uint64, addr uint32, rmw bool) uint64 {
+	if c.FaultDelay == nil || c.check(addr, rmw) != nil {
+		return 0
+	}
+	d := c.FaultDelay(now, addr, rmw)
+	if d > 0 {
+		c.delayed++
+	}
+	return d
+}
+
 // Stats counts controller traffic.
-type Stats struct{ Reads, Writes, RMWs uint64 }
+type Stats struct {
+	Reads, Writes, RMWs uint64
+	DelayedGrants       uint64 // grants held by an injected fault schedule
+}
 
 // Stats returns a copy of the counters.
-func (c *Controller) Stats() Stats { return Stats{c.reads, c.writes, c.rmws} }
+func (c *Controller) Stats() Stats {
+	return Stats{Reads: c.reads, Writes: c.writes, RMWs: c.rmws, DelayedGrants: c.delayed}
+}

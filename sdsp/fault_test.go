@@ -1,9 +1,11 @@
 package sdsp_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/sdsp"
 )
@@ -30,10 +32,14 @@ func scheduleFor(seed uint64) *fault.Schedule {
 	}
 	f := float64(seed%17+1) / 100 // 0.01 .. 0.17
 	return fault.New(seed, fault.Rates{
-		CacheMiss: f,
-		Writeback: f / 2,
-		FlipBTB:   f,
-		Squash:    f / 4,
+		CacheMiss:  f,
+		Writeback:  f / 2,
+		FlipBTB:    f,
+		Squash:     f / 4,
+		SyncGrant:  f / 2,
+		SyncWakeup: f / 4,
+		FetchMis:   f,
+		FetchBlock: f / 2,
 	})
 }
 
@@ -100,6 +106,48 @@ func TestAllKernelsParanoid(t *testing.T) {
 	}
 }
 
+// A forced-miss schedule that out-delays a too-tight watchdog must
+// surface as a structured deadlock naming the stalled thread — not as
+// an invariant violation, and not as a silent hang. This pins the
+// diagnostic quality of the fault model: injected timing faults may
+// wedge the machine, but the report must still attribute the wedge.
+func TestForcedMissTripsWatchdogAsDeadlock(t *testing.T) {
+	obj, err := sdsp.Assemble(`
+main: li   r1, xs
+loop: lw   r2, 0(r1)
+      b    loop
+      halt
+.data
+xs: .word 5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sdsp.DefaultConfig(1)
+	cfg.CheckInvariants = true
+	cfg.MaxCycles = 1_000_000
+	cfg.Watchdog = 4 // every forced miss is longer than this
+	cfg.Injector = fault.New(7, fault.Rates{CacheMiss: 1})
+	m, err := sdsp.NewMachine(obj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	if err == nil {
+		t.Fatal("run finished despite a 4-cycle watchdog under forced misses")
+	}
+	var me *sdsp.MachineError
+	if !errors.As(err, &me) {
+		t.Fatalf("error is not a MachineError: %v", err)
+	}
+	if me.Kind != core.FaultDeadlock {
+		t.Fatalf("kind = %v, want deadlock (invariant checking was on): %v", me.Kind, me.Summary())
+	}
+	if me.Thread < 0 {
+		t.Errorf("deadlock did not name the stalled thread: %v", me.Summary())
+	}
+}
+
 // A fault schedule must actually perturb the machine (otherwise the
 // property test above proves nothing): under the heavy preset a kernel
 // both slows down and reports injected events in its statistics.
@@ -121,9 +169,7 @@ func TestFaultInjectionPerturbsTiming(t *testing.T) {
 	if err != nil {
 		t.Fatalf("faulted run: %v", err)
 	}
-	injected := st.Faults.CacheDelays + st.Faults.WritebackDelays +
-		st.Faults.PredictorFlips + st.Faults.SpuriousSquashes
-	if injected == 0 {
+	if st.Faults.Total() == 0 {
 		t.Fatal("heavy schedule injected nothing")
 	}
 	if st.Cycles <= base.Cycles {

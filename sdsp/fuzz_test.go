@@ -19,11 +19,11 @@ import (
 //
 //	go test ./sdsp -fuzz FuzzVerify -fuzztime 30s
 func FuzzVerify(f *testing.F) {
-	f.Add(int64(1), uint64(0), uint64(4), uint64(0))       // plain program, no faults
-	f.Add(int64(424242), uint64(7), uint64(4), uint64(5))  // medium faults
-	f.Add(int64(31337), uint64(3), uint64(1), uint64(9))   // single thread, heavy
-	f.Add(int64(99), uint64(12), uint64(6), uint64(2))     // full thread house
-	f.Add(int64(-5), uint64(1), uint64(2), uint64(13))     // negative seed, storm range
+	f.Add(int64(1), uint64(0), uint64(4), uint64(0))      // plain program, no faults
+	f.Add(int64(424242), uint64(7), uint64(4), uint64(5)) // medium faults
+	f.Add(int64(31337), uint64(3), uint64(1), uint64(9))  // single thread, heavy
+	f.Add(int64(99), uint64(12), uint64(6), uint64(2))    // full thread house
+	f.Add(int64(-5), uint64(1), uint64(2), uint64(13))    // negative seed, storm range
 	f.Fuzz(func(t *testing.T, progSeed int64, faultSeed, threads, intensity uint64) {
 		n := int(threads%6) + 1
 		p := progen.New(progSeed)
@@ -36,10 +36,14 @@ func FuzzVerify(f *testing.F) {
 		cfg.Watchdog = 200_000
 		if r := float64(intensity%20) / 100; r > 0 { // 0 .. 0.19
 			cfg.Injector = fault.New(faultSeed, fault.Rates{
-				CacheMiss: r,
-				Writeback: r / 2,
-				FlipBTB:   r,
-				Squash:    r / 4,
+				CacheMiss:  r,
+				Writeback:  r / 2,
+				FlipBTB:    r,
+				Squash:     r / 4,
+				SyncGrant:  r / 2,
+				SyncWakeup: r / 4,
+				FetchMis:   r,
+				FetchBlock: r / 2,
 			})
 		}
 		if err := sdsp.Verify(obj, cfg); err != nil {
