@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke golden check report
+.PHONY: all build vet test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke golden cover-golden check report
 
 all: check
 
@@ -14,9 +14,11 @@ test:
 	$(GO) test ./...
 
 # The parallel experiment runner and the concurrency smoke tests are
-# only a proof when run under the race detector.
+# only a proof when run under the race detector. The experiments sweep
+# can exceed go test's default 10-minute package timeout under the
+# detector's slowdown on small machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Replay the committed fuzz corpus seeds as ordinary tests.
 fuzz-seeds:
@@ -33,7 +35,7 @@ paranoid:
 # CLI, with invariants armed; each run must still validate its golden
 # result and match the functional simulator.
 fault-smoke:
-	for spec in light heavy cache-storm wb-storm bpred-storm squash-storm sync-storm fetch-storm; do \
+	for spec in light heavy cache-storm wb-storm bpred-storm squash-storm sync-storm fetch-storm store-storm commit-storm; do \
 		$(GO) run ./cmd/sdsp-sim -bench Water -threads 4 -paranoid -functional -fault $$spec,seed=7 > /dev/null || exit 1; \
 	done
 	$(GO) run ./cmd/sdsp-sim -bench LL5 -threads 2 -paranoid -functional -fault seed=13,miss=0.05,wb=0.05,flip=0.05,squash=0.01,sync=0.05,wake=0.02,fetch=0.05,fblock=0.02 > /dev/null
@@ -44,13 +46,27 @@ fault-smoke:
 fault-sweep-smoke:
 	$(GO) run ./cmd/sdsp-exp -faultsweep -scale small -j 8 > /dev/null
 
+# Coverage smoke: the event table over the four scheduled kernels
+# through the CLI, plus the coverage-floor tests (kernel floor and the
+# guided-generator must-hit check against the committed gap golden).
+cover-smoke:
+	for bench in LL1 LL5 Matrix Sieve; do \
+		$(GO) run ./cmd/sdsp-sim -bench $$bench -threads 4 -cover > /dev/null || exit 1; \
+	done
+	$(GO) test ./sdsp -run 'TestKernelCoverage|TestCoverageFloor'
+
 # Regenerate the small-scale golden tables after an intentional change
 # to a kernel, the core, or an experiment.
 golden:
 	$(GO) test ./internal/experiments -run TestGoldenSmallTables -update
 
+# Regenerate the committed unguided coverage-gap list after an
+# intentional change to the event model or the generator.
+cover-golden:
+	$(GO) test ./sdsp -run TestCoverageFloor -update
+
 # Everything CI runs.
-check: vet build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke
+check: vet build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

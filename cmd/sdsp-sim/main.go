@@ -18,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/cover"
 	"repro/internal/crash"
 	"repro/internal/isa"
 	"repro/sdsp"
@@ -44,6 +45,7 @@ func main() {
 		privateBTB = flag.Bool("private-btb", false, "per-thread BTB instead of the shared one")
 		trace      = flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles")
 		paranoid   = flag.Bool("paranoid", false, "check machine invariants every cycle")
+		coverFlag  = flag.Bool("cover", false, "record microarchitectural event coverage and print the per-event table")
 		faultSpec  = flag.String("fault", "", "deterministic fault schedule: preset (light, heavy, ...) or seed=N,miss=R,wb=R,flip=R,squash=R")
 		watchdog   = flag.Int64("watchdog", 0, "deadlock watchdog limit in cycles (0 = default 100000, negative = off)")
 		crashDir   = flag.String("crashdir", ".", "write a crash-report bundle into this directory on a machine error ('' disables)")
@@ -108,6 +110,9 @@ func main() {
 		fatal("%v", ferr)
 	}
 	cfg.Injector = inj
+	if *coverFlag {
+		cfg.Coverage = cover.NewSet()
+	}
 
 	var obj *sdsp.Object
 	var err error
@@ -172,6 +177,13 @@ func main() {
 	}
 
 	printStats(name, cfg, st)
+	if st.Coverage != nil {
+		fmt.Println()
+		fmt.Println("microarchitectural event coverage:")
+		if err := st.Coverage.WriteTable(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+	}
 }
 
 // replayBundle reproduces a crash-report bundle: rebuild the machine

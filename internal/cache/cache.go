@@ -12,6 +12,7 @@ package cache
 import (
 	"fmt"
 
+	"repro/internal/cover"
 	"repro/internal/mem"
 )
 
@@ -140,6 +141,11 @@ type Cache struct {
 	FaultDelay func(now uint64, addr uint32, write bool) uint64
 	delays     map[uint32]uint64 // addr -> cycle the forced delay expires
 
+	// Cover, when set, receives the cache's coverage events: refill-
+	// overlap hits, second-miss blocking, blocked and port rejects, and
+	// dirty evictions (internal/cover; the core wires it for the D-cache).
+	Cover *cover.Set
+
 	stats Stats
 }
 
@@ -207,6 +213,9 @@ func (c *Cache) install(addr uint32) {
 		}
 	}
 	if victim.valid && victim.dirty {
+		if c.Cover != nil {
+			c.Cover.Hit(cover.EvCacheEvictDirty)
+		}
 		c.writeback(victim)
 	}
 	base := c.lineAddr(addr)
@@ -235,6 +244,9 @@ func (c *Cache) blocked() bool { return c.pending != nil }
 func (c *Cache) request(addr uint32, now uint64, count, write bool) (*line, Result) {
 	if c.blocked() {
 		c.stats.BlockedRejects++
+		if c.Cover != nil {
+			c.Cover.Hit(cover.EvCacheBlockedReject)
+		}
 		return nil, Busy
 	}
 	if c.cfg.Ports > 0 {
@@ -243,6 +255,9 @@ func (c *Cache) request(addr uint32, now uint64, count, write bool) (*line, Resu
 		}
 		if c.portsUsed >= c.cfg.Ports {
 			c.stats.PortRejects++
+			if c.Cover != nil {
+				c.Cover.Hit(cover.EvCachePortReject)
+			}
 			return nil, Busy
 		}
 		c.portsUsed++
@@ -269,6 +284,9 @@ func (c *Cache) request(addr uint32, now uint64, count, write bool) (*line, Resu
 		if count {
 			c.stats.Hits++
 		}
+		if c.Cover != nil && c.active != nil {
+			c.Cover.Hit(cover.EvCacheRefillOverlap)
+		}
 		return l, Hit
 	}
 	la := c.lineAddr(addr)
@@ -278,6 +296,9 @@ func (c *Cache) request(addr uint32, now uint64, count, write bool) (*line, Resu
 		}
 		// Second miss: queue it and block the cache.
 		c.pending = &refill{addr: la}
+		if c.Cover != nil {
+			c.Cover.Hit(cover.EvCacheSecondMiss)
+		}
 		if count {
 			c.stats.Misses++
 		}

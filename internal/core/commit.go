@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/cover"
 	"repro/internal/isa"
 )
 
@@ -17,6 +18,20 @@ func (m *Machine) commit() {
 	window := m.cfg.CommitWindow
 	if m.cfg.CommitPolicy == LowestOnly {
 		window = 1
+	}
+	// Fault injection: shrink the flexible-commit window for this cycle.
+	// Shrinking is strictly more conservative than the configured window
+	// (every choice it permits the full window also permits), and the
+	// floor of 1 keeps bottom-block commit — the paper's baseline scheme
+	// — always available, so the perturbation is timing-only.
+	if inj := m.cfg.Injector; inj != nil && window > 1 {
+		if s := inj.CommitWindowShrink(m.now); s > 0 {
+			if s > window-1 {
+				s = window - 1
+			}
+			window -= s
+			m.stats.Faults.Add(ChanCommitShrink)
+		}
 	}
 	if window > len(m.su) {
 		window = len(m.su)
@@ -35,10 +50,14 @@ func (m *Machine) commit() {
 				break
 			}
 		}
-		if !clash {
-			chosen = i
-			break
+		if clash {
+			if m.cov != nil {
+				m.cov.Hit(cover.EvCommitBlockedClash)
+			}
+			continue
 		}
+		chosen = i
+		break
 	}
 
 	// MaskedRR bookkeeping: the thread stalling the bottom block is
@@ -52,11 +71,24 @@ func (m *Machine) commit() {
 	if chosen < 0 {
 		if len(m.su) == m.suCap {
 			m.stats.SUStalls++
+			if m.cov != nil {
+				m.cov.Hit(cover.EvSUStallFull)
+			}
 		}
 		return
 	}
 
 	m.stats.CommitsPerWin[chosen]++
+	if m.cov != nil {
+		if chosen == 0 {
+			m.cov.Hit(cover.EvCommitBottom)
+		} else {
+			m.cov.Hit(cover.EvCommitAhead)
+			if chosen >= 2 {
+				m.cov.Hit(cover.EvCommitAheadDeep)
+			}
+		}
+	}
 	b := m.su[chosen]
 	// Paranoid mode re-verifies Flexible Result Commit legality against
 	// the paper's rule (§3.5) independently of the selection loop above:
@@ -115,8 +147,12 @@ func (m *Machine) commitEntry(e *suEntry) {
 		correct := e.actualTaken == e.predTaken &&
 			(!e.actualTaken || e.actualTarget == e.predTarget)
 		m.predFor(e.thread).Update(e.pc, e.actualTaken, e.actualTarget, correct)
+		m.covBTBTrained(e.thread, e.pc)
 	case e.inst.Op == isa.HALT:
 		m.halted[e.thread] = true
+		if m.cov != nil {
+			m.cov.Hit(cover.EvCommitHalt)
+		}
 	}
 	m.stats.Committed++
 	m.stats.CommittedByThread[e.thread]++

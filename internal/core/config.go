@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/cover"
 	"repro/internal/isa"
 )
 
@@ -175,6 +176,13 @@ type Config struct {
 	// counter flips, writeback delays, spurious squashes). Architectural
 	// results must be unaffected; internal/fault implements it.
 	Injector FaultInjector
+
+	// Coverage, when non-nil, receives counts of named microarchitectural
+	// events (internal/cover) as the run reaches them, and is surfaced
+	// again as Stats.Coverage. Each machine needs its own Set — Sets are
+	// not safe for concurrent use; merge per-machine Sets afterwards.
+	// Disabled machines pay one nil check per hook and allocate nothing.
+	Coverage *cover.Set
 }
 
 // NoWatchdog disables the forward-progress watchdog.

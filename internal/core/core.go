@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
+	"repro/internal/cover"
 	"repro/internal/isa"
 	"repro/internal/loader"
 	"repro/internal/mem"
@@ -59,6 +60,17 @@ type Machine struct {
 	fault        *MachineError // first structured fault; freezes the machine
 	lastProgress uint64        // last cycle a block committed or a store drained
 	storeSeq     uint64        // commit-order sequence stamped on drained stores
+	sbHeld       int           // store-buffer slots held this cycle by fault injection
+
+	// Coverage layer (see internal/cover); all nil/empty when disabled.
+	cov          *cover.Set
+	covFLDWAddr  []uint32        // per-thread: last FLDW address
+	covFLDWVal   []uint32        // per-thread: last FLDW value read
+	covFLDWSeen  []bool          // per-thread: covFLDWAddr/Val are valid
+	covFAIAddr   uint32          // last FAI address machine-wide
+	covFAIThread int             // thread of the last FAI, or -1
+	covBTBTrain  map[uint32]int  // shared-BTB trainer thread per branch PC
+	covThreadOcc []int           // per-thread SU occupancy scratch
 
 	// Trace, when set, receives one line per pipeline event (fetch,
 	// dispatch, issue, writeback, mispredict, commit), prefixed with the
@@ -139,6 +151,9 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 			}
 			return d
 		}
+	}
+	if cfg.Coverage != nil {
+		m.initCoverage()
 	}
 	for t := range m.pc {
 		m.pc[t] = obj.Entry
@@ -232,6 +247,7 @@ func (m *Machine) finishStats() {
 		m.stats.ICache = m.icache.Stats()
 	}
 	m.stats.Sync = m.sync.Stats()
+	m.stats.Coverage = m.cov
 	for cl := range m.pools {
 		for u := range m.pools[cl].units {
 			m.stats.FUUsage[cl][u] = m.pools[cl].units[u].usedCyc
@@ -253,6 +269,7 @@ func (m *Machine) Cycle() {
 	}
 	if m.cfg.Injector != nil {
 		m.injectPredictorFlip()
+		m.injectStoreBufferHold()
 	}
 	m.commit()
 	m.drainStores()
@@ -281,6 +298,27 @@ func (m *Machine) injectPredictorFlip() {
 	p := m.preds[slot%len(m.preds)]
 	if p.FlipEntry(slot / len(m.preds)) {
 		m.stats.Faults.Add(ChanPredictorFlip)
+	}
+}
+
+// injectStoreBufferHold applies this cycle's store-buffer slot hold:
+// that many slots are unavailable to newly issuing stores for one
+// cycle. The hold is capped so a full block's worth of slots always
+// remains — the deadlock-avoidance proof in tryIssue needs an
+// effective buffer of at least BlockSize — which keeps the
+// perturbation timing-only.
+func (m *Machine) injectStoreBufferHold() {
+	h := m.cfg.Injector.StoreBufferHold(m.now)
+	if h <= 0 {
+		m.sbHeld = 0
+		return
+	}
+	if maxHold := m.cfg.StoreBuffer - BlockSize; h > maxHold {
+		h = maxHold
+	}
+	m.sbHeld = h
+	if h > 0 {
+		m.stats.Faults.Add(ChanStoreSlotHold)
 	}
 }
 
@@ -318,17 +356,43 @@ func (m *Machine) watchdogCheck() {
 }
 
 func (m *Machine) cycleStats() {
+	perThread := m.covThreadOcc
+	for i := range perThread {
+		perThread[i] = 0
+	}
 	occ := 0
 	for _, b := range m.su {
+		n := 0
 		for _, e := range b.entries {
 			if e != nil && e.valid && !e.squashed {
-				occ++
+				n++
 			}
+		}
+		occ += n
+		if perThread != nil {
+			perThread[b.thread] += n
 		}
 	}
 	m.stats.SUOccupancy += uint64(occ)
 	if len(m.su) == m.suCap {
 		m.stats.SUFullCycles++
+	}
+	if m.cov != nil {
+		if occ == 0 {
+			for _, h := range m.halted {
+				if !h {
+					m.cov.Hit(cover.EvSUEmptyBubble)
+					break
+				}
+			}
+		} else if perThread != nil {
+			for t, n := range perThread {
+				if n == 0 && !m.halted[t] {
+					m.cov.Hit(cover.EvThreadStarved)
+					break
+				}
+			}
+		}
 	}
 	// Held units (loads waiting on the cache) accrue occupancy here.
 	for cl := range m.pools {

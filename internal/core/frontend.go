@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cache"
+	"repro/internal/cover"
 	"repro/internal/isa"
 )
 
@@ -25,6 +26,9 @@ func (m *Machine) fetch() {
 	t := m.selectThread()
 	if t < 0 {
 		m.stats.FetchIdle++
+		if m.cov != nil {
+			m.cov.Hit(cover.EvFetchIdle)
+		}
 		return
 	}
 	if inj := m.cfg.Injector; inj != nil && inj.FetchMisdecide(m.now) {
@@ -72,6 +76,9 @@ func (m *Machine) selectThread() int {
 		for i := 0; i < n; i++ {
 			t := (m.rrCounter + i) % n
 			if m.eligible(t) && t != m.maskedThread {
+				if m.cov != nil && m.maskedThread >= 0 && m.eligible(m.maskedThread) {
+					m.cov.Hit(cover.EvFetchMaskedSkip)
+				}
 				m.rrCounter = t + 1
 				return t
 			}
@@ -84,6 +91,9 @@ func (m *Machine) selectThread() int {
 				if t != m.curThread {
 					m.stats.CondSwitches++
 					m.curThread = t
+					if m.cov != nil {
+						m.cov.Hit(cover.EvFetchCondRotate)
+					}
 				}
 				return t
 			}
@@ -115,6 +125,14 @@ func (m *Machine) selectThread() int {
 			}
 		}
 		if best >= 0 {
+			if m.cov != nil {
+				for t := 0; t < n; t++ {
+					if t != best && m.eligible(t) && counts[t] > bestCount {
+						m.cov.Hit(cover.EvFetchICountSteer)
+						break
+					}
+				}
+			}
 			m.rrCounter = best + 1
 		}
 		return best
@@ -133,6 +151,9 @@ func (m *Machine) rotateThread() {
 		if m.eligible(t) {
 			m.curThread = t
 			m.stats.CondSwitches++
+			if m.cov != nil {
+				m.cov.Hit(cover.EvFetchCondRotate)
+			}
 			return
 		}
 	}
@@ -152,9 +173,15 @@ func (m *Machine) fetchBlockFor(t int) {
 		if base/4 < uint32(len(m.text)) {
 			if _, res := m.icache.Read(base, m.now, true); res != cache.Hit {
 				m.stats.ICacheStalls++
+				if m.cov != nil {
+					m.cov.Hit(cover.EvICacheMissStall)
+				}
 				return
 			}
 		}
+	}
+	if m.cov != nil && pc != base {
+		m.cov.Hit(cover.EvFetchPartialBlock)
 	}
 	fb := &fetchBlock{thread: t}
 	next := base + BlockSize*4
@@ -177,6 +204,9 @@ func (m *Machine) fetchBlockFor(t int) {
 		if in.Op == isa.HALT {
 			// Predecode stops fetch at HALT; resumed only by a squash.
 			m.fetchStopped[t] = true
+			if m.cov != nil {
+				m.cov.Hit(cover.EvFetchHaltStop)
+			}
 			next = addr + 4
 			break
 		}
@@ -186,12 +216,18 @@ func (m *Machine) fetchBlockFor(t int) {
 		taken, target := m.predictCT(t, in, addr)
 		fb.pred[s] = predInfo{taken: taken, target: target}
 		if taken {
+			if m.cov != nil && s < BlockSize-1 {
+				m.cov.Hit(cover.EvFetchTakenTrunc)
+			}
 			next = target
 			break
 		}
 	}
 	m.pc[t] = next
 	if !anyValid {
+		if m.cov != nil {
+			m.cov.Hit(cover.EvFetchWrongPath)
+		}
 		return // wrong-path fetch produced nothing; PC still advances
 	}
 	m.latch = fb
@@ -212,12 +248,14 @@ func (m *Machine) predictCT(t int, in isa.Inst, pc uint32) (bool, uint32) {
 	case in.Op == isa.JAL:
 		return true, isa.CTTarget(in, pc, 0)
 	case in.Op == isa.JALR:
+		m.covBTBLookup(t, pc)
 		taken, target := m.predFor(t).Lookup(pc)
 		if !taken {
 			return false, 0 // predict fall-through; will mispredict and train
 		}
 		return true, target
 	case in.Op.IsBranch():
+		m.covBTBLookup(t, pc)
 		return m.predFor(t).Lookup(pc)
 	}
 	return false, 0 // HALT handled by caller
@@ -232,6 +270,9 @@ func (m *Machine) dispatch() {
 	}
 	if len(m.su) == m.suCap {
 		m.stats.DispatchStall++
+		if m.cov != nil {
+			m.cov.Hit(cover.EvDispatchStallFull)
+		}
 		return
 	}
 	fb := m.latch
@@ -247,6 +288,9 @@ func (m *Machine) dispatch() {
 			if in.Op.WritesRd() && in.Rd != 0 {
 				if p := m.physReg(fb.thread, in.Rd); p >= 0 && m.busyReg[p] != 0 {
 					m.stats.DispatchStall++
+					if m.cov != nil {
+						m.cov.Hit(cover.EvDispatchWAWStall)
+					}
 					return
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/cover"
 	"repro/internal/isa"
 	"repro/internal/loader"
 )
@@ -17,10 +18,13 @@ func (m *Machine) issue() {
 		return
 	}
 	issued := 0
+	firstThread := -1
+	crossed := false
+scan:
 	for _, b := range m.su {
 		for _, e := range b.entries {
 			if issued >= m.cfg.IssueWidth {
-				return
+				break scan
 			}
 			if e == nil || !e.valid || e.squashed || !e.ready(m.now) {
 				continue
@@ -28,7 +32,20 @@ func (m *Machine) issue() {
 			if m.tryIssue(e) {
 				m.trace("issue    %v -> %v unit %d", e, e.inst.Op.FUClass(), e.fuUnit)
 				issued++
+				if firstThread < 0 {
+					firstThread = e.thread
+				} else if e.thread != firstThread {
+					crossed = true
+				}
 			}
+		}
+	}
+	if m.cov != nil {
+		if issued >= m.cfg.IssueWidth {
+			m.cov.Hit(cover.EvIssueWidthSaturated)
+		}
+		if crossed {
+			m.cov.Hit(cover.EvIssueCrossThread)
 		}
 	}
 }
@@ -51,12 +68,18 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		// the spin exit turns out to be correctly predicted.
 		if m.olderUnresolvedSync(e) {
 			m.stats.LoadBlocked++
+			if m.cov != nil {
+				m.cov.Hit(cover.EvLoadBlockedSyncOrder)
+			}
 			return false
 		}
 		addr := isa.EffAddr(e.src[0].value, e.inst.Imm)
 		v, src, blocked := m.forwardFromStore(e, addr)
 		if blocked {
 			m.stats.LoadBlocked++
+			if m.cov != nil {
+				m.cov.Hit(cover.EvLoadBlockedAlias)
+			}
 			return false
 		}
 		if src != nil {
@@ -69,11 +92,17 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			// cross-block alias waits for the drain as the paper says.
 			if !m.cfg.StoreForwarding && src.blk != e.blk {
 				m.stats.LoadBlocked++
+				if m.cov != nil {
+					m.cov.Hit(cover.EvLoadBlockedCrossAlias)
+				}
 				return false
 			}
 			pool := &m.pools[isa.ClassLoad]
 			unit := pool.tryAcquire(m.now)
 			if unit < 0 {
+				if m.cov != nil {
+					m.cov.Hit(cover.EvIssueFUExhausted)
+				}
 				return false
 			}
 			e.state = stIssued
@@ -84,6 +113,13 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			e.completeAt = pool.issue(unit, m.now)
 			m.completions = append(m.completions, e)
 			m.stats.LoadsForwarded++
+			if m.cov != nil {
+				if src.blk == e.blk {
+					m.cov.Hit(cover.EvLoadForwardSameBlock)
+				} else {
+					m.cov.Hit(cover.EvLoadForwardCross)
+				}
+			}
 			return true
 		}
 	case isa.ClassStore:
@@ -96,14 +132,23 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		// machine wedges. Reserving per waiting store guarantees the
 		// bottom block can always issue all of its stores (Validate keeps
 		// StoreBuffer >= BlockSize), commit, and drain.
-		free := m.cfg.StoreBuffer - len(m.storeBuf)
+		// Fault injection may hold some slots for a cycle (m.sbHeld),
+		// capped so the effective buffer never drops below BlockSize and
+		// the reservation argument above still goes through.
+		free := m.cfg.StoreBuffer - len(m.storeBuf) - m.sbHeld
 		if free <= m.waitingStoresBelow(e) {
 			m.stats.StoreBufferFull++
+			if m.cov != nil {
+				m.cov.Hit(cover.EvStoreBufferFull)
+			}
 			return false
 		}
 	case isa.ClassSync:
 		// FAI has a side effect, so it must issue non-speculatively.
 		if op == isa.FAI && m.olderUnresolvedCT(e) {
+			if m.cov != nil {
+				m.cov.Hit(cover.EvFAIBlockedSpec)
+			}
 			return false
 		}
 		// Release ordering: sync reads execute at issue and would bypass
@@ -111,6 +156,9 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		// (e.g. the barrier's count reset), reading a stale flag. Fence
 		// until older flag stores have drained.
 		if m.olderPendingFlagStore(e) {
+			if m.cov != nil {
+				m.cov.Hit(cover.EvSyncFencedFlagStore)
+			}
 			return false
 		}
 		// Fault injection: the controller may hold the grant (delayed
@@ -150,6 +198,9 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 	pool := &m.pools[class]
 	unit := pool.tryAcquire(m.now)
 	if unit < 0 {
+		if m.cov != nil {
+			m.cov.Hit(cover.EvIssueFUExhausted)
+		}
 		return false
 	}
 	e.state = stIssued
@@ -167,6 +218,9 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			// flag it; committing such a load is a program error.
 			e.badAddr = true
 			e.result = 0
+			if m.cov != nil {
+				m.cov.Hit(cover.EvBadAddrSpeculative)
+			}
 			e.completeAt = pool.issue(unit, m.now)
 			m.completions = append(m.completions, e)
 			return true
@@ -184,10 +238,16 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		wantFlag := op == isa.FSTW
 		if wantFlag != loader.IsFlagAddr(e.addr) || e.addr&3 != 0 {
 			e.badAddr = true
+			if m.cov != nil {
+				m.cov.Hit(cover.EvBadAddrSpeculative)
+			}
 		}
 		e.completeAt = pool.issue(unit, m.now)
 		m.storeBuf = append(m.storeBuf, &storeOp{entry: e})
 		m.completions = append(m.completions, e)
+		if m.cov != nil && len(m.storeBuf) == m.cfg.StoreBuffer {
+			m.cov.Hit(cover.EvStoreBufferSaturated)
+		}
 		return true
 
 	case isa.ClassSync:
@@ -196,6 +256,9 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		if !loader.IsFlagAddr(e.addr) || e.addr&3 != 0 {
 			e.badAddr = true
 			e.result = 0
+			if m.cov != nil {
+				m.cov.Hit(cover.EvBadAddrSpeculative)
+			}
 		} else if op == isa.FAI {
 			v, err := m.sync.FetchAdd(e.addr)
 			if err != nil {
@@ -205,6 +268,9 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 					"sync controller rejected validated FAI address %#x: %v", e.addr, err)
 			}
 			e.result = v
+			if m.cov != nil {
+				m.covFAIObserve(e.thread, e.addr)
+			}
 		} else { // FLDW
 			v, err := m.sync.Read(e.addr)
 			if err != nil {
@@ -212,6 +278,9 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 					"sync controller rejected validated FLDW address %#x: %v", e.addr, err)
 			}
 			e.result = v
+			if m.cov != nil {
+				m.covFLDWObserve(e.thread, e.addr, v)
+			}
 		}
 		e.completeAt = pool.issue(unit, m.now)
 		m.completions = append(m.completions, e)
@@ -442,6 +511,9 @@ func (m *Machine) drainStores() {
 		res := m.dcache.Write(e.addr, e.storeData, m.now, !so.counted)
 		so.counted = true
 		if res != cache.Hit { // miss or busy: head-of-line retry next cycle
+			if m.cov != nil {
+				m.cov.Hit(cover.EvStoreDrainBlocked)
+			}
 			return
 		}
 	}

@@ -182,6 +182,17 @@ type FaultInjector interface {
 	// FetchBlock is consulted once per fetch cycle with a free latch;
 	// true steals the slot — no thread fetches this cycle.
 	FetchBlock(now uint64) bool
+	// StoreBufferHold is consulted once per cycle; a positive return
+	// makes that many store-buffer slots unavailable to newly issuing
+	// stores for the cycle. The core caps the hold at StoreBuffer -
+	// BlockSize so the deadlock-avoidance reservation argument (a block's
+	// worth of slots can always be claimed) still holds.
+	StoreBufferHold(now uint64) int
+	// CommitWindowShrink is consulted once per commit cycle when the
+	// flexible window exceeds one block; a positive return shrinks the
+	// window by that many blocks for the cycle (floor 1 — bottom-block
+	// commit stays available, so only timing can change).
+	CommitWindowShrink(now uint64) int
 	// String identifies the schedule (seed and rates) for cache keys
 	// and diagnostics.
 	String() string
@@ -199,13 +210,16 @@ const (
 	ChanSyncWakeup     = "sync-wakeup"     // FLDW grants spuriously woken
 	ChanFetchMisdecide = "fetch-misdecide" // fetch-policy decisions overridden
 	ChanFetchBlock     = "fetch-block"     // fetch slots stolen outright
+	ChanStoreSlotHold  = "store-slot-hold" // store-buffer slots held from new stores
+	ChanCommitShrink   = "commit-shrink"   // flexible-commit window shrunk for a cycle
 )
 
 // FaultChannels lists every injection channel name, sorted.
 func FaultChannels() []string {
 	return []string{
-		ChanCacheDelay, ChanFetchBlock, ChanFetchMisdecide, ChanPredictorFlip,
-		ChanSpuriousSquash, ChanSyncDelay, ChanSyncWakeup, ChanWritebackDelay,
+		ChanCacheDelay, ChanCommitShrink, ChanFetchBlock, ChanFetchMisdecide,
+		ChanPredictorFlip, ChanSpuriousSquash, ChanStoreSlotHold,
+		ChanSyncDelay, ChanSyncWakeup, ChanWritebackDelay,
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/bpred"
 	"repro/internal/cache"
+	"repro/internal/cover"
 	"repro/internal/isa"
 	"repro/internal/syncctl"
 )
@@ -41,6 +42,10 @@ type Stats struct {
 	ICache cache.Stats // zero-valued when the I-cache is perfect
 	Sync   syncctl.Stats
 	Faults FaultCounts // injected perturbations per channel (nil without an Injector)
+
+	// Coverage is the run's microarchitectural event counters — the same
+	// Set passed as Config.Coverage, or nil when coverage was disabled.
+	Coverage *cover.Set
 }
 
 // IPC returns committed instructions per cycle.

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Zero-cycle Stats (a machine that never ran) must report zero rates,
+// not NaN or a divide-by-zero panic — the experiment tables render
+// these values directly.
+func TestStatsZeroCycles(t *testing.T) {
+	s := Stats{Committed: 9, SUOccupancy: 7}
+	if got := s.IPC(); got != 0 {
+		t.Errorf("IPC with zero cycles = %v, want 0", got)
+	}
+	if got := s.AvgSUOccupancy(); got != 0 {
+		t.Errorf("AvgSUOccupancy with zero cycles = %v, want 0", got)
+	}
+	if got := s.FUUtilization(isa.ClassALU, 0); got != 0 {
+		t.Errorf("FUUtilization with zero cycles = %v, want 0", got)
+	}
+}
+
+// FUUtilization must tolerate units the configuration never
+// instantiated: an index past the per-class pool, or a class with no
+// usage record at all, reads as zero utilization.
+func TestFUUtilizationUnusedUnit(t *testing.T) {
+	s := Stats{Cycles: 100}
+	s.FUUsage[isa.ClassALU] = []uint64{50, 0}
+	if got := s.FUUtilization(isa.ClassALU, 0); got != 0.5 {
+		t.Errorf("busy unit utilization = %v, want 0.5", got)
+	}
+	if got := s.FUUtilization(isa.ClassALU, 1); got != 0 {
+		t.Errorf("idle unit utilization = %v, want 0", got)
+	}
+	if got := s.FUUtilization(isa.ClassALU, 2); got != 0 {
+		t.Errorf("out-of-pool unit utilization = %v, want 0", got)
+	}
+	if got := s.FUUtilization(isa.ClassFPDiv, 0); got != 0 {
+		t.Errorf("unconfigured class utilization = %v, want 0", got)
+	}
+}
+
+// Speedup guards against a zero-cycle numerator the same way.
+func TestSpeedupZeroCycles(t *testing.T) {
+	if got := Speedup(0, 100); got != 0 {
+		t.Errorf("Speedup(0, 100) = %v, want 0", got)
+	}
+}
+
+// FaultCounts.Add must lazily allocate the map, keep channels distinct,
+// and Total must sum across every channel.
+func TestFaultCountsAddTotal(t *testing.T) {
+	var c FaultCounts
+	if got := c.Total(); got != 0 {
+		t.Errorf("nil FaultCounts Total = %d, want 0", got)
+	}
+	c.Add(ChanCacheDelay)
+	c.Add(ChanCacheDelay)
+	c.Add(ChanStoreSlotHold)
+	c.Add(ChanCommitShrink)
+	if c[ChanCacheDelay] != 2 || c[ChanStoreSlotHold] != 1 || c[ChanCommitShrink] != 1 {
+		t.Errorf("per-channel counts wrong: %v", c)
+	}
+	if got := c.Total(); got != 4 {
+		t.Errorf("Total = %d, want 4", got)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/cover"
 	"repro/internal/isa"
 )
 
@@ -42,6 +43,9 @@ func (m *Machine) writeback() {
 	if len(due) > m.cfg.WritebackWidth {
 		rest = append(rest, due[m.cfg.WritebackWidth:]...)
 		due = due[:m.cfg.WritebackWidth]
+		if m.cov != nil {
+			m.cov.Hit(cover.EvWritebackSaturated)
+		}
 	}
 	m.completions = rest
 
@@ -107,11 +111,14 @@ func (m *Machine) handleResolvedCT(e *suEntry) {
 			} else {
 				m.pc[e.thread] = e.pc + 4
 			}
-			m.fetchStopped[e.thread] = false
+			m.reviveFetch(e.thread)
 		}
 		return
 	}
 	m.stats.Mispredicts++
+	if m.cov != nil {
+		m.cov.Hit(cover.EvMispredictSquash)
+	}
 	m.trace("mispredict %v (actual taken=%v target=%#x)", e, e.actualTaken, e.actualTarget)
 	m.squashYounger(e)
 	// Redirect the thread; the corrected PC is visible to fetch this
@@ -122,18 +129,41 @@ func (m *Machine) handleResolvedCT(e *suEntry) {
 		m.pc[e.thread] = e.pc + 4
 	}
 	// A squashed HALT must not keep the thread's fetch stopped.
-	m.fetchStopped[e.thread] = false
+	m.reviveFetch(e.thread)
+}
+
+// reviveFetch clears a thread's HALT fetch stop after a squash.
+func (m *Machine) reviveFetch(t int) {
+	if m.fetchStopped[t] {
+		if m.cov != nil {
+			m.cov.Hit(cover.EvSquashRevivedFetch)
+		}
+		m.fetchStopped[t] = false
+	}
 }
 
 // squashYounger discards all younger same-thread entries: SU entries,
 // the fetch latch, store buffer slots, and scoreboard claims.
 func (m *Machine) squashYounger(ct *suEntry) {
+	survivors, spared := 0, false
 	for _, b := range m.su {
 		if b.thread != ct.thread {
+			if m.cov != nil && !spared {
+				for _, e := range b.entries {
+					if e != nil && e.valid && !e.squashed {
+						spared = true
+						break
+					}
+				}
+			}
 			continue
 		}
 		for _, e := range b.entries {
-			if e == nil || !e.valid || e.squashed || e.tag <= ct.tag {
+			if e == nil || !e.valid || e.squashed {
+				continue
+			}
+			if e.tag <= ct.tag {
+				survivors++
 				continue
 			}
 			e.squashed = true
@@ -148,10 +178,24 @@ func (m *Machine) squashYounger(ct *suEntry) {
 			}
 		}
 	}
+	if m.cov != nil {
+		// The squashing CT itself is among the survivors; >= BlockSize
+		// means at least a block's worth of older same-thread work was
+		// selectively spared.
+		if survivors >= BlockSize {
+			m.cov.Hit(cover.EvSquashSurvivors)
+		}
+		if spared {
+			m.cov.Hit(cover.EvSquashSparesOthers)
+		}
+	}
 	// Uncommitted stores by squashed entries free their buffer slots.
 	keep := m.storeBuf[:0]
 	for _, so := range m.storeBuf {
 		if so.entry.squashed && !so.committed {
+			if m.cov != nil {
+				m.cov.Hit(cover.EvSquashKilledStore)
+			}
 			continue
 		}
 		keep = append(keep, so)
@@ -159,6 +203,9 @@ func (m *Machine) squashYounger(ct *suEntry) {
 	m.storeBuf = keep
 	// The latch, if it holds this thread, is younger than any SU entry.
 	if m.latch != nil && m.latch.thread == ct.thread {
+		if m.cov != nil {
+			m.cov.Hit(cover.EvSquashKilledLatch)
+		}
 		m.latch = nil
 	}
 	// Pending loads and completions drop squashed entries lazily.

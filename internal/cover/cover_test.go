@@ -1,0 +1,191 @@
+package cover
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventNamesUniqueAndResolvable(t *testing.T) {
+	seen := map[string]Event{}
+	for _, e := range Events() {
+		in := e.Describe()
+		if in.Name == "" || in.Group == "" || in.Desc == "" {
+			t.Fatalf("event %d has incomplete metadata: %+v", e, in)
+		}
+		if strings.ToLower(in.Name) != in.Name || strings.ContainsAny(in.Name, " _") {
+			t.Errorf("event %v: name %q is not kebab-case", e, in.Name)
+		}
+		if prev, dup := seen[in.Name]; dup {
+			t.Errorf("events %v and %v share the name %q", prev, e, in.Name)
+		}
+		seen[in.Name] = e
+		got, ok := ByName(in.Name)
+		if !ok || got != e {
+			t.Errorf("ByName(%q) = %v, %v; want %v, true", in.Name, got, ok, e)
+		}
+	}
+	if _, ok := ByName("no-such-event"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+	if len(Events()) != int(NumEvents) {
+		t.Fatalf("Events() returned %d events, want %d", len(Events()), NumEvents)
+	}
+}
+
+func TestSetCountsAndGaps(t *testing.T) {
+	s := NewSet()
+	if s.Hits() != 0 || s.ApplicableCount() != int(NumEvents) {
+		t.Fatalf("fresh set: hits=%d applicable=%d", s.Hits(), s.ApplicableCount())
+	}
+	s.Hit(EvCommitBottom)
+	s.Hit(EvCommitBottom)
+	s.Hit(EvFetchIdle)
+	if got := s.Count(EvCommitBottom); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if s.Hits() != 2 {
+		t.Errorf("Hits = %d, want 2", s.Hits())
+	}
+	if got := len(s.Gaps()); got != int(NumEvents)-2 {
+		t.Errorf("Gaps = %d, want %d", got, int(NumEvents)-2)
+	}
+
+	s.MarkInapplicable(EvCachePortReject)
+	if s.Applicable(EvCachePortReject) {
+		t.Error("EvCachePortReject still applicable after MarkInapplicable")
+	}
+	if s.ApplicableCount() != int(NumEvents)-1 {
+		t.Errorf("ApplicableCount = %d, want %d", s.ApplicableCount(), int(NumEvents)-1)
+	}
+	for _, g := range s.Gaps() {
+		if g == EvCachePortReject {
+			t.Error("inapplicable event listed as a gap")
+		}
+	}
+	// A hit on an inapplicable event must not inflate coverage.
+	s.Hit(EvCachePortReject)
+	if s.Hits() != 2 {
+		t.Errorf("Hits after inapplicable hit = %d, want 2", s.Hits())
+	}
+}
+
+func TestMergeCombinesCountsAndApplicability(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Hit(EvCommitAhead)
+	a.MarkInapplicable(EvFetchMaskedSkip)
+	a.MarkInapplicable(EvFetchCondRotate)
+	b.Hit(EvCommitAhead)
+	b.Hit(EvFLDWWake)
+	b.MarkInapplicable(EvFetchCondRotate)
+
+	a.Merge(b)
+	if got := a.Count(EvCommitAhead); got != 2 {
+		t.Errorf("merged count = %d, want 2", got)
+	}
+	if a.Count(EvFLDWWake) != 1 {
+		t.Error("merge dropped b's hit")
+	}
+	// Applicable in either input stays applicable in the merge.
+	if !a.Applicable(EvFetchMaskedSkip) {
+		t.Error("event applicable in b became inapplicable after merge")
+	}
+	if a.Applicable(EvFetchCondRotate) {
+		t.Error("event inapplicable in both inputs became applicable")
+	}
+}
+
+func TestNewEventsOver(t *testing.T) {
+	base, s := NewSet(), NewSet()
+	base.Hit(EvCommitBottom)
+	s.Hit(EvCommitBottom)
+	s.Hit(EvCacheSecondMiss)
+	news := s.NewEventsOver(base)
+	if len(news) != 1 || news[0] != EvCacheSecondMiss {
+		t.Fatalf("NewEventsOver = %v, want [%v]", news, EvCacheSecondMiss)
+	}
+}
+
+func TestMustHitGapsIgnoresApplicability(t *testing.T) {
+	s := NewSet()
+	for _, e := range MustHit() {
+		s.Hit(e)
+	}
+	if gaps := s.MustHitGaps(); len(gaps) != 0 {
+		t.Fatalf("all must-hit events hit, but gaps = %v", gaps)
+	}
+	s2 := NewSet()
+	s2.MarkInapplicable(MustHit()[0]) // marking inapplicable must not hide the gap
+	found := false
+	for _, g := range s2.MustHitGaps() {
+		if g == MustHit()[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("MustHitGaps hid an unhit must-hit event behind inapplicability")
+	}
+}
+
+func TestCoreFractionExcludesStress(t *testing.T) {
+	var stress, core []Event
+	for _, e := range Events() {
+		if e.Describe().Stress {
+			stress = append(stress, e)
+		} else {
+			core = append(core, e)
+		}
+	}
+	if len(stress) == 0 {
+		t.Fatal("no stress-tier events defined")
+	}
+	// Every stress event must still be in the must-hit floor: the fuzzer
+	// owns them, but they cannot be silently dropped.
+	must := map[Event]bool{}
+	for _, e := range MustHit() {
+		must[e] = true
+	}
+	for _, e := range stress {
+		if !must[e] {
+			t.Errorf("stress event %v is not must-hit", e)
+		}
+	}
+
+	s := NewSet()
+	for _, e := range core {
+		s.Hit(e)
+	}
+	if got := s.CoreFraction(); got != 1 {
+		t.Errorf("all core events hit, CoreFraction = %v, want 1", got)
+	}
+	if s.CoreHits() != len(core) || s.CoreApplicable() != len(core) {
+		t.Errorf("CoreHits/CoreApplicable = %d/%d, want %d/%d",
+			s.CoreHits(), s.CoreApplicable(), len(core), len(core))
+	}
+	// Hitting a stress event must not change the core fraction.
+	s.Hit(stress[0])
+	if got := s.CoreFraction(); got != 1 {
+		t.Errorf("CoreFraction after stress hit = %v, want 1", got)
+	}
+	if !strings.Contains(s.Summary(), "core events") {
+		t.Errorf("Summary missing core tier: %q", s.Summary())
+	}
+	if !strings.Contains(s.Summary(), "stress") {
+		t.Errorf("Summary missing stress tier: %q", s.Summary())
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	s := NewSet()
+	s.Hit(EvCommitBottom)
+	s.MarkInapplicable(EvCachePortReject)
+	var sb strings.Builder
+	if err := s.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"commit-bottom", "GAP", "gap (stress)", "n/a", "coverage: 1/", "stress gaps:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

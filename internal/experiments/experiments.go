@@ -54,6 +54,7 @@ func Registry() []Experiment {
 		{"hwablations", "Extension ablations: predictor, BTB sharing, I-cache, forwarding", HardwareAblations},
 		{"compiler", "Toolchain study: MiniC vs hand-written asm; register budget sweep", CompilerStudy},
 		{"faultsweep", "Fault sweep: IPC degradation under injected faults, per mechanism", FaultSweep},
+		{"coverage", "Microarchitectural event coverage across kernels, threads, and policies", Coverage},
 	}
 }
 

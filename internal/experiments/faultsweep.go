@@ -38,10 +38,13 @@ var sweepAxes = []sweepAxis{
 	{"squash", func(x float64) fault.Rates { return fault.Rates{Squash: x / 2} }},
 	{"sync", func(x float64) fault.Rates { return fault.Rates{SyncGrant: x, SyncWakeup: x / 2} }},
 	{"fetch", func(x float64) fault.Rates { return fault.Rates{FetchMis: x, FetchBlock: x / 2} }},
+	{"store-slot", func(x float64) fault.Rates { return fault.Rates{SBHold: x} }},
+	{"commit-window", func(x float64) fault.Rates { return fault.Rates{CWShrink: x} }},
 	{"combined", func(x float64) fault.Rates {
 		return fault.Rates{
 			CacheMiss: x / 2, Writeback: x / 4, FlipBTB: x / 2, Squash: x / 8,
 			SyncGrant: x / 4, SyncWakeup: x / 8, FetchMis: x / 4, FetchBlock: x / 8,
+			SBHold: x / 4, CWShrink: x / 8,
 		}
 	}},
 }

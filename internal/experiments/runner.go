@@ -181,17 +181,20 @@ func (r *Runner) config(n int) core.Config {
 // runaway guard, which decides whether a long run errors out or not,
 // the watchdog, and the fault schedule — injected faults change cycle
 // counts, so two cells differing only in schedule must not share).
+// Coverage recording is timing-neutral but attaches a distinct Stats
+// payload, so coverage cells get their own key bit too: a coverage
+// experiment and a plain one must not race for the same slot.
 func cacheKey(b *kernels.Benchmark, cfg core.Config, p kernels.Params) string {
 	inj := "none"
 	if cfg.Injector != nil {
 		inj = cfg.Injector.String()
 	}
-	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/inj{%s}",
+	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/cov%v/inj{%s}",
 		b.Name, p.Scale, cfg.Threads, cfg.FetchPolicy, cfg.CommitPolicy, cfg.CommitWindow,
 		cfg.SUEntries, cfg.IssueWidth, cfg.WritebackWidth, cfg.StoreBuffer, cfg.BTBEntries,
 		cfg.PredictorBits, cfg.PerThreadBTB, cfg.Renaming, cfg.Bypassing, cfg.StoreForwarding,
 		cfg.Cache.Ways, cfg.Cache.Ports, cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk,
-		cfg.MaxCycles, cfg.Watchdog, inj)
+		cfg.MaxCycles, cfg.Watchdog, cfg.Coverage != nil, inj)
 }
 
 // placeholderStats is what a declared-but-not-yet-simulated cell returns

@@ -3,8 +3,9 @@
 // core: forced extra D-cache miss delays, flipped branch-predictor
 // counters, delayed writebacks, spurious same-thread squash-and-refetch
 // events, delayed synchronization-controller grants, spurious FLDW
-// wakeups, and fetch-slot faults (policy misdecisions and blocked
-// slots). Every perturbation attacks a mechanism the paper's
+// wakeups, fetch-slot faults (policy misdecisions and blocked slots),
+// held store-buffer slots, and per-cycle commit-window shrinks. Every
+// perturbation attacks a mechanism the paper's
 // performance claims rest on (the cache's single outstanding refill,
 // the shared 2-bit predictor, the writeback bus, selective squash, the
 // sync controller that keeps spinning threads committing, the fetch
@@ -37,12 +38,16 @@ type Rates struct {
 	SyncWakeup float64 // per FLDW grant: spurious wakeup (value discarded, re-read)
 	FetchMis   float64 // per fetch decision: policy choice overridden
 	FetchBlock float64 // per fetch cycle: the fetch slot is stolen outright
+
+	SBHold   float64 // per cycle: store-buffer slots held from newly issuing stores
+	CWShrink float64 // per commit cycle: flexible-commit window shrunk toward 1
 }
 
 // zero reports whether the schedule would never fire.
 func (r Rates) zero() bool {
 	return r.CacheMiss <= 0 && r.Writeback <= 0 && r.FlipBTB <= 0 && r.Squash <= 0 &&
-		r.SyncGrant <= 0 && r.SyncWakeup <= 0 && r.FetchMis <= 0 && r.FetchBlock <= 0
+		r.SyncGrant <= 0 && r.SyncWakeup <= 0 && r.FetchMis <= 0 && r.FetchBlock <= 0 &&
+		r.SBHold <= 0 && r.CWShrink <= 0
 }
 
 // Schedule is a deterministic fault schedule implementing the core's
@@ -65,6 +70,8 @@ const (
 	maxCacheDelay     = 32
 	maxWritebackDelay = 8
 	maxSyncDelay      = 16
+	maxSBHold         = 4 // the core additionally caps at StoreBuffer - BlockSize
+	maxCWShrink       = 3 // window floor of 1 from the default window of 4
 )
 
 // mix is the splitmix64 finalizer: a bijective avalanche mix.
@@ -86,6 +93,8 @@ const (
 	kindSyncWake  uint64 = 0x73796e63776b0000 // "syncwk"
 	kindFetchMis  uint64 = 0x66657463686d0000 // "fetchm"
 	kindFetchBlk  uint64 = 0x6665746368620000 // "fetchb"
+	kindSBHold    uint64 = 0x7362686f6c640000 // "sbhold"
+	kindCWShrink  uint64 = 0x6377736872690000 // "cwshri"
 )
 
 // roll hashes (kind, a, b) against the seed and compares the result to
@@ -178,12 +187,37 @@ func (s *Schedule) FetchBlock(now uint64) bool {
 	return hit
 }
 
+// StoreBufferHold implements core.FaultInjector: on a fraction of
+// cycles, holds 1..4 store-buffer slots away from newly issuing stores
+// (a busy buffer port). The core further caps the hold so at least a
+// block's worth of slots stays claimable, preserving the deadlock-
+// avoidance reservation argument.
+func (s *Schedule) StoreBufferHold(now uint64) int {
+	h, hit := s.roll(kindSBHold, now, 0, s.rates.SBHold)
+	if !hit {
+		return 0
+	}
+	return int(1 + (h>>17)%maxSBHold)
+}
+
+// CommitWindowShrink implements core.FaultInjector: on a fraction of
+// commit cycles, shrinks the flexible-commit window by 1..3 blocks (the
+// core floors the window at 1, so bottom-block commit stays available).
+func (s *Schedule) CommitWindowShrink(now uint64) int {
+	h, hit := s.roll(kindCWShrink, now, 0, s.rates.CWShrink)
+	if !hit {
+		return 0
+	}
+	return int(1 + (h>>17)%maxCWShrink)
+}
+
 // String renders the canonical spec; ParseSpec(s.String()) rebuilds an
 // identical schedule. Experiment cache keys fold this in.
 func (s *Schedule) String() string {
-	return fmt.Sprintf("seed=%d,miss=%g,wb=%g,flip=%g,squash=%g,sync=%g,wake=%g,fetch=%g,fblock=%g",
+	return fmt.Sprintf("seed=%d,miss=%g,wb=%g,flip=%g,squash=%g,sync=%g,wake=%g,fetch=%g,fblock=%g,sbhold=%g,shrink=%g",
 		s.seed, s.rates.CacheMiss, s.rates.Writeback, s.rates.FlipBTB, s.rates.Squash,
-		s.rates.SyncGrant, s.rates.SyncWakeup, s.rates.FetchMis, s.rates.FetchBlock)
+		s.rates.SyncGrant, s.rates.SyncWakeup, s.rates.FetchMis, s.rates.FetchBlock,
+		s.rates.SBHold, s.rates.CWShrink)
 }
 
 // Rates returns the schedule's configured rates.
@@ -197,17 +231,22 @@ func (s *Schedule) Seed() uint64 { return s.seed }
 // every mechanism hard; the storms isolate one mechanism each.
 var presets = map[string]Rates{
 	"light": {CacheMiss: 0.005, Writeback: 0.005, FlipBTB: 0.01, Squash: 0.002,
-		SyncGrant: 0.005, SyncWakeup: 0.002, FetchMis: 0.01, FetchBlock: 0.005},
+		SyncGrant: 0.005, SyncWakeup: 0.002, FetchMis: 0.01, FetchBlock: 0.005,
+		SBHold: 0.005, CWShrink: 0.005},
 	"medium": {CacheMiss: 0.02, Writeback: 0.02, FlipBTB: 0.03, Squash: 0.008,
-		SyncGrant: 0.02, SyncWakeup: 0.008, FetchMis: 0.03, FetchBlock: 0.02},
+		SyncGrant: 0.02, SyncWakeup: 0.008, FetchMis: 0.03, FetchBlock: 0.02,
+		SBHold: 0.02, CWShrink: 0.02},
 	"heavy": {CacheMiss: 0.05, Writeback: 0.05, FlipBTB: 0.08, Squash: 0.02,
-		SyncGrant: 0.05, SyncWakeup: 0.02, FetchMis: 0.08, FetchBlock: 0.05},
+		SyncGrant: 0.05, SyncWakeup: 0.02, FetchMis: 0.08, FetchBlock: 0.05,
+		SBHold: 0.05, CWShrink: 0.05},
 	"cache-storm":  {CacheMiss: 0.25},
 	"wb-storm":     {Writeback: 0.25},
 	"bpred-storm":  {FlipBTB: 0.5},
 	"squash-storm": {Squash: 0.1},
 	"sync-storm":   {SyncGrant: 0.25, SyncWakeup: 0.1},
 	"fetch-storm":  {FetchMis: 0.25, FetchBlock: 0.25},
+	"store-storm":  {SBHold: 0.5},
+	"commit-storm": {CWShrink: 0.5},
 }
 
 // Presets lists the named presets ParseSpec accepts, sorted.
@@ -223,13 +262,14 @@ func Presets() []string {
 // SpecKeys lists the key=value keys ParseSpec accepts, in canonical
 // (String) order, seed first.
 func SpecKeys() []string {
-	return []string{"seed", "miss", "wb", "flip", "squash", "sync", "wake", "fetch", "fblock"}
+	return []string{"seed", "miss", "wb", "flip", "squash", "sync", "wake", "fetch", "fblock", "sbhold", "shrink"}
 }
 
 // ParseSpec builds a schedule from a comma-separated spec. Each token
 // is either a preset name (light, medium, heavy, cache-storm, wb-storm,
-// bpred-storm, squash-storm, sync-storm, fetch-storm) or key=value with
-// keys seed, miss, wb, flip, squash, sync, wake, fetch, fblock. Later
+// bpred-storm, squash-storm, sync-storm, fetch-storm, store-storm,
+// commit-storm) or key=value with keys seed, miss, wb, flip, squash,
+// sync, wake, fetch, fblock, sbhold, shrink. Later
 // tokens override earlier ones, so "heavy,seed=7,squash=0" is heavy
 // rates with seed 7 and squashes off. An unknown key or preset is a
 // usage error naming the valid ones — never silently ignored. An empty
@@ -284,6 +324,10 @@ func ParseSpec(spec string) (*Schedule, error) {
 			field = &s.rates.FetchMis
 		case "fblock":
 			field = &s.rates.FetchBlock
+		case "sbhold":
+			field = &s.rates.SBHold
+		case "shrink":
+			field = &s.rates.CWShrink
 		default:
 			return nil, fmt.Errorf("fault: unknown key %q (valid keys: %s; or a preset: %s)",
 				key, strings.Join(SpecKeys(), ", "), strings.Join(Presets(), ", "))

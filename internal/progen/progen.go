@@ -5,14 +5,23 @@
 //
 // Programs follow the SPMD model: every thread runs the same code; data
 // references are confined to a per-thread scratch region (plus one
-// shared atomic counter), so final memory is deterministic regardless
-// of thread interleaving.
+// shared atomic counter and a per-thread flag word), so final memory is
+// deterministic regardless of thread interleaving.
+//
+// Generation is weighted (Weights): beyond the plain statement mix, a
+// set of targeted generators produce the adversarial shapes — store
+// bursts, always-taken branch shadows, conflict-stride stores, FAI
+// bursts behind unresolved branches, flag handoffs, wide independent
+// groups — that the stress tier of the coverage model (internal/cover)
+// needs. Guided hill-climbs those weights against measured coverage.
 package progen
 
 import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"repro/internal/cover"
 )
 
 // Generator parameters.
@@ -27,21 +36,71 @@ const (
 	maxDepth     = 3  // nesting depth of loops/conditionals
 )
 
-// Program is a generated test program.
-type Program struct {
-	Source string
-	Seed   int64
+// Weights bias the statement mix. The first block mirrors the classic
+// generators; the second block are the targeted shapes (all zero under
+// DefaultWeights — Guided turns them on). A weight of zero disables the
+// arm; relative magnitudes set the pick probability.
+type Weights struct {
+	ALU, Memory, FP, Loop, Cond, MulDiv, Atomic, Call int
+
+	// StoreBurst: a run of stores (one fed by an in-flight divide) then
+	// aliasing loads — store-buffer saturation, unknown-data alias
+	// blocking, same-block forwarding, cross-block drain waits.
+	StoreBurst int
+	// Wide: groups of independent single-cycle ops across FU classes,
+	// with long-latency ops drifting through them — full-width issue and
+	// over-width writeback cycles.
+	Wide int
+	// FAIBurst: FAIs behind a slow-resolving branch plus a trailing load
+	// — speculative FAI blocking, FAI contention, load-after-sync order.
+	FAIBurst int
+	// FlagOps: FSTW/FLDW traffic on the thread's own flag — fenced sync
+	// reads, spin (sleep) and wake transitions, flag handoff.
+	FlagOps int
+	// Shadow: an always-taken branch hiding a wrong-path load at an
+	// illegal address — mispredict squash plus bad-addr-speculative.
+	Shadow int
+	// Conflict: dirty stores at the cache's conflict stride — dirty
+	// evictions, second misses, refill overlap.
+	Conflict int
+	// WrongPath (treated as a flag): route the epilogue through an
+	// always-taken branch placed at the very end of the text, so its
+	// cold-predictor fall-through fetches past the text end.
+	WrongPath int
 }
 
-// New generates a random program from seed.
-func New(seed int64) Program {
-	g := &gen{r: rand.New(rand.NewSource(seed))}
+// DefaultWeights reproduces the classic unguided statement mix.
+func DefaultWeights() Weights {
+	return Weights{ALU: 43, Memory: 15, FP: 10, Loop: 10, Cond: 10, MulDiv: 5, Atomic: 4, Call: 3}
+}
+
+// fields exposes every weight for seed-deterministic mutation.
+func (w *Weights) fields() []*int {
+	return []*int{&w.ALU, &w.Memory, &w.FP, &w.Loop, &w.Cond, &w.MulDiv, &w.Atomic, &w.Call,
+		&w.StoreBurst, &w.Wide, &w.FAIBurst, &w.FlagOps, &w.Shadow, &w.Conflict, &w.WrongPath}
+}
+
+// Program is a generated test program.
+type Program struct {
+	Source  string
+	Seed    int64
+	Weights Weights
+}
+
+// New generates a random program from seed with the default mix.
+func New(seed int64) Program { return NewWeighted(seed, DefaultWeights()) }
+
+// NewWeighted generates a random program from seed under an explicit
+// statement mix.
+func NewWeighted(seed int64, w Weights) Program {
+	g := &gen{r: rand.New(rand.NewSource(seed)), w: w}
 	g.emit()
-	return Program{Source: g.sb.String(), Seed: seed}
+	return Program{Source: g.sb.String(), Seed: seed, Weights: w}
 }
 
 type gen struct {
 	r        *rand.Rand
+	w        Weights
 	sb       strings.Builder
 	labelSeq int
 	depth    int
@@ -75,20 +134,36 @@ func (g *gen) emit() {
 	g.line("      add  r%d, r%d, r%d", tmpReg+1, tmpReg+1, tmpReg)
 	// Seed the working registers with distinct values.
 	for r := minReg; r <= maxReg; r++ {
-		g.line("      li   r%d, %d", r, g.r.Int31n(1<<16)-1<<15)
+		g.line("      li   r%d, %d", r, g.r.Int31n(1<<16)-(1<<15))
 	}
 	g.block(4 + g.r.Intn(8))
 	// Spill every register to the output region so the differential
 	// check sees all state, then halt.
+	if g.w.WrongPath > 0 {
+		// Route to the spill through a taken branch that is the LAST text
+		// instruction: its cold-predictor fall-through is past the text
+		// end, so the wrong path fetches a block with no valid
+		// instructions before the branch resolves.
+		g.line("      b    wp_tail")
+	}
+	g.line("spill:")
 	g.line("      ; spill")
 	for r := minReg; r <= maxReg; r++ {
 		g.line("      sw   r%d, %d(r%d)", r, (r-minReg)*4+128, tmpReg+1)
 	}
 	g.line("      halt")
+	if g.w.WrongPath > 0 {
+		g.line("wp_tail:")
+		g.line("      beq  r1, r1, spill")
+	}
 	g.line(".data")
 	g.line("scratch: .space %d", scratchWords*4*maxThreads+256*maxThreads)
+	// Conflict region: lines a cache-set stride apart (8 KB / 2 ways =
+	// 4096 bytes), one 32-byte line per thread at each stride point.
+	g.line("conflict: .space %d", 2*4096+32*maxThreads)
 	g.line(".flags")
 	g.line("counter: .space 4")
+	g.line("tflags: .space %d", 4*maxThreads)
 }
 
 // block emits n random statements.
@@ -98,27 +173,45 @@ func (g *gen) block(n int) {
 	}
 }
 
-// stmt emits one random statement.
+// stmt emits one statement picked by weight. Loop-like arms drop out at
+// maximum nesting depth; depth is itself seed-deterministic, so the
+// random stream stays reproducible.
 func (g *gen) stmt() {
-	switch p := g.r.Intn(100); {
-	case p < 40:
+	type arm struct {
+		w int
+		f func()
+	}
+	arms := []arm{
+		{g.w.ALU, g.alu}, {g.w.Memory, g.memory}, {g.w.FP, g.fp},
+	}
+	if g.depth < maxDepth {
+		arms = append(arms, arm{g.w.Loop, g.loop}, arm{g.w.Cond, g.conditional})
+	}
+	arms = append(arms,
+		arm{g.w.MulDiv, g.mulDiv}, arm{g.w.Atomic, g.atomic}, arm{g.w.Call, g.call},
+		arm{g.w.StoreBurst, g.storeBurst}, arm{g.w.Wide, g.wide},
+		arm{g.w.FAIBurst, g.faiBurst}, arm{g.w.FlagOps, g.flagOps},
+		arm{g.w.Shadow, g.shadow}, arm{g.w.Conflict, g.conflict})
+	total := 0
+	for _, a := range arms {
+		if a.w > 0 {
+			total += a.w
+		}
+	}
+	if total == 0 {
 		g.alu()
-	case p < 55:
-		g.memory()
-	case p < 65:
-		g.fp()
-	case p < 75 && g.depth < maxDepth:
-		g.loop()
-	case p < 85 && g.depth < maxDepth:
-		g.conditional()
-	case p < 90:
-		g.mulDiv()
-	case p < 94:
-		g.atomic()
-	case p < 97:
-		g.call()
-	default:
-		g.alu()
+		return
+	}
+	p := g.r.Intn(total)
+	for _, a := range arms {
+		if a.w <= 0 {
+			continue
+		}
+		if p < a.w {
+			a.f()
+			return
+		}
+		p -= a.w
 	}
 }
 
@@ -214,4 +307,252 @@ func (g *gen) call() {
 func (g *gen) atomic() {
 	g.line("      li   r%d, counter", tmpReg)
 	g.line("      fai  r0, 0(r%d)", tmpReg)
+}
+
+// storeBurst fills the store buffer: a run of stores to consecutive
+// scratch words, the first fed by an in-flight divide (unknown data
+// when younger loads arrive), then loads over the same words.
+func (g *gen) storeBurst() {
+	base := tmpReg + 1
+	n := 6 + g.r.Intn(6)
+	w0 := g.r.Intn(scratchWords - 12)
+	slow := g.reg()
+	g.line("      ori  r%d, r0, %d", tmpReg, 1+g.r.Intn(7))
+	g.line("      div  r%d, r%d, r%d", slow, g.reg(), tmpReg)
+	g.line("      sw   r%d, %d(r%d)", slow, w0*4, base)
+	for i := 1; i < n; i++ {
+		g.line("      sw   r%d, %d(r%d)", g.reg(), (w0+i)*4, base)
+	}
+	g.line("      lw   r%d, %d(r%d)", g.reg(), w0*4, base)
+	g.line("      lw   r%d, %d(r%d)", g.reg(), (w0+g.r.Intn(n))*4, base)
+}
+
+// wide emits two divide-gated release gadgets sized to the paper's
+// default pipe widths. The first parks eight consumers of one
+// long-latency divide in the SU; when the quotient writes back they all
+// wake in the same cycle and fill the 8-wide issue window (four ALUs
+// plus the multiplier, divider, FP adder and FP multiplier). The second
+// staggers issue by latency — lat-3 ops on the release cycle, lat-2 ops
+// one ALU hop later, lat-1 ops two hops later — so ten results fall due
+// on the same cycle and overflow the 8-wide writeback bus.
+func (g *gen) wide() {
+	base := tmpReg + 1
+	// Gadget 1: full-width issue. div r0/r2 = 0 after 10 cycles; the
+	// eight consumers span exactly the units an 8-wide cycle can use.
+	g.line("      div  r%d, r0, r2", minReg) // r2 = nth >= 1, never zero
+	g.line("      add  r%d, r%d, r2", minReg+1, minReg)
+	g.line("      xor  r%d, r%d, r2", minReg+2, minReg)
+	g.line("      or   r%d, r%d, r2", minReg+3, minReg)
+	g.line("      and  r%d, r%d, r2", minReg+4, minReg)
+	g.line("      mul  r%d, r%d, r2", minReg+5, minReg)
+	g.line("      div  r%d, r%d, r2", minReg+6, minReg)
+	g.line("      fadd r%d, r%d, r2", minReg+7, minReg)
+	g.line("      fmul r%d, r%d, r2", minReg+8, minReg)
+	// Gadget 2: writeback pile-up. With the release writeback at R:
+	// mul/fmul issue at R (lat 3), fadd/lw at R+1 off the one-hop copy
+	// (lat 2), and four ALU ops, a store, and a branch at R+2 off the
+	// two-hop copy (lat 1) — ten completions all due at R+3. The
+	// quotient is 0, so the one-hop copy is the scratch base itself and
+	// the load/store addresses stay in this thread's region.
+	lab := g.label("wb")
+	g.line("      div  r%d, r0, r2", minReg)
+	g.line("      mul  r%d, r%d, r2", minReg+5, minReg)
+	g.line("      fmul r%d, r%d, r2", minReg+8, minReg)
+	g.line("      add  r%d, r%d, r%d", minReg+1, minReg, base)
+	g.line("      fadd r%d, r%d, r2", minReg+7, minReg+1)
+	g.line("      lw   r%d, 0(r%d)", minReg+4, minReg+1)
+	g.line("      add  r%d, r%d, r0", minReg+2, minReg+1)
+	g.line("      add  r%d, r%d, r2", minReg+9, minReg+2)
+	g.line("      xor  r%d, r%d, r2", minReg+10, minReg+2)
+	g.line("      or   r%d, r%d, r2", minReg+11, minReg+2)
+	g.line("      and  r%d, r%d, r2", minReg+6, minReg+2)
+	g.line("      sw   r2, 4(r%d)", minReg+2)
+	g.line("      beq  r%d, r%d, %s", minReg+2, minReg+2, lab)
+	g.line("%s:", lab)
+}
+
+// faiBurst puts FAIs behind a branch that resolves late (its condition
+// comes off a divide), then a load that must wait for the sync ops.
+func (g *gen) faiBurst() {
+	base := tmpReg + 1
+	skip := g.label("fai")
+	g.line("      ori  r%d, r0, 3", tmpReg)
+	g.line("      div  r%d, r%d, r%d", tmpReg, g.reg(), tmpReg)
+	g.line("      beq  r%d, r0, %s", tmpReg, skip)
+	g.line("      li   r%d, counter", tmpReg)
+	g.line("      fai  r0, 0(r%d)", tmpReg)
+	g.line("%s:", skip)
+	g.line("      li   r%d, counter", tmpReg)
+	g.line("      fai  r0, 0(r%d)", tmpReg)
+	g.line("      lw   r%d, %d(r%d)", g.reg(), g.r.Intn(scratchWords)*4, base)
+}
+
+// flagOps drives the thread's own flag word: an FSTW, a fenced FLDW, a
+// spin re-read (same value), a guaranteed wake (value+1), and the
+// producer-side handoff. A sync read is fenced until every older
+// same-thread FSTW has drained, and a store drains only after its
+// commit block retires — an fstw/fldw pair sharing one block can never
+// make progress (the read waits on the drain, the drain on the block
+// commit, the commit on the read). Each fstw is therefore followed by
+// BlockSize-1 filler ops, forcing the next fldw into a later block; the
+// fence still fires transiently because draining lags commit.
+func (g *gen) flagOps() {
+	v := g.reg()
+	g.line("      li   r%d, tflags", linkReg)
+	g.line("      slli r%d, r1, 2", tmpReg)
+	g.line("      add  r%d, r%d, r%d", linkReg, linkReg, tmpReg)
+	g.line("      fstw r%d, 0(r%d)", v, linkReg)
+	g.blockPad()
+	g.line("      fldw r%d, 0(r%d)", g.reg(), linkReg)
+	g.line("      fldw r%d, 0(r%d)", g.reg(), linkReg)
+	g.line("      addi r%d, r%d, 1", tmpReg, v)
+	g.line("      fstw r%d, 0(r%d)", tmpReg, linkReg)
+	g.blockPad()
+	g.line("      fldw r%d, 0(r%d)", g.reg(), linkReg)
+}
+
+// blockPad emits BlockSize-1 cheap ALU ops so the next instruction
+// cannot share a commit block with the previous one.
+func (g *gen) blockPad() {
+	for i := 0; i < 3; i++ {
+		g.line("      add  r%d, r1, r2", g.reg())
+	}
+}
+
+// shadow hides a load at an illegal address behind an always-taken
+// branch: the cold predictor falls through into it speculatively, the
+// resolved branch squashes it before it can trap.
+func (g *gen) shadow() {
+	skip := g.label("shadow")
+	g.line("      li   r%d, %d", tmpReg, 0x7ff00000)
+	g.line("      beq  r1, r1, %s", skip)
+	g.line("      lw   r%d, 0(r%d)", g.reg(), tmpReg)
+	g.line("      sw   r%d, 4(r%d)", g.reg(), tmpReg)
+	g.line("%s:", skip)
+	// A HALT in the same shadow: predecode stops fetch at the
+	// speculative HALT, and the resolving branch's squash must revive
+	// the stopped front end.
+	halt := g.label("shadowh")
+	g.line("      beq  r1, r1, %s", halt)
+	g.line("      halt")
+	g.line("%s:", halt)
+}
+
+// conflict stores dirty lines at the cache's conflict stride (4096
+// bytes apart lands in the same set of the 8 KB 2-way cache), then
+// misses back to the first — dirty evictions and refill traffic.
+// Threads use disjoint 32-byte lines, keeping final memory exact.
+func (g *gen) conflict() {
+	g.line("      li   r%d, conflict", tmpReg)
+	g.line("      slli r%d, r1, 5", linkReg)
+	g.line("      add  r%d, r%d, r%d", tmpReg, tmpReg, linkReg)
+	g.line("      li   r%d, 4096", linkReg)
+	g.line("      sw   r%d, 0(r%d)", g.reg(), tmpReg)
+	g.line("      add  r%d, r%d, r%d", tmpReg, tmpReg, linkReg)
+	g.line("      sw   r%d, 0(r%d)", g.reg(), tmpReg)
+	g.line("      add  r%d, r%d, r%d", tmpReg, tmpReg, linkReg)
+	g.line("      sw   r%d, 0(r%d)", g.reg(), tmpReg)
+	g.line("      sub  r%d, r%d, r%d", tmpReg, tmpReg, linkReg)
+	g.line("      sub  r%d, r%d, r%d", tmpReg, tmpReg, linkReg)
+	g.line("      lw   r%d, 0(r%d)", g.reg(), tmpReg)
+}
+
+// ---------------------------------------------------------------------
+// Coverage-guided search.
+
+// Eval runs one candidate program and reports the coverage it reached
+// (typically: assemble, run on the cycle core with Config.Coverage set,
+// differentially verify, return the set). An error means the candidate
+// exposed a real divergence — Guided stops and surfaces it.
+type Eval func(p Program) (*cover.Set, error)
+
+// stressPresets are the starting corners of the weight space, one per
+// targeted shape family. Guided tries each before mutating freely, so
+// every adversarial generator gets at least one dedicated candidate.
+func stressPresets() []Weights {
+	return []Weights{
+		{ALU: 10, Memory: 10, MulDiv: 5, StoreBurst: 40, Loop: 10},
+		{ALU: 10, Wide: 45, Loop: 10, MulDiv: 5},
+		{ALU: 10, Memory: 10, FAIBurst: 35, Atomic: 10, Loop: 10},
+		{ALU: 10, FlagOps: 35, Memory: 10, Loop: 10},
+		{ALU: 10, Cond: 15, Shadow: 35, Memory: 10, WrongPath: 1},
+		{ALU: 10, Conflict: 35, Memory: 15, Loop: 10},
+		{ALU: 5, StoreBurst: 15, Wide: 15, FAIBurst: 10, FlagOps: 10,
+			Shadow: 10, Conflict: 10, Loop: 10, WrongPath: 1},
+	}
+}
+
+// mutate derives a candidate mix: the presets in order first, then
+// seed-deterministic jitter around the current best mix (double or bump
+// one weight, occasionally splice in a preset's targeted arm).
+func mutate(r *rand.Rand, base Weights, i int) Weights {
+	presets := stressPresets()
+	if i < len(presets) {
+		return presets[i]
+	}
+	w := base
+	switch r.Intn(4) {
+	case 0: // double one arm
+		f := w.fields()[r.Intn(len(w.fields()))]
+		if *f == 0 {
+			*f = 5
+		} else {
+			*f *= 2
+		}
+	case 1: // bump one arm
+		*w.fields()[r.Intn(len(w.fields()))] += 5 + r.Intn(15)
+	case 2: // splice a preset's non-zero arms on top
+		p := presets[r.Intn(len(presets))]
+		pf, wf := p.fields(), w.fields()
+		for k := range pf {
+			if *pf[k] > 0 {
+				*wf[k] += *pf[k] / 2
+			}
+		}
+	case 3: // toggle the wrong-path epilogue
+		w.WrongPath = 1 - min(w.WrongPath, 1)
+	}
+	return w
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Guided hill-climbs program weights against measured coverage: each
+// candidate that reaches an event the accumulated corpus has not is
+// kept, and its mix becomes the new mutation base. The search is
+// deterministic in seed; budget bounds the number of eval calls.
+// It returns the kept programs and their merged coverage.
+func Guided(seed int64, budget int, eval Eval) ([]Program, *cover.Set, error) {
+	r := rand.New(rand.NewSource(seed))
+	var acc *cover.Set
+	var corpus []Program
+	base := DefaultWeights()
+	for i := 0; i < budget; i++ {
+		w := mutate(r, base, i)
+		p := NewWeighted(r.Int63(), w)
+		s, err := eval(p)
+		if err != nil {
+			return corpus, acc, fmt.Errorf("progen: guided candidate seed %d: %w", p.Seed, err)
+		}
+		if s == nil {
+			continue
+		}
+		if acc == nil {
+			acc = s.Clone()
+			corpus = append(corpus, p)
+			base = w
+			continue
+		}
+		if news := s.NewEventsOver(acc); len(news) > 0 {
+			acc.Merge(s)
+			corpus = append(corpus, p)
+			base = w
+		}
+	}
+	return corpus, acc, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/cover"
 	"repro/internal/funcsim"
 	"repro/internal/isa"
 )
@@ -66,6 +67,81 @@ func TestGeneratedRegisterBudget(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// Every stress preset must keep the core progen guarantees: assemble,
+// terminate at every thread count, stay in the register budget, and
+// generate deterministically.
+func TestStressPresetsKeepInvariants(t *testing.T) {
+	budget := uint8(isa.RegsPerThread(6))
+	for pi, w := range stressPresets() {
+		for seed := int64(0); seed < 8; seed++ {
+			p := NewWeighted(seed, w)
+			if NewWeighted(seed, w).Source != p.Source {
+				t.Fatalf("preset %d seed %d: not deterministic", pi, seed)
+			}
+			obj, err := asm.Assemble(p.Source)
+			if err != nil {
+				t.Fatalf("preset %d seed %d: %v\n%s", pi, seed, err, p.Source)
+			}
+			for i, word := range obj.Text {
+				in, err := isa.Decode(word)
+				if err != nil {
+					t.Fatalf("preset %d seed %d word %d: %v", pi, seed, i, err)
+				}
+				for _, r := range []uint8{in.Rd, in.Rs1, in.Rs2} {
+					if r >= budget {
+						t.Fatalf("preset %d seed %d inst %d (%v) uses r%d beyond budget %d",
+							pi, seed, i, in, r, budget)
+					}
+				}
+			}
+			for _, n := range []int{1, 4, 6} {
+				if _, err := funcsim.RunProgram(obj, n, 50_000_000); err != nil {
+					t.Fatalf("preset %d seed %d threads %d: %v", pi, seed, n, err)
+				}
+			}
+		}
+	}
+}
+
+// The guided search must be deterministic in its seed: same seed, same
+// corpus; and a kept candidate must genuinely add events.
+func TestGuidedDeterministicAndMonotone(t *testing.T) {
+	// A synthetic eval keyed off program length keeps the test free of
+	// the cycle simulator (sdsp's TestCoverageFloor does the real run).
+	eval := func(p Program) (*cover.Set, error) {
+		s := cover.NewSet()
+		evs := cover.Events()
+		s.Hit(evs[len(p.Source)%len(evs)])
+		if p.Weights.StoreBurst > 0 {
+			s.Hit(cover.EvStoreBufferSaturated)
+		}
+		return s, nil
+	}
+	c1, s1, err := Guided(7, 20, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, s2, err := Guided(7, 20, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != len(c2) || s1.Hits() != s2.Hits() {
+		t.Fatalf("guided search not deterministic: %d/%d programs, %d/%d hits",
+			len(c1), len(c2), s1.Hits(), s2.Hits())
+	}
+	if len(c1) == 0 {
+		t.Fatal("guided search kept no programs")
+	}
+	for i, p := range c1 {
+		if p.Source != c2[i].Source {
+			t.Fatalf("program %d differs between identical runs", i)
+		}
+	}
+	if !s1.Applicable(cover.EvStoreBufferSaturated) || s1.Count(cover.EvStoreBufferSaturated) == 0 {
+		t.Error("search never kept a store-burst candidate")
 	}
 }
 

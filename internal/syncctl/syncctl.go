@@ -8,6 +8,7 @@ package syncctl
 import (
 	"fmt"
 
+	"repro/internal/cover"
 	"repro/internal/loader"
 	"repro/internal/mem"
 )
@@ -24,6 +25,13 @@ type Controller struct {
 	// grant, for robustness testing). Timing-only: the eventual access is
 	// unchanged.
 	FaultDelay func(now uint64, addr uint32, rmw bool) uint64
+
+	// Cover, when set, receives the controller's coverage events
+	// (internal/cover): currently flag handoff — a write landing on a
+	// flag some thread has read since its last write, the producer side
+	// of every spin-wait. readSince tracks the reads, lazily.
+	Cover     *cover.Set
+	readSince map[uint32]bool
 
 	reads, writes, rmws, delayed uint64
 }
@@ -54,12 +62,25 @@ func (c *Controller) check(addr uint32, write bool) error {
 	return nil
 }
 
+// noteRead records that addr has been read since its last write, for
+// the flag-handoff coverage event.
+func (c *Controller) noteRead(addr uint32) {
+	if c.Cover == nil {
+		return
+	}
+	if c.readSince == nil {
+		c.readSince = make(map[uint32]bool)
+	}
+	c.readSince[addr] = true
+}
+
 // Read returns the flag word at addr.
 func (c *Controller) Read(addr uint32) (uint32, error) {
 	if err := c.check(addr, false); err != nil {
 		return 0, err
 	}
 	c.reads++
+	c.noteRead(addr)
 	return c.m.Load(addr)
 }
 
@@ -69,6 +90,10 @@ func (c *Controller) Write(addr, v uint32) error {
 		return err
 	}
 	c.writes++
+	if c.Cover != nil && c.readSince[addr] {
+		c.Cover.Hit(cover.EvFlagHandoff)
+		c.readSince[addr] = false
+	}
 	return c.m.Store(addr, v)
 }
 
@@ -78,6 +103,7 @@ func (c *Controller) FetchAdd(addr uint32) (uint32, error) {
 		return 0, err
 	}
 	c.rmws++
+	c.noteRead(addr)
 	old, err := c.m.Load(addr)
 	if err != nil {
 		return 0, err

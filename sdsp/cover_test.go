@@ -1,0 +1,153 @@
+package sdsp_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/progen"
+	"repro/sdsp"
+)
+
+var updateCoverGolden = flag.Bool("update", false, "rewrite testdata/coverage_gaps.golden")
+
+// mergeSets folds src into *dst clone-first: merging into a fresh
+// NewSet would wrongly mark every event applicable.
+func mergeSets(dst **cover.Set, src *cover.Set) {
+	if *dst == nil {
+		*dst = src.Clone()
+	} else {
+		(*dst).Merge(src)
+	}
+}
+
+// TestKernelCoverage is the kernel half of the coverage floor: the four
+// paper kernels the robustness suite schedules, merged at the default
+// operating point (4 threads, TrueRR), must reach at least 90% of the
+// applicable core-tier events. Stress-tier events are excluded here —
+// they are the generated corpus's job (TestCoverageFloor).
+func TestKernelCoverage(t *testing.T) {
+	var merged *cover.Set
+	for _, name := range kernelsUnder {
+		obj, err := sdsp.Workload(name, sdsp.WorkloadParams{Threads: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sdsp.DefaultConfig(4)
+		cfg.Coverage = cover.NewSet()
+		if _, err := sdsp.Run(obj, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%-8s %s", name, cfg.Coverage.Summary())
+		mergeSets(&merged, cfg.Coverage)
+	}
+	t.Logf("merged   %s", merged.Summary())
+	if frac := merged.CoreFraction(); frac < 0.9 {
+		var gaps []string
+		for _, e := range merged.Gaps() {
+			if !e.Describe().Stress {
+				gaps = append(gaps, e.String())
+			}
+		}
+		t.Errorf("merged kernel core coverage %.1f%% < 90%%; core gaps: %v", 100*frac, gaps)
+	}
+}
+
+// coverEval is the Guided search's fitness probe: assemble the
+// candidate, run the full differential check (functional reference vs
+// timing core) at 1 and 4 threads with coverage recording on, and
+// return the merged events. Both thread counts matter: wrong-path
+// fetch past the text end only happens when a thread fetches every
+// cycle (single thread), while the sharing and contention events need
+// the full house. A verification failure is a real divergence and
+// fails the search.
+func coverEval(p progen.Program) (*cover.Set, error) {
+	obj, err := sdsp.Assemble(p.Source)
+	if err != nil {
+		return nil, err
+	}
+	var merged *cover.Set
+	for _, threads := range []int{1, 4} {
+		cfg := sdsp.DefaultConfig(threads)
+		cfg.Coverage = cover.NewSet()
+		cfg.Watchdog = 500_000
+		if err := sdsp.Verify(obj, cfg); err != nil {
+			return nil, err
+		}
+		mergeSets(&merged, cfg.Coverage)
+	}
+	return merged, nil
+}
+
+// TestCoverageFloor proves the corpus half of the floor: unguided
+// random programs leave must-hit events unreached (the committed golden
+// names them), and the coverage-guided generator closes every one of
+// them — the merged corpus has no must-hit gaps at all.
+func TestCoverageFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("guided search is not -short")
+	}
+
+	// Baseline: a modest unguided corpus, the same generator the fuzzer
+	// seeds from.
+	var baseline *cover.Set
+	for seed := int64(0); seed < 25; seed++ {
+		s, err := coverEval(progen.New(seed))
+		if err != nil {
+			t.Fatalf("unguided seed %d: %v", seed, err)
+		}
+		mergeSets(&baseline, s)
+	}
+	gaps := baseline.MustHitGaps()
+	if len(gaps) == 0 {
+		t.Fatal("unguided corpus already reaches every must-hit event; the guided search is untestable (tighten the event model)")
+	}
+	var names []string
+	for _, e := range gaps {
+		names = append(names, e.String())
+	}
+	sort.Strings(names)
+	t.Logf("unguided corpus: %s; must-hit gaps: %v", baseline.Summary(), names)
+
+	golden := filepath.Join("testdata", "coverage_gaps.golden")
+	want := strings.Join(names, "\n") + "\n"
+	if *updateCoverGolden {
+		if err := os.WriteFile(golden, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if string(got) != want {
+		t.Errorf("unguided gap list drifted from golden (run with -update if intended):\ngot:\n%swant:\n%s", want, got)
+	}
+
+	// The guided search must close every remaining gap.
+	corpus, guided, err := progen.Guided(1996, 48, coverEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("guided search kept %d programs: %s", len(corpus), guided.Summary())
+	merged := baseline.Clone()
+	merged.Merge(guided)
+	if rest := merged.MustHitGaps(); len(rest) != 0 {
+		var left []string
+		for _, e := range rest {
+			left = append(left, e.String())
+		}
+		t.Errorf("guided corpus left must-hit gaps: %v", left)
+	}
+	// Each gap must be closed by the guided programs themselves, not by
+	// baseline noise: that is the search's entire reason to exist.
+	for _, e := range gaps {
+		if guided == nil || guided.Count(e) == 0 {
+			t.Errorf("gap %v was not reached by the guided corpus", e)
+		}
+	}
+}

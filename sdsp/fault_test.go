@@ -40,11 +40,17 @@ func scheduleFor(seed uint64) *fault.Schedule {
 		SyncWakeup: f / 4,
 		FetchMis:   f,
 		FetchBlock: f / 2,
+		SBHold:     f / 2,
+		CWShrink:   f / 4,
 	})
 }
 
+// kernelsUnder are the four paper kernels the robustness and coverage
+// suites schedule: two Livermore loops, the blocked matrix multiply,
+// and the branchy sieve.
+var kernelsUnder = []string{"LL1", "LL5", "Matrix", "Sieve"}
+
 func TestFaultInjectionPreservesArchitecture(t *testing.T) {
-	kernelsUnder := []string{"LL1", "LL5", "Matrix", "Sieve"}
 	threadsList := []int{1, 2, 4}
 	seeds := 17
 	if testing.Short() {

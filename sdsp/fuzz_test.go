@@ -44,6 +44,8 @@ func FuzzVerify(f *testing.F) {
 				SyncWakeup: r / 4,
 				FetchMis:   r,
 				FetchBlock: r / 2,
+				SBHold:     r / 2,
+				CWShrink:   r / 4,
 			})
 		}
 		if err := sdsp.Verify(obj, cfg); err != nil {
