@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke golden cover-golden check report
+.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke golden cover-golden bench bench-check check report
 
 all: check
 
@@ -9,6 +9,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-local precedence lints (internal/lint): shift-vs-additive and
+# bitand-vs-compare expressions must spell out their grouping.
+lint:
+	$(GO) run ./cmd/sdsp-lint .
 
 test:
 	$(GO) test ./...
@@ -65,8 +70,19 @@ golden:
 cover-golden:
 	$(GO) test ./sdsp -run TestCoverageFloor -update
 
+# Regenerate the committed simulator-throughput baseline (run on an
+# otherwise idle machine; see docs/PERFORMANCE.md for the policy).
+bench:
+	$(GO) run ./cmd/sdsp-bench -write BENCH_sim.json
+
+# Compare current throughput against the committed baseline. Simulated
+# cycle counts must match exactly (they are machine-independent);
+# wall-clock throughput may regress at most the tolerance.
+bench-check:
+	$(GO) run ./cmd/sdsp-bench -check BENCH_sim.json
+
 # Everything CI runs.
-check: vet build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke
+check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke bench-check
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -17,38 +18,74 @@ import (
 	"repro/internal/kernels"
 )
 
+// benchScale is the problem scale every benchmark runs at; error
+// messages name it so a failure identifies the exact configuration.
+const benchScale = kernels.Small
+
+// scaleName renders a kernels.Scale for diagnostics.
+func scaleName(s kernels.Scale) string {
+	if s == kernels.Paper {
+		return "paper"
+	}
+	return "small"
+}
+
+// expTable is a rendered table stamped with the experiment and scale it
+// came from, so cell-level diagnostics can name their provenance.
+type expTable struct {
+	experiments.Table
+	exp   string
+	scale kernels.Scale
+}
+
 // runExperiment executes one experiment per iteration and returns the
-// final tables for metric extraction.
-func runExperiment(b *testing.B, name string) []experiments.Table {
+// final tables for metric extraction. A registered experiment that
+// reports experiments.ErrScaleUnsupported at the benchmark scale skips
+// instead of failing: the suite stays green while such an experiment
+// simply has no Small-scale data to report.
+func runExperiment(b *testing.B, name string) []expTable {
 	b.Helper()
 	var tables []experiments.Table
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(kernels.Small)
+		r := experiments.NewRunner(benchScale)
 		e, err := experiments.Get(name)
 		if err != nil {
-			b.Fatal(err)
+			b.Fatalf("experiment %s (scale %s): %v", name, scaleName(benchScale), err)
 		}
 		tables, err = e.Run(r)
+		if errors.Is(err, experiments.ErrScaleUnsupported) {
+			b.Skipf("experiment %s is unavailable at scale %s: %v", name, scaleName(benchScale), err)
+		}
 		if err != nil {
-			b.Fatal(err)
+			b.Fatalf("experiment %s (scale %s): %v", name, scaleName(benchScale), err)
 		}
 	}
-	return tables
+	out := make([]expTable, len(tables))
+	for i, t := range tables {
+		out[i] = expTable{Table: t, exp: name, scale: benchScale}
+	}
+	return out
 }
 
-// cell parses a numeric cell from a rendered table.
-func cell(b *testing.B, t experiments.Table, row, col int) float64 {
+// cell parses a numeric cell from a rendered table; a parse failure
+// names the experiment, scale, table, and coordinates.
+func cell(b *testing.B, t expTable, row, col int) float64 {
 	b.Helper()
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		b.Fatalf("experiment %s (scale %s): table %q has no cell (%d,%d): %dx%d",
+			t.exp, scaleName(t.scale), t.Title, row, col, len(t.Rows), len(t.Headers))
+	}
 	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
 	if err != nil {
-		b.Fatalf("cell (%d,%d) of %q: %v", row, col, t.Title, err)
+		b.Fatalf("experiment %s (scale %s): table %q cell (%d,%d) = %q: %v",
+			t.exp, scaleName(t.scale), t.Title, row, col, t.Rows[row][col], err)
 	}
 	return v
 }
 
 // reportColumnMeans attaches per-column mean metrics, one per series the
 // paper plots.
-func reportColumnMeans(b *testing.B, t experiments.Table, unit string) {
+func reportColumnMeans(b *testing.B, t expTable, unit string) {
 	for col := 1; col < len(t.Headers); col++ {
 		var sum float64
 		for row := range t.Rows {
@@ -124,14 +161,10 @@ func BenchmarkFig12FUConfigGroupII(b *testing.B) {
 func BenchmarkTable4ExtraFUUsage(b *testing.B) {
 	t := runExperiment(b, "table4")[0]
 	// Surface the paper's headline: the second load unit's usage.
-	for _, row := range t.Rows {
+	for i, row := range t.Rows {
 		if row[1] == "Load #2" {
 			group := strings.ReplaceAll(row[0], " ", "")
-			v, err := strconv.ParseFloat(row[2], 64)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportMetric(v, group+"-load2-%used")
+			b.ReportMetric(cell(b, t, i, 2), group+"-load2-%used")
 		}
 	}
 }
@@ -162,29 +195,33 @@ func BenchmarkFig14CommitGroupII(b *testing.B) {
 
 func BenchmarkSummarySpeedups(b *testing.B) {
 	t := runExperiment(b, "summary")[0]
-	for _, row := range t.Rows {
-		v, err := strconv.ParseFloat(row[3], 64)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(v, row[0]+"-peak-%")
+	for i, row := range t.Rows {
+		b.ReportMetric(cell(b, t, i, 3), row[0]+"-peak-%")
 	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // cycles per wall-clock second on the default 4-thread configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	bench, err := kernels.Get("Matrix")
+	benchThroughput(b, "Matrix", 4)
+}
+
+// benchThroughput runs one kernel × thread-count point and reports
+// simulated cycles and committed instructions per wall-clock second.
+func benchThroughput(b *testing.B, kernel string, threads int) {
+	b.Helper()
+	bench, err := kernels.Get(kernel)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := kernels.Params{Threads: 4, Scale: kernels.Small}
+	p := kernels.Params{Threads: threads, Scale: benchScale}
 	obj, err := bench.Build(p)
 	if err != nil {
-		b.Fatal(err)
+		b.Fatalf("%s (threads=%d, scale %s): %v", kernel, threads, scaleName(benchScale), err)
 	}
 	cfg := core.DefaultConfig()
-	var simCycles uint64
+	cfg.Threads = threads
+	var simCycles, simInstrs uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := core.New(obj, cfg)
@@ -193,11 +230,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		st, err := m.Run()
 		if err != nil {
-			b.Fatal(err)
+			b.Fatalf("%s (threads=%d, scale %s): %v", kernel, threads, scaleName(benchScale), err)
 		}
 		simCycles += st.Cycles
+		simInstrs += st.Committed
 	}
 	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(simInstrs)/b.Elapsed().Seconds(), "siminstrs/s")
+}
+
+// BenchmarkSimThroughput is the per-kernel × thread-count throughput
+// family behind make bench: every paper kernel at 1 and 4 threads.
+// cmd/sdsp-bench runs the same measurement outside the testing harness
+// to write and check BENCH_sim.json.
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, bench := range kernels.All() {
+		for _, threads := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/t%d", bench.Name, threads), func(b *testing.B) {
+				benchThroughput(b, bench.Name, threads)
+			})
+		}
+	}
 }
 
 func BenchmarkImprovementsSuite(b *testing.B) {

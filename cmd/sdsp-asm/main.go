@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -33,24 +34,38 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("text: %d instructions (%d bytes)\n", len(obj.Text), len(obj.Text)*4)
-	fmt.Printf("data: %d words (%d bytes)\n", len(obj.Data), len(obj.Data)*4)
-	fmt.Printf("flags: %d bytes\n", obj.FlagLen)
-	fmt.Printf("entry: %#x\n", obj.Entry)
-	names := make([]string, 0, len(obj.Symbols))
-	for n := range obj.Symbols {
-		names = append(names, n)
-	}
-	sort.Slice(names, func(i, j int) bool { return obj.Symbols[names[i]] < obj.Symbols[names[j]] })
-	for _, n := range names {
-		fmt.Printf("  %#08x %s\n", obj.Symbols[n], n)
-	}
+	printObject(os.Stdout, obj)
 	if *run {
 		s, err := sdsp.RunFunctional(obj, *threads)
 		if err != nil {
 			fatal("%v", err)
 		}
 		fmt.Printf("executed %d instructions on %d threads\n", s.InstCount(), *threads)
+	}
+}
+
+// printObject reports the object layout: segment sizes, entry point,
+// and the symbol table sorted by address, ties broken by name so two
+// labels on the same location always print in the same order (the
+// symbol table is a map; raw iteration order is randomized).
+func printObject(w io.Writer, obj *sdsp.Object) {
+	fmt.Fprintf(w, "text: %d instructions (%d bytes)\n", len(obj.Text), len(obj.Text)*4)
+	fmt.Fprintf(w, "data: %d words (%d bytes)\n", len(obj.Data), len(obj.Data)*4)
+	fmt.Fprintf(w, "flags: %d bytes\n", obj.FlagLen)
+	fmt.Fprintf(w, "entry: %#x\n", obj.Entry)
+	names := make([]string, 0, len(obj.Symbols))
+	for n := range obj.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ai, aj := obj.Symbols[names[i]], obj.Symbols[names[j]]
+		if ai != aj {
+			return ai < aj
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(w, "  %#08x %s\n", obj.Symbols[n], n)
 	}
 }
 

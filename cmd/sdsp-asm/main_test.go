@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/sdsp"
+)
+
+// TestPrintObjectDeterministic: the symbol table is a map, and Go
+// randomizes map iteration order per range, so an unsorted printer (or
+// one sorted by address alone, leaving same-address labels tied) would
+// flake across renders. Two labels on the same instruction force the
+// tie; fifty renders must be byte-identical and name-ordered.
+func TestPrintObjectDeterministic(t *testing.T) {
+	obj, err := sdsp.Assemble(`
+alpha:
+zeta:
+	addi r1, r0, 1
+omega:
+	halt
+`)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	var first bytes.Buffer
+	printObject(&first, obj)
+	if a, z := strings.Index(first.String(), "alpha"), strings.Index(first.String(), "zeta"); a < 0 || z < 0 || a > z {
+		t.Fatalf("same-address symbols not in name order:\n%s", first.String())
+	}
+	for i := 0; i < 50; i++ {
+		var again bytes.Buffer
+		printObject(&again, obj)
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+}

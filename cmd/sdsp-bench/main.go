@@ -1,0 +1,218 @@
+// sdsp-bench measures simulator throughput — the same kernel ×
+// thread-count family as BenchmarkSimThroughput, outside the testing
+// harness — and writes or checks the committed BENCH_sim.json baseline.
+//
+// Usage:
+//
+//	sdsp-bench -write BENCH_sim.json             # regenerate the baseline
+//	sdsp-bench -check BENCH_sim.json             # compare against it
+//	sdsp-bench -check BENCH_sim.json -tol 0.5    # wider throughput tolerance
+//
+// A check enforces two things. Simulated cycle counts are deterministic
+// and machine-independent, so they must match the baseline EXACTLY: any
+// drift means a change altered simulated timing, not just host speed.
+// Wall-clock throughput is host-dependent, so it only has to stay
+// within -tol of the baseline's cycles/sec (default 0.5, generous
+// enough for CI-runner variance while still catching order-of-magnitude
+// regressions like an accidental O(n²) or a hot-loop allocation).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+var threadCounts = []int{1, 4}
+
+const reps = 3 // timed repetitions per point; best one is recorded
+
+// Point is one kernel × thread-count measurement.
+type Point struct {
+	Kernel  string `json:"kernel"`
+	Threads int    `json:"threads"`
+	// SimCycles and Committed are deterministic outputs of the
+	// simulation, identical on every host running the same code.
+	SimCycles uint64 `json:"sim_cycles"`
+	Committed uint64 `json:"committed"`
+	// CyclesPerSec and InstrsPerSec are host-dependent throughput.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+}
+
+// Baseline is the BENCH_sim.json schema.
+type Baseline struct {
+	Schema    string  `json:"schema"`
+	Scale     string  `json:"scale"`
+	GoVersion string  `json:"go_version"`
+	NumCPU    int     `json:"num_cpu"`
+	Points    []Point `json:"points"`
+	// SuiteT4CyclesPerSec is the headline: total simulated cycles of the
+	// 4-thread kernel suite divided by the total wall time to run it.
+	SuiteT4CyclesPerSec float64 `json:"suite_t4_cycles_per_sec"`
+}
+
+func main() {
+	var (
+		write = flag.String("write", "", "measure and write the baseline JSON to this file")
+		check = flag.String("check", "", "measure and compare against the baseline JSON in this file")
+		tol   = flag.Float64("tol", 0.5, "allowed fractional throughput regression in -check mode")
+	)
+	flag.Parse()
+	if (*write == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "sdsp-bench: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+
+	cur, err := measure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsp-bench:", err)
+		os.Exit(1)
+	}
+
+	if *write != "" {
+		out, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdsp-bench:", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*write, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sdsp-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sdsp-bench: wrote %s (%d points, suite t4 %.0f cycles/s)\n",
+			*write, len(cur.Points), cur.SuiteT4CyclesPerSec)
+		return
+	}
+
+	raw, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsp-bench:", err)
+		os.Exit(1)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "sdsp-bench: %s: %v\n", *check, err)
+		os.Exit(1)
+	}
+	if err := compare(&base, cur, *tol); err != nil {
+		fmt.Fprintln(os.Stderr, "sdsp-bench: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sdsp-bench: OK: %d points deterministic-identical; suite t4 %.0f cycles/s vs baseline %.0f (tolerance %.0f%%)\n",
+		len(cur.Points), cur.SuiteT4CyclesPerSec, base.SuiteT4CyclesPerSec, *tol*100)
+}
+
+// measure runs the full family and assembles a Baseline.
+func measure() (*Baseline, error) {
+	b := &Baseline{
+		Schema:    "sdsp-bench/v1",
+		Scale:     "small",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	var t4Cycles uint64
+	var t4Wall time.Duration
+	for _, bench := range kernels.All() {
+		for _, threads := range threadCounts {
+			pt, wall, err := measurePoint(bench, threads)
+			if err != nil {
+				return nil, err
+			}
+			b.Points = append(b.Points, pt)
+			if threads == 4 {
+				t4Cycles += pt.SimCycles
+				t4Wall += wall
+			}
+		}
+	}
+	b.SuiteT4CyclesPerSec = float64(t4Cycles) / t4Wall.Seconds()
+	return b, nil
+}
+
+// measurePoint runs one kernel × thread count: one warm-up run, then
+// reps timed runs keeping the fastest (least-noisy) wall time.
+func measurePoint(bench *kernels.Benchmark, threads int) (Point, time.Duration, error) {
+	p := kernels.Params{Threads: threads, Scale: kernels.Small}
+	obj, err := bench.Build(p)
+	if err != nil {
+		return Point{}, 0, fmt.Errorf("%s (threads=%d): %w", bench.Name, threads, err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Threads = threads
+
+	run := func() (*core.Stats, time.Duration, error) {
+		m, err := core.New(obj, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		st, err := m.Run()
+		return st, time.Since(start), err
+	}
+
+	st, _, err := run() // warm-up (page-in, JIT-ish effects, CPU wake)
+	if err != nil {
+		return Point{}, 0, fmt.Errorf("%s (threads=%d): %w", bench.Name, threads, err)
+	}
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		st2, wall, err := run()
+		if err != nil {
+			return Point{}, 0, fmt.Errorf("%s (threads=%d): %w", bench.Name, threads, err)
+		}
+		if st2.Cycles != st.Cycles {
+			return Point{}, 0, fmt.Errorf("%s (threads=%d): nondeterministic cycle count %d vs %d",
+				bench.Name, threads, st2.Cycles, st.Cycles)
+		}
+		if best == 0 || wall < best {
+			best = wall
+		}
+	}
+	return Point{
+		Kernel:       bench.Name,
+		Threads:      threads,
+		SimCycles:    st.Cycles,
+		Committed:    st.Committed,
+		CyclesPerSec: float64(st.Cycles) / best.Seconds(),
+		InstrsPerSec: float64(st.Committed) / best.Seconds(),
+	}, best, nil
+}
+
+// compare enforces exact determinism and tolerant throughput.
+func compare(base, cur *Baseline, tol float64) error {
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("schema %q != %q (regenerate the baseline with -write)", base.Schema, cur.Schema)
+	}
+	basePts := map[string]Point{}
+	for _, pt := range base.Points {
+		basePts[fmt.Sprintf("%s/t%d", pt.Kernel, pt.Threads)] = pt
+	}
+	for _, pt := range cur.Points {
+		key := fmt.Sprintf("%s/t%d", pt.Kernel, pt.Threads)
+		b, ok := basePts[key]
+		if !ok {
+			return fmt.Errorf("%s: not in baseline (regenerate with -write)", key)
+		}
+		if b.SimCycles != pt.SimCycles || b.Committed != pt.Committed {
+			return fmt.Errorf("%s: simulated results changed: %d cycles / %d committed, baseline %d / %d — timing semantics drifted; if intended, regenerate the baseline",
+				key, pt.SimCycles, pt.Committed, b.SimCycles, b.Committed)
+		}
+	}
+	if len(cur.Points) != len(base.Points) {
+		return fmt.Errorf("point count %d != baseline %d", len(cur.Points), len(base.Points))
+	}
+	floor := base.SuiteT4CyclesPerSec * (1 - tol)
+	if cur.SuiteT4CyclesPerSec < floor {
+		return fmt.Errorf("suite t4 throughput %.0f cycles/s is below %.0f (baseline %.0f, tolerance %.0f%%)",
+			cur.SuiteT4CyclesPerSec, floor, base.SuiteT4CyclesPerSec, tol*100)
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/kernels"
+	"repro/internal/prof"
 	"repro/sdsp"
 )
 
@@ -53,6 +54,9 @@ func main() {
 		fault    = flag.String("fault", "", "apply a deterministic fault schedule to every cell (preset or seed=N,miss=R,...)")
 		sweep    = flag.Bool("faultsweep", false, "run the fault-sweep experiment (shorthand for -exp faultsweep)")
 		crashDir = flag.String("crashdir", "", "write a crash-report bundle here when a cell fails with a machine error")
+		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+		memprof  = flag.String("memprofile", "", "write a pprof live-heap profile to this file after the run")
+		timing   = flag.Bool("timing", false, "stopwatch each pipeline phase in every cell and print the aggregate breakdown to stderr")
 	)
 	flag.Parse()
 
@@ -77,6 +81,7 @@ func main() {
 	runner := experiments.NewRunner(sc)
 	runner.Paranoid = *paranoid
 	runner.CrashDir = *crashDir
+	runner.PhaseTiming = *timing
 	inj, err := sdsp.ParseFaultSpec(*fault)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", err)
@@ -106,9 +111,18 @@ func main() {
 		}
 	}
 
+	stopProf, perr := prof.Start(*cpuprof, *memprof)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", perr)
+		os.Exit(1)
+	}
 	start := time.Now()
 	tables, timings, err := runner.RunExperiments(selected, *jobs)
 	elapsed := time.Since(start)
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", perr)
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", err)
 		os.Exit(1)
@@ -123,6 +137,10 @@ func main() {
 	}
 
 	reportTimings(os.Stderr, timings, elapsed, *jobs, *verbose)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "sdsp-exp: aggregate per-phase wall-clock breakdown (fresh cells only):\n%s",
+			runner.PhaseTotal())
+	}
 
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, *scale, *jobs, selected, runner.Curves, timings, elapsed); err != nil {

@@ -1,0 +1,52 @@
+// sdsp-lint runs the repo-local precedence lints (internal/lint) over
+// one or more directory trees and exits non-zero if any hazard is
+// found. make lint (and CI) run it over the whole repository.
+//
+// Usage:
+//
+//	sdsp-lint            # lint the current directory tree
+//	sdsp-lint ./internal # lint selected trees
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		diags, err := lint.Dir(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdsp-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			// testdata trees hold deliberate hazards for the lint's own
+			// tests; everything else must be clean.
+			if containsTestdata(d.Pos.Filename) {
+				continue
+			}
+			fmt.Println(d)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func containsTestdata(path string) bool {
+	for i := 0; i+8 <= len(path); i++ {
+		if path[i:i+8] == "testdata" {
+			return true
+		}
+	}
+	return false
+}

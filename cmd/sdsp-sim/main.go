@@ -12,6 +12,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/crash"
 	"repro/internal/isa"
+	"repro/internal/prof"
 	"repro/sdsp"
 )
 
@@ -50,6 +52,9 @@ func main() {
 		watchdog   = flag.Int64("watchdog", 0, "deadlock watchdog limit in cycles (0 = default 100000, negative = off)")
 		crashDir   = flag.String("crashdir", ".", "write a crash-report bundle into this directory on a machine error ('' disables)")
 		replayDir  = flag.String("replay", "", "replay a crash-report bundle directory and verify it reproduces the recorded failure")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof live-heap profile to this file after the run")
+		timing     = flag.Bool("timing", false, "stopwatch each pipeline phase and print the wall-share breakdown to stderr")
 	)
 	flag.Parse()
 
@@ -113,6 +118,7 @@ func main() {
 	if *coverFlag {
 		cfg.Coverage = cover.NewSet()
 	}
+	cfg.PhaseTiming = *timing
 
 	var obj *sdsp.Object
 	var err error
@@ -148,7 +154,14 @@ func main() {
 			}
 		}
 	}
+	stopProf, perr := prof.Start(*cpuprofile, *memprofile)
+	if perr != nil {
+		fatal("%v", perr)
+	}
 	st, err := m.Run()
+	if perr := stopProf(); perr != nil {
+		fatal("%v", perr)
+	}
 	if err != nil {
 		var me *core.MachineError
 		if *crashDir != "" && errors.As(err, &me) {
@@ -176,7 +189,10 @@ func main() {
 		fmt.Println("functional verification: OK")
 	}
 
-	printStats(name, cfg, st)
+	printStats(os.Stdout, name, cfg, st)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "per-phase wall-clock breakdown:\n%s", st.PhaseTime)
+	}
 	if st.Coverage != nil {
 		fmt.Println()
 		fmt.Println("microarchitectural event coverage:")
@@ -208,8 +224,11 @@ func replayBundle(dir string) {
 	fmt.Println("replay: identical failure (kind, cycle, thread, pc)")
 }
 
-func printStats(name string, cfg core.Config, st *core.Stats) {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+// printStats renders the run summary. Every map-derived line (the
+// fault-channel breakdown) iterates a sorted name list, never the map
+// itself, so repeated runs render byte-identically.
+func printStats(out io.Writer, name string, cfg core.Config, st *core.Stats) {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	defer w.Flush()
 	fmt.Fprintf(w, "workload\t%s\n", name)
 	fmt.Fprintf(w, "threads\t%d\tfetch policy\t%v\n", cfg.Threads, cfg.FetchPolicy)

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/sdsp"
+)
+
+// TestPrintStatsDeterministic: the fault-channel breakdown comes from
+// Stats.Faults, a map, so a printer ranging over the map directly would
+// emit the channels in a different order on different runs. A faulted
+// run populating several channels must render byte-identically across
+// repeated prints, and again from an independent simulation of the
+// same workload.
+func TestPrintStatsDeterministic(t *testing.T) {
+	run := func() (core.Config, *core.Stats) {
+		t.Helper()
+		obj, err := sdsp.Workload("Matrix", sdsp.WorkloadParams{Threads: 4})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		inj, err := sdsp.ParseFaultSpec("light,seed=7")
+		if err != nil {
+			t.Fatalf("fault spec: %v", err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Threads = 4
+		cfg.Injector = inj
+		m, err := core.New(obj, cfg)
+		if err != nil {
+			t.Fatalf("new machine: %v", err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return cfg, st
+	}
+
+	cfg, st := run()
+	if len(st.Faults) < 2 {
+		t.Fatalf("light fault preset touched only %d channels; need >=2 to exercise map ordering", len(st.Faults))
+	}
+	var first bytes.Buffer
+	printStats(&first, "Matrix", cfg, st)
+	if !strings.Contains(first.String(), "injected faults") {
+		t.Fatalf("fault breakdown missing from stats:\n%s", first.String())
+	}
+	for i := 0; i < 50; i++ {
+		var again bytes.Buffer
+		printStats(&again, "Matrix", cfg, st)
+		if again.String() != first.String() {
+			t.Fatalf("re-render %d differs:\n%s\nvs\n%s", i, again.String(), first.String())
+		}
+	}
+	cfg2, st2 := run()
+	var rerun bytes.Buffer
+	printStats(&rerun, "Matrix", cfg2, st2)
+	if rerun.String() != first.String() {
+		t.Fatalf("independent simulation renders differently:\n%s\nvs\n%s", rerun.String(), first.String())
+	}
+}

@@ -43,7 +43,7 @@ func (a *assembler) encodeStmt(s *stmt) ([]isa.Inst, error) {
 		if err != nil {
 			return nil, err
 		}
-		if val < 0 || val > 1<<31-1 {
+		if val < 0 || val > (1<<31)-1 {
 			return nil, errAt(s.line, "symbolic li value %#x outside 31-bit range", val)
 		}
 		return liAddr(rd, uint32(val)), nil

@@ -47,7 +47,7 @@ func New(entries int) *Predictor { return NewBits(entries, 2) }
 // <= 4). The paper uses 2 bits; 1-bit is the classic last-outcome
 // predictor kept as an ablation.
 func NewBits(entries, bits int) *Predictor {
-	if entries <= 0 || entries&(entries-1) != 0 {
+	if entries <= 0 || (entries&(entries-1)) != 0 {
 		panic("bpred: entry count must be a positive power of two")
 	}
 	if bits < 1 || bits > 4 {
@@ -56,7 +56,7 @@ func NewBits(entries, bits int) *Predictor {
 	return &Predictor{
 		entries: make([]btbEntry, entries),
 		mask:    uint32(entries - 1),
-		max:     uint8(1<<bits - 1),
+		max:     uint8((1 << bits) - 1),
 		taken:   uint8(1 << (bits - 1)),
 	}
 }

@@ -45,7 +45,7 @@ func (c Config) Validate() error {
 	switch {
 	case c.SizeBytes == 0 || c.LineBytes == 0 || c.Ways <= 0:
 		return fmt.Errorf("cache: zero-valued config")
-	case c.LineBytes%4 != 0 || c.LineBytes&(c.LineBytes-1) != 0:
+	case c.LineBytes%4 != 0 || (c.LineBytes&(c.LineBytes-1)) != 0:
 		return fmt.Errorf("cache: line size %d must be a power-of-two multiple of 4", c.LineBytes)
 	case c.SizeBytes%(c.LineBytes*uint32(c.Ways)) != 0:
 		return fmt.Errorf("cache: size %d not divisible by line size %d times %d ways", c.SizeBytes, c.LineBytes, c.Ways)
@@ -53,7 +53,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cache: negative port count %d", c.Ports)
 	}
 	nsets := c.SizeBytes / c.LineBytes / uint32(c.Ways)
-	if nsets&(nsets-1) != 0 {
+	if (nsets & (nsets - 1)) != 0 {
 		return fmt.Errorf("cache: set count %d must be a power of two", nsets)
 	}
 	return nil

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cover"
+)
+
+// allocWorkload is a never-halting four-thread program that keeps every
+// hot-path structure busy: each thread walks a private array slice doing
+// load → add → store → branch, so the steady state exercises fetch,
+// dispatch, rename, issue, the store buffer (with forwarding candidates),
+// the drain queue, writeback, and commit indefinitely. Threads never
+// halt, so the machine can be stepped for as many cycles as a
+// measurement needs.
+const allocWorkload = `
+	main:  li   r3, data        ; base address
+	       slli r4, r1, 4       ; thread offset: tid * 16 bytes
+	       add  r3, r3, r4
+	loop:  lw   r5, 0(r3)
+	       addi r5, r5, 1
+	       sw   r5, 0(r3)
+	       lw   r6, 4(r3)
+	       add  r6, r6, r5
+	       sw   r6, 4(r3)
+	       andi r7, r5, 3
+	       beq  r7, r0, skip    ; data-dependent branch: sometimes mispredicts
+	       addi r8, r8, 1
+	skip:  b    loop
+	.data
+	data:  .word 0, 0, 0, 0
+	       .word 0, 0, 0, 0
+	       .word 0, 0, 0, 0
+	       .word 0, 0, 0, 0
+`
+
+// warmMachine builds a machine running allocWorkload and steps it past
+// the cold-start phase (pool growth, predictor training, coverage map
+// population) so that subsequent cycles measure the steady state.
+func warmMachine(t testing.TB, cfg Config) *Machine {
+	t.Helper()
+	obj, err := asm.Assemble(allocWorkload)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	m, err := New(obj, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 5000; i++ {
+		m.Cycle()
+	}
+	if m.fault != nil {
+		t.Fatalf("warm-up faulted: %v", m.fault)
+	}
+	return m
+}
+
+// allocsPerCycle reports the average allocations per simulated cycle of
+// a warm machine, measured over batches of 500 cycles.
+func allocsPerCycle(m *Machine) float64 {
+	const batch = 500
+	return testing.AllocsPerRun(10, func() {
+		for i := 0; i < batch; i++ {
+			m.Cycle()
+		}
+	}) / batch
+}
+
+// TestCycleAllocFree asserts the tentpole property: a warm machine under
+// the default configuration allocates nothing per cycle. Any regression
+// here means a hot-path structure escaped the pools in pool.go.
+func TestCycleAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 0
+	m := warmMachine(t, cfg)
+	if got := allocsPerCycle(m); got != 0 {
+		t.Errorf("warm Cycle allocates %.4f objects/cycle, want 0", got)
+	}
+}
+
+// TestCycleAllocFreeWithCoverage asserts the same property with event
+// coverage enabled: cover.Set.Hit is array-indexed, and the two lazy
+// coverage maps (thread-occupancy pairs, trained BTB entries) stop
+// growing once the finite key space of a steady-state loop is populated.
+func TestCycleAllocFreeWithCoverage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 0
+	cfg.Coverage = cover.NewSet()
+	m := warmMachine(t, cfg)
+	if got := allocsPerCycle(m); got != 0 {
+		t.Errorf("warm Cycle with coverage allocates %.4f objects/cycle, want 0", got)
+	}
+}
+
+// TestCycleAllocParanoidBudget documents the paranoid-mode allocation
+// budget. CheckInvariants walks the whole machine each cycle building
+// tag/address sets in fresh maps, so it allocates by design; this test
+// pins the measured budget (~10 allocs/cycle on the reference workload,
+// see docs/PERFORMANCE.md) so an accidental order-of-magnitude
+// regression — e.g. a quadratic re-walk — still fails loudly.
+func TestCycleAllocParanoidBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 0
+	cfg.CheckInvariants = true
+	m := warmMachine(t, cfg)
+	got := allocsPerCycle(m)
+	t.Logf("paranoid mode: %.2f allocs/cycle", got)
+	if got > 60 {
+		t.Errorf("paranoid Cycle allocates %.2f objects/cycle, budget 60", got)
+	}
+}

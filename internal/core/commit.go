@@ -113,7 +113,9 @@ func (m *Machine) commit() {
 			return
 		}
 	}
-	m.trace("commit   t%d block from window slot %d", b.thread, chosen)
+	if m.Trace != nil {
+		m.trace("commit   t%d block from window slot %d", b.thread, chosen)
+	}
 	for _, e := range b.entries {
 		if e == nil || !e.valid || e.squashed {
 			continue
@@ -124,6 +126,12 @@ func (m *Machine) commit() {
 		}
 	}
 	m.su = append(m.su[:chosen], m.su[chosen+1:]...)
+	for _, e := range b.entries {
+		if e != nil {
+			m.release(e) // drop the block's reference
+		}
+	}
+	m.freeBlock(b)
 	m.lastProgress = m.now
 }
 

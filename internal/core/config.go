@@ -171,6 +171,13 @@ type Config struct {
 	// exposed as -paranoid on the CLIs.
 	CheckInvariants bool
 
+	// PhaseTiming enables the per-phase wall-clock breakdown: each stage
+	// of Cycle is stopwatched and the totals surface as Stats.PhaseTime.
+	// Purely observational — simulated timing is unaffected — but the
+	// timer reads roughly double the per-cycle host cost, so it is off by
+	// default and exposed as -timing on the CLIs.
+	PhaseTiming bool
+
 	// Injector, when non-nil, applies a deterministic fault schedule of
 	// timing-only perturbations (forced cache miss delays, predictor
 	// counter flips, writeback delays, spurious squashes). Architectural
@@ -222,7 +229,7 @@ func (c *Config) Validate() error {
 		// A block with BlockSize stores can only commit once all of them
 		// are buffered, so smaller buffers deadlock by construction.
 		return fmt.Errorf("core: store buffer %d must be at least %d", c.StoreBuffer, BlockSize)
-	case c.BTBEntries < 1 || c.BTBEntries&(c.BTBEntries-1) != 0:
+	case c.BTBEntries < 1 || (c.BTBEntries&(c.BTBEntries-1)) != 0:
 		return fmt.Errorf("core: BTB entries %d must be a power of two", c.BTBEntries)
 	case c.CommitWindow < 1:
 		return fmt.Errorf("core: commit window %d", c.CommitWindow)

@@ -29,9 +29,22 @@ type Machine struct {
 	regs [isa.NumPhysRegs]uint32
 
 	// Scheduling unit: su[0] is the bottom (oldest) block.
-	su      []*block
-	suCap   int // capacity in blocks
-	nextTag uint64
+	su          []*block
+	suCap       int // capacity in blocks
+	nextTag     uint64
+	nextBlockID uint64
+
+	// Hot-path free lists and scratch buffers (see pool.go). The cycle
+	// loop is allocation-free once warm: entries, blocks, and store ops
+	// recycle through the free lists, and the per-stage scratch slices
+	// keep their capacity between cycles.
+	entryFree   []*suEntry
+	blockFree   []*block
+	storeOpFree []*storeOp
+	fbuf        fetchBlock // the single decode latch, reused across fetches
+	wbDue       []*suEntry // writeback: completions due this cycle
+	fwdCands    []*suEntry // forwardFromStore: candidate older stores
+	icountOcc   []int      // ICount policy: per-thread in-flight counts
 
 	// Front end.
 	latch        *fetchBlock
@@ -56,6 +69,9 @@ type Machine struct {
 	now   uint64
 	stats Stats
 
+	// Wall-clock accounting per pipeline phase (Config.PhaseTiming).
+	phaseTime PhaseTimes
+
 	// Robustness layer (see docs/ROBUSTNESS.md).
 	fault        *MachineError // first structured fault; freezes the machine
 	lastProgress uint64        // last cycle a block committed or a store drained
@@ -64,13 +80,13 @@ type Machine struct {
 
 	// Coverage layer (see internal/cover); all nil/empty when disabled.
 	cov          *cover.Set
-	covFLDWAddr  []uint32        // per-thread: last FLDW address
-	covFLDWVal   []uint32        // per-thread: last FLDW value read
-	covFLDWSeen  []bool          // per-thread: covFLDWAddr/Val are valid
-	covFAIAddr   uint32          // last FAI address machine-wide
-	covFAIThread int             // thread of the last FAI, or -1
-	covBTBTrain  map[uint32]int  // shared-BTB trainer thread per branch PC
-	covThreadOcc []int           // per-thread SU occupancy scratch
+	covFLDWAddr  []uint32       // per-thread: last FLDW address
+	covFLDWVal   []uint32       // per-thread: last FLDW value read
+	covFLDWSeen  []bool         // per-thread: covFLDWAddr/Val are valid
+	covFAIAddr   uint32         // last FAI address machine-wide
+	covFAIThread int            // thread of the last FAI, or -1
+	covBTBTrain  map[uint32]int // shared-BTB trainer thread per branch PC
+	covThreadOcc []int          // per-thread SU occupancy scratch
 
 	// Trace, when set, receives one line per pipeline event (fetch,
 	// dispatch, issue, writeback, mispredict, commit), prefixed with the
@@ -132,6 +148,9 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 		halted:       make([]bool, cfg.Threads),
 		maskedThread: -1,
 		pools:        newPools(cfg.FUs),
+	}
+	if cfg.FetchPolicy == ICount {
+		m.icountOcc = make([]int, cfg.Threads)
 	}
 	if cfg.ICache != nil {
 		m.icache = cache.New(*cfg.ICache, m0)
@@ -248,6 +267,7 @@ func (m *Machine) finishStats() {
 	}
 	m.stats.Sync = m.sync.Stats()
 	m.stats.Coverage = m.cov
+	m.stats.PhaseTime = m.phaseTime
 	for cl := range m.pools {
 		for u := range m.pools[cl].units {
 			m.stats.FUUsage[cl][u] = m.pools[cl].units[u].usedCyc
@@ -260,6 +280,10 @@ func (m *Machine) finishStats() {
 // check Err between cycles when driving the clock by hand.
 func (m *Machine) Cycle() {
 	if m.fault != nil {
+		return
+	}
+	if m.cfg.PhaseTiming {
+		m.cycleTimed()
 		return
 	}
 	m.now++

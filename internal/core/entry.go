@@ -26,10 +26,20 @@ type operand struct {
 
 // suEntry is one instruction's scheduling unit slot. All cross-stage
 // state lives here; stages communicate only through these entries.
+//
+// Entries are pool-allocated (see pool.go): refs counts the containers
+// that may still reach the entry — its block while that block sits in
+// the SU, the completion queue, the pending-load list, and a store
+// buffer slot — and the entry returns to the free list when the last
+// reference is dropped. blkID is the owning block's unique id; same-
+// block checks against entries whose block has already committed (and
+// possibly been recycled) must compare blkID, never the blk pointer.
 type suEntry struct {
 	valid    bool // false: empty fetch slot or squashed hole
 	squashed bool
 	blk      *block // owning block (same-block forwarding checks)
+	blkID    uint64 // owning block's unique id (stable across pooling)
+	refs     int8   // live container references; 0 returns the entry to the pool
 	tag      uint64
 	thread   int
 	pc       uint32
@@ -86,9 +96,11 @@ func (e *suEntry) ready(now uint64) bool {
 
 // block is a fetch-aligned group of BlockSize entries, all from one
 // thread. Invalid slots are holes (pre-PC slots, post-taken-branch
-// slots, or squashed instructions).
+// slots, or squashed instructions). id is unique for the machine's
+// lifetime even though the block struct itself is pooled.
 type block struct {
 	thread  int
+	id      uint64
 	entries [BlockSize]*suEntry
 }
 

@@ -106,7 +106,7 @@ xs: .word 5
 	if me.Thread != 0 {
 		t.Errorf("fault attributed to thread %d, want 0", me.Thread)
 	}
-	if me.Addr&3 != 1 {
+	if (me.Addr & 3) != 1 {
 		t.Errorf("fault addr %#x, want the unaligned xs+1", me.Addr)
 	}
 	if me.PC == 0 {
@@ -135,7 +135,7 @@ xs: .word 0
 	if me.Kind != FaultMem {
 		t.Fatalf("kind = %v, want memory fault: %v", me.Kind, me)
 	}
-	if me.Addr&3 != 2 {
+	if (me.Addr & 3) != 2 {
 		t.Errorf("fault addr %#x, want the unaligned xs+2", me.Addr)
 	}
 }

@@ -34,7 +34,9 @@ func (m *Machine) fetch() {
 	if inj := m.cfg.Injector; inj != nil && inj.FetchMisdecide(m.now) {
 		if alt := m.nextEligibleAfter(t); alt != t {
 			m.stats.Faults.Add(ChanFetchMisdecide)
-			m.trace("fetch misdecide t%d -> t%d (injected)", t, alt)
+			if m.Trace != nil {
+				m.trace("fetch misdecide t%d -> t%d (injected)", t, alt)
+			}
 			t = alt
 		}
 	}
@@ -103,7 +105,10 @@ func (m *Machine) selectThread() int {
 		// Judicious fetch: favour the eligible thread with the fewest
 		// instructions in flight, so a stalled thread stops consuming
 		// fetch slots and window space. Ties rotate round-robin.
-		counts := make([]int, n)
+		counts := m.icountOcc
+		for i := range counts {
+			counts[i] = 0
+		}
 		for _, b := range m.su {
 			for _, e := range b.entries {
 				if e != nil && e.valid && !e.squashed {
@@ -183,7 +188,11 @@ func (m *Machine) fetchBlockFor(t int) {
 	if m.cov != nil && pc != base {
 		m.cov.Hit(cover.EvFetchPartialBlock)
 	}
-	fb := &fetchBlock{thread: t}
+	// The machine holds at most one latch, so the decode buffer is a
+	// single reused struct; reset it fully (a squash may have killed a
+	// previous latch mid-flight, leaving stale slots behind).
+	fb := &m.fbuf
+	*fb = fetchBlock{thread: t}
 	next := base + BlockSize*4
 	anyValid := false
 	for s := 0; s < BlockSize; s++ {
@@ -231,7 +240,9 @@ func (m *Machine) fetchBlockFor(t int) {
 		return // wrong-path fetch produced nothing; PC still advances
 	}
 	m.latch = fb
-	m.trace("fetch   t%d block @%#x (next pc %#x)", t, base, next)
+	if m.Trace != nil {
+		m.trace("fetch   t%d block @%#x (next pc %#x)", t, base, next)
+	}
 	m.stats.FetchedBlocks++
 	for s := 0; s < BlockSize; s++ {
 		if fb.valid[s] {
@@ -297,7 +308,7 @@ func (m *Machine) dispatch() {
 		}
 	}
 
-	b := &block{thread: fb.thread}
+	b := m.newBlock(fb.thread)
 	trigger := false
 	for s := 0; s < BlockSize; s++ {
 		if !fb.valid[s] {
@@ -305,17 +316,17 @@ func (m *Machine) dispatch() {
 		}
 		in := fb.insts[s]
 		m.nextTag++
-		e := &suEntry{
-			valid:      true,
-			tag:        m.nextTag,
-			thread:     fb.thread,
-			pc:         fb.pcs[s],
-			inst:       in,
-			predTaken:  fb.pred[s].taken,
-			predTarget: fb.pred[s].target,
-		}
+		e := m.newEntry()
+		e.valid = true
+		e.tag = m.nextTag
+		e.thread = fb.thread
+		e.pc = fb.pcs[s]
+		e.inst = in
+		e.predTaken = fb.pred[s].taken
+		e.predTarget = fb.pred[s].target
 		m.renameSources(e, b)
 		e.blk = b
+		e.blkID = b.id
 		b.entries[s] = e
 		if in.Op.WritesRd() && in.Rd != 0 {
 			if p := m.physReg(fb.thread, in.Rd); p >= 0 {

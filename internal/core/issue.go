@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/cache"
 	"repro/internal/cover"
 	"repro/internal/isa"
@@ -30,7 +28,9 @@ scan:
 				continue
 			}
 			if m.tryIssue(e) {
-				m.trace("issue    %v -> %v unit %d", e, e.inst.Op.FUClass(), e.fuUnit)
+				if m.Trace != nil {
+					m.trace("issue    %v -> %v unit %d", e, e.inst.Op.FUClass(), e.fuUnit)
+				}
 				issued++
 				if firstThread < 0 {
 					firstThread = e.thread
@@ -90,7 +90,9 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			// store→load alias deadlocks (the load waits for the drain,
 			// the drain waits for commit, commit waits for the load); a
 			// cross-block alias waits for the drain as the paper says.
-			if !m.cfg.StoreForwarding && src.blk != e.blk {
+			// Block identity is compared by id: a committed store's block
+			// has left the SU and its struct may already be recycled.
+			if !m.cfg.StoreForwarding && src.blkID != e.blkID {
 				m.stats.LoadBlocked++
 				if m.cov != nil {
 					m.cov.Hit(cover.EvLoadBlockedCrossAlias)
@@ -111,10 +113,11 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			e.addrValid = true
 			e.result = v
 			e.completeAt = pool.issue(unit, m.now)
+			m.retain(e)
 			m.completions = append(m.completions, e)
 			m.stats.LoadsForwarded++
 			if m.cov != nil {
-				if src.blk == e.blk {
+				if src.blkID == e.blkID {
 					m.cov.Hit(cover.EvLoadForwardSameBlock)
 				} else {
 					m.cov.Hit(cover.EvLoadForwardCross)
@@ -176,7 +179,9 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 				e.syncRolled = true
 				if d := m.sync.GrantDelay(m.now, addr, op == isa.FAI); d > 0 {
 					e.syncHoldUntil = m.now + d
-					m.trace("sync hold %v for %d cycles (injected)", e, d)
+					if m.Trace != nil {
+						m.trace("sync hold %v for %d cycles (injected)", e, d)
+					}
 					return false
 				}
 			}
@@ -184,11 +189,13 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 				e.syncWoken = true
 				if m.cfg.Injector.SpuriousWakeup(m.now, e.tag) {
 					m.stats.Faults.Add(ChanSyncWakeup)
-					if loader.IsFlagAddr(addr) && addr&3 == 0 {
+					if loader.IsFlagAddr(addr) && (addr&3) == 0 {
 						_, _ = m.sync.Read(addr) // woken early: read and discard
 					}
 					e.syncHoldUntil = m.now + spuriousWakeupBackoff
-					m.trace("spurious wakeup %v (injected)", e)
+					if m.Trace != nil {
+						m.trace("spurious wakeup %v (injected)", e)
+					}
 					return false
 				}
 			}
@@ -213,7 +220,7 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 	case isa.ClassLoad:
 		e.addr = isa.EffAddr(a, e.inst.Imm)
 		e.addrValid = true
-		if !loader.IsDataAddr(e.addr) || e.addr&3 != 0 {
+		if !loader.IsDataAddr(e.addr) || (e.addr&3) != 0 {
 			// Wrong-path garbage address: complete with a dummy value and
 			// flag it; committing such a load is a program error.
 			e.badAddr = true
@@ -222,12 +229,14 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 				m.cov.Hit(cover.EvBadAddrSpeculative)
 			}
 			e.completeAt = pool.issue(unit, m.now)
+			m.retain(e)
 			m.completions = append(m.completions, e)
 			return true
 		}
 		// The load holds its unit until the cache responds.
 		pool.issue(unit, m.now)
 		pool.hold(unit, e)
+		m.retain(e)
 		m.pendingLoads = append(m.pendingLoads, e)
 		return true
 
@@ -236,14 +245,15 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		e.addrValid = true
 		e.storeData = bv // FmtB: src[1] is rs2, the store data
 		wantFlag := op == isa.FSTW
-		if wantFlag != loader.IsFlagAddr(e.addr) || e.addr&3 != 0 {
+		if wantFlag != loader.IsFlagAddr(e.addr) || (e.addr&3) != 0 {
 			e.badAddr = true
 			if m.cov != nil {
 				m.cov.Hit(cover.EvBadAddrSpeculative)
 			}
 		}
 		e.completeAt = pool.issue(unit, m.now)
-		m.storeBuf = append(m.storeBuf, &storeOp{entry: e})
+		m.storeBuf = append(m.storeBuf, m.newStoreOp(e))
+		m.retain(e)
 		m.completions = append(m.completions, e)
 		if m.cov != nil && len(m.storeBuf) == m.cfg.StoreBuffer {
 			m.cov.Hit(cover.EvStoreBufferSaturated)
@@ -253,7 +263,7 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 	case isa.ClassSync:
 		e.addr = isa.EffAddr(a, e.inst.Imm)
 		e.addrValid = true
-		if !loader.IsFlagAddr(e.addr) || e.addr&3 != 0 {
+		if !loader.IsFlagAddr(e.addr) || (e.addr&3) != 0 {
 			e.badAddr = true
 			e.result = 0
 			if m.cov != nil {
@@ -283,12 +293,14 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			}
 		}
 		e.completeAt = pool.issue(unit, m.now)
+		m.retain(e)
 		m.completions = append(m.completions, e)
 		return true
 
 	case isa.ClassCT:
 		m.resolveCT(e, a)
 		e.completeAt = pool.issue(unit, m.now)
+		m.retain(e)
 		m.completions = append(m.completions, e)
 		return true
 	}
@@ -306,6 +318,7 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		e.result = isa.EvalOp(op, a, bv)
 	}
 	e.completeAt = pool.issue(unit, m.now)
+	m.retain(e)
 	m.completions = append(m.completions, e)
 	return true
 }
@@ -378,7 +391,7 @@ func (m *Machine) olderUnresolvedCT(e *suEntry) bool {
 // older store's address or data is still unknown, so the load cannot
 // issue yet either way.
 func (m *Machine) forwardFromStore(e *suEntry, addr uint32) (value uint32, src *suEntry, blocked bool) {
-	var cands []*suEntry
+	cands := m.fwdCands[:0]
 	for _, b := range m.su {
 		if b.thread != e.thread {
 			continue
@@ -396,7 +409,8 @@ func (m *Machine) forwardFromStore(e *suEntry, addr uint32) (value uint32, src *
 			cands = append(cands, so.entry)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].tag > cands[j].tag })
+	m.fwdCands = cands
+	sortEntriesByTagDesc(cands)
 	for _, s := range cands {
 		saddr := s.addr
 		if !s.addrValid {
@@ -472,6 +486,7 @@ func (m *Machine) serviceLoads() {
 	for _, e := range m.pendingLoads {
 		if e.squashed {
 			pool.release(e.fuUnit)
+			m.release(e)
 			continue
 		}
 		v, res := m.dcache.Read(e.addr, m.now, !e.counted)
@@ -518,8 +533,9 @@ func (m *Machine) drainStores() {
 		}
 	}
 	so.drained = true
-	m.drainQueue = m.drainQueue[1:]
+	m.popDrainQueue()
 	m.removeFromStoreBuf(so)
+	m.freeStoreOp(so)
 	m.lastProgress = m.now
 }
 

@@ -1,0 +1,136 @@
+package core
+
+// Object pooling for the per-cycle hot path. The steady-state cycle
+// loop allocates nothing: scheduling-unit entries, blocks, store
+// buffer slots, and the fetch latch are all recycled through per-
+// machine free lists (TestCycleAllocFree asserts zero allocs/cycle for
+// a warm machine, and docs/PERFORMANCE.md records the budgets).
+//
+// Lifetimes are tracked with a per-entry reference count rather than
+// ownership by a single stage, because an suEntry can outlive its
+// block (a committed store's entry stays reachable through its store
+// buffer slot until the drain; a squashed entry stays reachable
+// through the completion queue or pending-load list until lazily
+// dropped). The holders are exactly:
+//
+//   - the owning block, while that block sits in the SU
+//     (dropped for every slot when commit pops the block);
+//   - m.completions (dropped when writeback consumes or discards it);
+//   - m.pendingLoads (dropped when serviceLoads retires or discards it);
+//   - a storeOp, from issue until the slot itself is freed.
+//
+// Pooled memory is recycled only through these counts, so no stage can
+// observe a stale entry; block identity across recycling is compared
+// via blkID (see entry.go).
+
+// newEntry returns a zeroed entry holding one reference (the block's).
+func (m *Machine) newEntry() *suEntry {
+	n := len(m.entryFree)
+	if n == 0 {
+		return &suEntry{refs: 1}
+	}
+	e := m.entryFree[n-1]
+	m.entryFree = m.entryFree[:n-1]
+	*e = suEntry{refs: 1}
+	return e
+}
+
+// retain adds a container reference to e.
+func (m *Machine) retain(e *suEntry) { e.refs++ }
+
+// release drops one container reference; the last one returns e to the
+// free list. A faulted machine stops recycling so the MachineError
+// snapshot (and any debugger poking at the wreck) sees frozen state.
+func (m *Machine) release(e *suEntry) {
+	e.refs--
+	if e.refs == 0 && m.fault == nil {
+		e.blk = nil
+		m.entryFree = append(m.entryFree, e)
+	}
+}
+
+// newBlock returns a zeroed block with a fresh unique id.
+func (m *Machine) newBlock(thread int) *block {
+	m.nextBlockID++
+	n := len(m.blockFree)
+	if n == 0 {
+		return &block{thread: thread, id: m.nextBlockID}
+	}
+	b := m.blockFree[n-1]
+	m.blockFree = m.blockFree[:n-1]
+	*b = block{thread: thread, id: m.nextBlockID}
+	return b
+}
+
+// freeBlock recycles a block popped from the SU. Its entries must have
+// had their block references dropped already.
+func (m *Machine) freeBlock(b *block) {
+	if m.fault == nil {
+		m.blockFree = append(m.blockFree, b)
+	}
+}
+
+// newStoreOp returns a zeroed store buffer slot for e, taking a
+// reference on the entry for the slot's lifetime.
+func (m *Machine) newStoreOp(e *suEntry) *storeOp {
+	m.retain(e)
+	n := len(m.storeOpFree)
+	if n == 0 {
+		return &storeOp{entry: e}
+	}
+	so := m.storeOpFree[n-1]
+	m.storeOpFree = m.storeOpFree[:n-1]
+	*so = storeOp{entry: e}
+	return so
+}
+
+// freeStoreOp recycles a slot (drained, or squash-killed before
+// commit) and drops its entry reference.
+func (m *Machine) freeStoreOp(so *storeOp) {
+	e := so.entry
+	if m.fault == nil {
+		so.entry = nil
+		m.storeOpFree = append(m.storeOpFree, so)
+	}
+	m.release(e)
+}
+
+// popDrainQueue removes the head of the drain queue without abandoning
+// the backing array's prefix (a plain q = q[1:] walks the array and
+// forces append to reallocate — a steady-state allocation).
+func (m *Machine) popDrainQueue() {
+	copy(m.drainQueue, m.drainQueue[1:])
+	m.drainQueue[len(m.drainQueue)-1] = nil
+	m.drainQueue = m.drainQueue[:len(m.drainQueue)-1]
+}
+
+// sortEntriesByTag orders entries by ascending renaming tag. Tags are
+// unique, so this is deterministic; insertion sort keeps the hot path
+// allocation-free (sort.Slice's reflection header escapes) and the
+// slices here are tiny (bounded by the writeback width or the store
+// buffer depth).
+func sortEntriesByTag(es []*suEntry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].tag > e.tag {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}
+
+// sortEntriesByTagDesc orders entries by descending renaming tag
+// (youngest first), as store-forwarding candidate scans need.
+func sortEntriesByTagDesc(es []*suEntry) {
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].tag < e.tag {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}

@@ -46,6 +46,10 @@ type Stats struct {
 	// Coverage is the run's microarchitectural event counters — the same
 	// Set passed as Config.Coverage, or nil when coverage was disabled.
 	Coverage *cover.Set
+
+	// PhaseTime is the wall-clock breakdown per pipeline phase, all-zero
+	// unless Config.PhaseTiming was set (the CLIs' -timing flag).
+	PhaseTime PhaseTimes
 }
 
 // IPC returns committed instructions per cycle.

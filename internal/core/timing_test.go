@@ -1,0 +1,50 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPhaseTimingNeutral asserts that the -timing stopwatch is purely
+// observational: the same program on the same configuration simulates
+// the exact same number of cycles with and without PhaseTiming, while
+// the timed run surfaces a non-zero breakdown covering every cycle.
+func TestPhaseTimingNeutral(t *testing.T) {
+	src := `
+		main:  addi r3, r0, 40
+		loop:  addi r4, r4, 3
+		       sw   r4, 0(r5)
+		       lw   r6, 0(r5)
+		       addi r3, r3, -1
+		       bne  r3, r0, loop
+		       halt
+		.data
+		       .word 0
+	`
+	_, plain := runSrc(t, src, 1)
+	cfg := DefaultConfig()
+	cfg.Threads = 1
+	cfg.MaxCycles = 2_000_000
+	cfg.PhaseTiming = true
+	_, timed := runSrcCfg(t, src, cfg)
+
+	if plain.Cycles != timed.Cycles {
+		t.Errorf("PhaseTiming changed simulated cycles: %d != %d", timed.Cycles, plain.Cycles)
+	}
+	if plain.Committed != timed.Committed {
+		t.Errorf("PhaseTiming changed committed count: %d != %d", timed.Committed, plain.Committed)
+	}
+	if plain.PhaseTime.Total() != 0 {
+		t.Errorf("untimed run has PhaseTime %v, want zero", plain.PhaseTime)
+	}
+	if timed.PhaseTime.Total() <= 0 {
+		t.Errorf("timed run has no PhaseTime (total %v)", timed.PhaseTime.Total())
+	}
+
+	out := timed.PhaseTime.String()
+	for p := Phase(0); p < NumPhases; p++ {
+		if !strings.Contains(out, p.String()) {
+			t.Errorf("breakdown missing phase %q:\n%s", p, out)
+		}
+	}
+}

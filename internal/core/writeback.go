@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/cover"
 	"repro/internal/isa"
 )
@@ -16,11 +14,12 @@ func (m *Machine) writeback() {
 	}
 	// Gather completions due this cycle, oldest first for determinism
 	// (and so an older mispredict squashes younger CTs before they act).
-	var due []*suEntry
+	due := m.wbDue[:0]
 	rest := m.completions[:0]
 	for _, e := range m.completions {
 		if e.squashed {
-			continue // dropped; its block slot is a hole
+			m.release(e) // dropped; its block slot is a hole
+			continue
 		}
 		if e.completeAt <= m.now {
 			// Fault injection: hold the result off the writeback bus for a
@@ -39,7 +38,8 @@ func (m *Machine) writeback() {
 			rest = append(rest, e)
 		}
 	}
-	sort.Slice(due, func(i, j int) bool { return due[i].tag < due[j].tag })
+	m.wbDue = due
+	sortEntriesByTag(due)
 	if len(due) > m.cfg.WritebackWidth {
 		rest = append(rest, due[m.cfg.WritebackWidth:]...)
 		due = due[:m.cfg.WritebackWidth]
@@ -51,11 +51,14 @@ func (m *Machine) writeback() {
 
 	for _, e := range due {
 		if e.squashed {
-			continue // squashed by an older CT written back just before
+			m.release(e) // squashed by an older CT written back just before
+			continue
 		}
 		e.state = stDone
 		e.wbCycle = m.now
-		m.trace("wb       %v = %#x", e, e.result)
+		if m.Trace != nil {
+			m.trace("wb       %v = %#x", e, e.result)
+		}
 		if e.writesReg() {
 			m.broadcast(e)
 			if p := m.physReg(e.thread, e.inst.Rd); p >= 0 && m.busyReg[p] == e.tag+1 {
@@ -66,6 +69,7 @@ func (m *Machine) writeback() {
 			e.resolved = true
 			m.handleResolvedCT(e)
 		}
+		m.release(e) // consumed from the completion queue
 	}
 }
 
@@ -104,7 +108,9 @@ func (m *Machine) handleResolvedCT(e *suEntry) {
 		// so the squash-and-refetch is timing-only.
 		if inj := m.cfg.Injector; inj != nil && inj.SpuriousSquash(m.now, e.tag) {
 			m.stats.Faults.Add(ChanSpuriousSquash)
-			m.trace("spurious squash %v (injected)", e)
+			if m.Trace != nil {
+				m.trace("spurious squash %v (injected)", e)
+			}
 			m.squashYounger(e)
 			if e.actualTaken {
 				m.pc[e.thread] = e.actualTarget
@@ -119,7 +125,9 @@ func (m *Machine) handleResolvedCT(e *suEntry) {
 	if m.cov != nil {
 		m.cov.Hit(cover.EvMispredictSquash)
 	}
-	m.trace("mispredict %v (actual taken=%v target=%#x)", e, e.actualTaken, e.actualTarget)
+	if m.Trace != nil {
+		m.trace("mispredict %v (actual taken=%v target=%#x)", e, e.actualTaken, e.actualTarget)
+	}
 	m.squashYounger(e)
 	// Redirect the thread; the corrected PC is visible to fetch this
 	// cycle (the IU receives the resolution on the writeback bus).
@@ -196,6 +204,7 @@ func (m *Machine) squashYounger(ct *suEntry) {
 			if m.cov != nil {
 				m.cov.Hit(cover.EvSquashKilledStore)
 			}
+			m.freeStoreOp(so)
 			continue
 		}
 		keep = append(keep, so)

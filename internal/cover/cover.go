@@ -32,18 +32,18 @@ type Event uint8
 // The event vocabulary, grouped by the pipeline stage that detects it.
 const (
 	// Front end (fetch/dispatch).
-	EvFetchIdle          Event = iota // no thread could fetch this cycle
-	EvFetchWrongPath                  // a fetched block held no valid instruction (wrong-path beyond text)
-	EvFetchTakenTrunc                 // a predicted-taken CT truncated the fetch block
-	EvFetchHaltStop                   // predecode stopped a thread's fetch at HALT
-	EvFetchPartialBlock               // fetch entered an aligned block mid-way (pre-PC slots wasted)
-	EvFetchMaskedSkip                 // MaskedRR skipped the thread stalling the bottom block
-	EvFetchCondRotate                 // CondSwitch rotated threads on a decode trigger
-	EvFetchICountSteer                // ICount steered fetch away from a fuller thread
-	EvICacheMissStall                 // instruction cache miss stalled fetch
-	EvDispatchStallFull               // dispatch stalled on a full scheduling unit
-	EvDispatchWAWStall                // scoreboard mode: dispatch stalled on a busy destination register
-	EvBTBCrossThreadHit               // shared-BTB lookup hit an entry last trained by another thread
+	EvFetchIdle         Event = iota // no thread could fetch this cycle
+	EvFetchWrongPath                 // a fetched block held no valid instruction (wrong-path beyond text)
+	EvFetchTakenTrunc                // a predicted-taken CT truncated the fetch block
+	EvFetchHaltStop                  // predecode stopped a thread's fetch at HALT
+	EvFetchPartialBlock              // fetch entered an aligned block mid-way (pre-PC slots wasted)
+	EvFetchMaskedSkip                // MaskedRR skipped the thread stalling the bottom block
+	EvFetchCondRotate                // CondSwitch rotated threads on a decode trigger
+	EvFetchICountSteer               // ICount steered fetch away from a fuller thread
+	EvICacheMissStall                // instruction cache miss stalled fetch
+	EvDispatchStallFull              // dispatch stalled on a full scheduling unit
+	EvDispatchWAWStall               // scoreboard mode: dispatch stalled on a busy destination register
+	EvBTBCrossThreadHit              // shared-BTB lookup hit an entry last trained by another thread
 
 	// Issue.
 	EvIssueWidthSaturated   // a cycle issued the full issue width
@@ -61,13 +61,13 @@ const (
 	EvBadAddrSpeculative    // a wrong-path memory reference computed an illegal address
 
 	// Writeback and selective squash.
-	EvWritebackSaturated  // more results were due than the writeback width
-	EvMispredictSquash    // mispredict recovery fired
-	EvSquashSurvivors     // a selective squash spared >= 4 older same-thread entries
-	EvSquashSparesOthers  // a squash left other threads' entries untouched in the SU
-	EvSquashKilledStore   // a squash freed an uncommitted store-buffer slot
-	EvSquashKilledLatch   // a squash dropped the fetch latch
-	EvSquashRevivedFetch  // a squash re-enabled a fetch stopped at HALT
+	EvWritebackSaturated // more results were due than the writeback width
+	EvMispredictSquash   // mispredict recovery fired
+	EvSquashSurvivors    // a selective squash spared >= 4 older same-thread entries
+	EvSquashSparesOthers // a squash left other threads' entries untouched in the SU
+	EvSquashKilledStore  // a squash freed an uncommitted store-buffer slot
+	EvSquashKilledLatch  // a squash dropped the fetch latch
+	EvSquashRevivedFetch // a squash re-enabled a fetch stopped at HALT
 
 	// Commit.
 	EvCommitBottom       // a block committed from the bottom slot
@@ -86,14 +86,14 @@ const (
 	EvStoreDrainBlocked  // a committed store's drain was rejected by the cache
 
 	// Synchronization.
-	EvFLDWSleep    // a thread re-read a flag and saw the same value (spin/sleep)
-	EvFLDWWake     // a thread re-read a flag and saw a new value (wake)
+	EvFLDWSleep     // a thread re-read a flag and saw the same value (spin/sleep)
+	EvFLDWWake      // a thread re-read a flag and saw a new value (wake)
 	EvFAIContention // consecutive FAIs on one address came from different threads
 	EvFlagHandoff   // a flag write landed on an address read since its last write
 
 	// Whole-machine, sampled per cycle.
-	EvSUEmptyBubble  // the SU was empty while unhalted threads remained
-	EvThreadStarved  // an active thread had no entries in a non-empty SU
+	EvSUEmptyBubble // the SU was empty while unhalted threads remained
+	EvThreadStarved // an active thread had no entries in a non-empty SU
 
 	NumEvents
 )
@@ -132,18 +132,18 @@ type Info struct {
 }
 
 var infos = [NumEvents]Info{
-	EvFetchIdle:          {"fetch-idle", GroupFrontend, "no thread could fetch this cycle", true, false},
-	EvFetchWrongPath:     {"fetch-wrong-path", GroupFrontend, "fetched block held no valid instruction", true, true},
-	EvFetchTakenTrunc:    {"fetch-taken-trunc", GroupFrontend, "predicted-taken CT truncated the fetch block", true, false},
-	EvFetchHaltStop:      {"fetch-halt-stop", GroupFrontend, "predecode stopped fetch at HALT", true, false},
-	EvFetchPartialBlock:  {"fetch-partial-block", GroupFrontend, "fetch entered an aligned block mid-way", true, false},
-	EvFetchMaskedSkip:    {"fetch-masked-skip", GroupFrontend, "MaskedRR skipped the masked thread", false, false},
-	EvFetchCondRotate:    {"fetch-cond-rotate", GroupFrontend, "CondSwitch rotated on a decode trigger", false, false},
-	EvFetchICountSteer:   {"fetch-icount-steer", GroupFrontend, "ICount steered fetch away from a fuller thread", false, false},
-	EvICacheMissStall:    {"icache-miss-stall", GroupFrontend, "instruction cache miss stalled fetch", false, false},
-	EvDispatchStallFull:  {"dispatch-stall-full", GroupFrontend, "dispatch stalled on a full SU", true, false},
-	EvDispatchWAWStall:   {"dispatch-waw-stall", GroupFrontend, "scoreboard WAW stall at dispatch", false, false},
-	EvBTBCrossThreadHit:  {"btb-cross-thread-hit", GroupFrontend, "BTB hit an entry trained by another thread", true, false},
+	EvFetchIdle:         {"fetch-idle", GroupFrontend, "no thread could fetch this cycle", true, false},
+	EvFetchWrongPath:    {"fetch-wrong-path", GroupFrontend, "fetched block held no valid instruction", true, true},
+	EvFetchTakenTrunc:   {"fetch-taken-trunc", GroupFrontend, "predicted-taken CT truncated the fetch block", true, false},
+	EvFetchHaltStop:     {"fetch-halt-stop", GroupFrontend, "predecode stopped fetch at HALT", true, false},
+	EvFetchPartialBlock: {"fetch-partial-block", GroupFrontend, "fetch entered an aligned block mid-way", true, false},
+	EvFetchMaskedSkip:   {"fetch-masked-skip", GroupFrontend, "MaskedRR skipped the masked thread", false, false},
+	EvFetchCondRotate:   {"fetch-cond-rotate", GroupFrontend, "CondSwitch rotated on a decode trigger", false, false},
+	EvFetchICountSteer:  {"fetch-icount-steer", GroupFrontend, "ICount steered fetch away from a fuller thread", false, false},
+	EvICacheMissStall:   {"icache-miss-stall", GroupFrontend, "instruction cache miss stalled fetch", false, false},
+	EvDispatchStallFull: {"dispatch-stall-full", GroupFrontend, "dispatch stalled on a full SU", true, false},
+	EvDispatchWAWStall:  {"dispatch-waw-stall", GroupFrontend, "scoreboard WAW stall at dispatch", false, false},
+	EvBTBCrossThreadHit: {"btb-cross-thread-hit", GroupFrontend, "BTB hit an entry trained by another thread", true, false},
 
 	EvIssueWidthSaturated:   {"issue-width-saturated", GroupIssue, "a cycle issued the full issue width", true, true},
 	EvIssueFUExhausted:      {"issue-fu-exhausted", GroupIssue, "ready instruction found all units busy", true, false},

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,6 +29,12 @@ type Experiment struct {
 	Title string
 	Run   func(r *Runner) ([]Table, error)
 }
+
+// ErrScaleUnsupported is returned (wrapped) by an experiment that
+// cannot run at the Runner's problem scale — e.g. a future sweep whose
+// working set only exists at Paper scale. Benchmark and smoke harnesses
+// check for it with errors.Is and skip rather than fail.
+var ErrScaleUnsupported = errors.New("experiment unavailable at this scale")
 
 // Registry returns all experiments in paper order.
 func Registry() []Experiment {

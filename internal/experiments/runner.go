@@ -127,18 +127,32 @@ type Runner struct {
 	// names the bundle and its sdsp-sim -replay command.
 	CrashDir string
 
+	// PhaseTiming stopwatches every cell's pipeline phases (sdsp-exp
+	// -timing). Purely observational — stdout tables are unaffected —
+	// and the aggregate is available from PhaseTotal after the run.
+	PhaseTiming bool
+
 	// Curves accumulates the degradation curves of the fault-sweep
 	// experiment during table assembly, for the -json export. Read after
 	// RunExperiments returns.
 	Curves []DegradationCurve
 
-	mu        sync.Mutex
-	cache     map[string]cellResult
-	declaring bool
-	pending   []*cell
-	pendingBy map[string]bool
+	mu         sync.Mutex
+	cache      map[string]cellResult
+	declaring  bool
+	pending    []*cell
+	pendingBy  map[string]bool
+	phaseTotal core.PhaseTimes
 
 	progressMu sync.Mutex
+}
+
+// PhaseTotal returns the wall-clock phase breakdown summed over every
+// freshly simulated cell (all-zero unless PhaseTiming was set).
+func (r *Runner) PhaseTotal() core.PhaseTimes {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phaseTotal
 }
 
 // recordCurve appends a degradation curve unless the runner is in the
@@ -183,18 +197,20 @@ func (r *Runner) config(n int) core.Config {
 // counts, so two cells differing only in schedule must not share).
 // Coverage recording is timing-neutral but attaches a distinct Stats
 // payload, so coverage cells get their own key bit too: a coverage
-// experiment and a plain one must not race for the same slot.
+// experiment and a plain one must not race for the same slot. Phase
+// timing is likewise simulated-timing-neutral but changes the Stats
+// payload (and the host cost), so it gets its own bit as well.
 func cacheKey(b *kernels.Benchmark, cfg core.Config, p kernels.Params) string {
 	inj := "none"
 	if cfg.Injector != nil {
 		inj = cfg.Injector.String()
 	}
-	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/cov%v/inj{%s}",
+	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/cov%v/pt%v/inj{%s}",
 		b.Name, p.Scale, cfg.Threads, cfg.FetchPolicy, cfg.CommitPolicy, cfg.CommitWindow,
 		cfg.SUEntries, cfg.IssueWidth, cfg.WritebackWidth, cfg.StoreBuffer, cfg.BTBEntries,
 		cfg.PredictorBits, cfg.PerThreadBTB, cfg.Renaming, cfg.Bypassing, cfg.StoreForwarding,
 		cfg.Cache.Ways, cfg.Cache.Ports, cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk,
-		cfg.MaxCycles, cfg.Watchdog, cfg.Coverage != nil, inj)
+		cfg.MaxCycles, cfg.Watchdog, cfg.Coverage != nil, cfg.PhaseTiming, inj)
 }
 
 // placeholderStats is what a declared-but-not-yet-simulated cell returns
@@ -250,6 +266,7 @@ func (r *Runner) RunWith(b *kernels.Benchmark, cfg core.Config, p kernels.Params
 	p.Threads = cfg.Threads
 	p.Scale = r.Scale
 	cfg.CheckInvariants = cfg.CheckInvariants || r.Paranoid
+	cfg.PhaseTiming = cfg.PhaseTiming || r.PhaseTiming
 	if cfg.Injector == nil {
 		cfg.Injector = r.Injector
 	}
@@ -281,6 +298,11 @@ func (r *Runner) RunWith(b *kernels.Benchmark, cfg core.Config, p kernels.Params
 		}
 		if err := b.Check(m.Memory(), obj, p); err != nil {
 			return nil, fmt.Errorf("%s (threads=%d) failed validation: %w", b.Name, cfg.Threads, err)
+		}
+		if cfg.PhaseTiming {
+			r.mu.Lock()
+			r.phaseTotal.Add(st.PhaseTime)
+			r.mu.Unlock()
 		}
 		r.progressf("%-8s threads=%d ways=%d su=%d policy=%v: %d cycles (IPC %.2f) [%v]",
 			b.Name, cfg.Threads, cfg.Cache.Ways, cfg.SUEntries, cfg.FetchPolicy, st.Cycles, st.IPC(),

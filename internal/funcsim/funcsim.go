@@ -177,7 +177,7 @@ func (s *Sim) checkData(t int, pc, addr uint32, write bool) error {
 		return &MemFault{Thread: t, PC: pc, Addr: addr, Write: write, Reason: "flag segment requires fldw/fstw/fai"}
 	case !loader.IsDataAddr(addr):
 		return &MemFault{Thread: t, PC: pc, Addr: addr, Write: write, Reason: "outside the data segment"}
-	case addr&3 != 0:
+	case (addr & 3) != 0:
 		return &MemFault{Thread: t, PC: pc, Addr: addr, Write: write, Reason: "unaligned word access"}
 	}
 	return nil

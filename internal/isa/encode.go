@@ -16,17 +16,17 @@ import "fmt"
 // offsets.
 const (
 	regBits = 7
-	regMask = 1<<regBits - 1
+	regMask = (1 << regBits) - 1
 
 	imm12Bits = 12
-	imm12Mask = 1<<imm12Bits - 1
+	imm12Mask = (1 << imm12Bits) - 1
 	imm12Min  = -(1 << (imm12Bits - 1))
-	imm12Max  = 1<<(imm12Bits-1) - 1
+	imm12Max  = (1 << (imm12Bits - 1)) - 1
 
 	imm19Bits = 19
-	imm19Mask = 1<<imm19Bits - 1
+	imm19Mask = (1 << imm19Bits) - 1
 	imm19Min  = -(1 << (imm19Bits - 1))
-	imm19Max  = 1<<(imm19Bits-1) - 1
+	imm19Max  = (1 << (imm19Bits - 1)) - 1
 )
 
 // Imm12Fits reports whether v is representable as a signed 12-bit

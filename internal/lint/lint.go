@@ -1,0 +1,161 @@
+// Package lint implements repo-local static checks for operator-
+// precedence hazards, in the shape of a go/analysis pass but built on
+// the standard library only (the module has no external dependencies).
+//
+// The motivating bug: progen once computed a 16-bit mask as
+// `1<<16 - 1<<15`, relying on Go's precedence where shifts (level 5)
+// bind tighter than additive operators (level 4) — the reverse of C,
+// where `1 << 16-1` means `1 << 15`. Expressions that read differently
+// to a C-trained eye are exactly where such bugs hide, so the checks
+// flag every mixed-precedence site that lacks explicit parentheses:
+//
+//   - shift-additive: a `+` or `-` expression with an unparenthesized
+//     `<<` or `>>` operand, e.g. `1<<16 - 1`. (`|` and `^` with shift
+//     operands are NOT flagged: C orders those the same way Go does,
+//     and `op<<26 | rs<<21` encoding chains are standard idiom.);
+//   - bitand-compare: a `== != < <= > >=` comparison with an
+//     unparenthesized `& | ^ &^` operand, e.g. `x&mask == 0`, which in
+//     C parses as `x & (mask == 0)`.
+//
+// Both patterns are legal, well-defined Go; the lint asks only that the
+// intended grouping be spelled out. make lint runs it over the tree.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one flagged expression.
+type Diagnostic struct {
+	Pos     token.Position // position of the outer operator's expression
+	Check   string         // "shift-additive" or "bitand-compare"
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// shiftOps, additiveOps, bitOps, compareOps classify the operators the
+// two checks care about.
+func isShift(op token.Token) bool {
+	return op == token.SHL || op == token.SHR
+}
+
+// isAdditive reports the additive operators whose precedence relative
+// to shifts is reversed between C and Go. Go's other level-4 operators
+// (| and ^) order against shifts exactly as C's do, so mixing them is
+// not a transfer hazard.
+func isAdditive(op token.Token) bool {
+	return op == token.ADD || op == token.SUB
+}
+
+func isBitwise(op token.Token) bool {
+	return op == token.AND || op == token.OR || op == token.XOR || op == token.AND_NOT
+}
+
+func isCompare(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// File checks one parsed file and returns its diagnostics in source
+// order.
+func File(fset *token.FileSet, f *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(e ast.Expr, check, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     fset.Position(e.Pos()),
+			Check:   check,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isAdditive(be.Op):
+			for _, side := range [2]ast.Expr{be.X, be.Y} {
+				if inner, ok := side.(*ast.BinaryExpr); ok && isShift(inner.Op) {
+					flag(be, "shift-additive",
+						"unparenthesized %v inside %v binds tighter than in C; write (a %v b) %v c",
+						inner.Op, be.Op, inner.Op, be.Op)
+				}
+			}
+		case isCompare(be.Op):
+			for _, side := range [2]ast.Expr{be.X, be.Y} {
+				if inner, ok := side.(*ast.BinaryExpr); ok && isBitwise(inner.Op) {
+					flag(be, "bitand-compare",
+						"unparenthesized %v operand of %v reads as %v-first to a C eye; write (a %v b) %v c",
+						inner.Op, be.Op, be.Op, inner.Op, be.Op)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// Source checks a single source buffer (used by tests and by editors
+// feeding unsaved content).
+func Source(filename string, src []byte) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return File(fset, f), nil
+}
+
+// Dir checks every .go file under root (skipping hidden directories),
+// returning diagnostics sorted by file, line, column.
+func Dir(root string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return fmt.Errorf("lint: %w", perr)
+		}
+		diags = append(diags, File(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, expr string) []Diagnostic {
+	t.Helper()
+	src := "package p\nvar x, mask uint32\nvar _ = " + expr + "\n"
+	diags, err := Source("test.go", []byte(src))
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return diags
+}
+
+func TestShiftAdditiveHazards(t *testing.T) {
+	for _, expr := range []string{
+		"1<<16 - 1",     // the progen mask-bug shape
+		"1<<16 - 1<<15", // the exact PR-4 bug
+		"1 + 1<<8",      // shift on the right
+		"x - y>>2",      // right shift too
+	} {
+		if len(check(t, expr)) == 0 {
+			t.Errorf("%q: no diagnostic, want shift-additive", expr)
+		}
+	}
+}
+
+func TestBitandCompareHazards(t *testing.T) {
+	for _, expr := range []string{
+		"x&mask == 0",
+		"0 != x&mask",
+		"x&^mask == 0",
+		"x|mask != 0",
+		"x&mask > 4",
+	} {
+		diags := check(t, expr)
+		if len(diags) == 0 {
+			t.Errorf("%q: no diagnostic, want bitand-compare", expr)
+			continue
+		}
+		if diags[0].Check != "bitand-compare" {
+			t.Errorf("%q: check = %s, want bitand-compare", expr, diags[0].Check)
+		}
+	}
+}
+
+func TestParenthesizedIsClean(t *testing.T) {
+	for _, expr := range []string{
+		"(1 << 16) - 1",
+		"(1 << 16) - (1 << 15)",
+		"(x & mask) == 0",
+		"x + y - 1",    // no shift involved
+		"x*4 + 1",      // * with additive is fine (same in C)
+		"x << (y + 1)", // parenthesized shift amount
+		"(x | mask) != 0",
+		"x<<26 | mask<<21", // shift-| chains order the same in C; idiom
+	} {
+		if diags := check(t, expr); len(diags) != 0 {
+			t.Errorf("%q: unexpected diagnostics %v", expr, diags)
+		}
+	}
+}
+
+func TestDiagnosticFormat(t *testing.T) {
+	diags := check(t, "1<<16 - 1")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "test.go:3") || !strings.Contains(s, "shift-additive") {
+		t.Errorf("diagnostic %q missing position or check name", s)
+	}
+}
+
+func TestDirSortsAndRecurses(t *testing.T) {
+	diags, err := Dir("testdata")
+	if err != nil {
+		t.Fatalf("Dir: %v", err)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("got %d diagnostics from testdata, want >= 2", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Pos, diags[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Errorf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package testdata holds deliberately hazardous expressions for the
+// lint tests. It is never built (no build tag needed: only the lint
+// walks it by path).
+package testdata
+
+var x, mask uint32
+
+var _ = 1<<16 - 1<<15 // the PR-4 progen bug shape
+
+var _ = x&mask == 0 // C-precedence trap

@@ -44,7 +44,7 @@ func New(sizeBytes uint32) *Memory {
 func (m *Memory) Size() uint32 { return uint32(len(m.words)) * 4 }
 
 func (m *Memory) index(addr uint32, write bool) (uint32, *Fault) {
-	if addr&3 != 0 {
+	if (addr & 3) != 0 {
 		return 0, &Fault{Addr: addr, Write: write, Unaligned: true}
 	}
 	i := addr / 4
@@ -99,7 +99,7 @@ func (m *Memory) StoreWord(addr, v uint32) {
 
 // InRange reports whether a word access at addr would be legal.
 func (m *Memory) InRange(addr uint32) bool {
-	return addr&3 == 0 && addr/4 < uint32(len(m.words))
+	return (addr&3) == 0 && addr/4 < uint32(len(m.words))
 }
 
 // Snapshot returns a copy of the memory contents as words.

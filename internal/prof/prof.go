@@ -1,0 +1,50 @@
+// Package prof wires the standard runtime/pprof file profiles behind
+// the CLIs' -cpuprofile/-memprofile flags, so sdsp-sim and sdsp-exp
+// share one implementation (and one set of failure modes).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile when cpuFile is non-empty and returns a
+// stop function that finishes it and, when memFile is non-empty, forces
+// a GC and writes the live-heap profile. Call stop exactly once, after
+// the work being measured; with both paths empty Start is a no-op and
+// stop is still safe to call.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memFile != "" {
+			memOut, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer memOut.Close()
+			runtime.GC() // report the live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(memOut); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -56,7 +56,7 @@ func (f *SegFault) Error() string {
 }
 
 func (c *Controller) check(addr uint32, write bool) error {
-	if !loader.IsFlagAddr(addr) || addr&3 != 0 {
+	if !loader.IsFlagAddr(addr) || (addr&3) != 0 {
 		return &SegFault{Addr: addr, Write: write}
 	}
 	return nil
