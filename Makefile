@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke golden cover-golden bench bench-check check report
+.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke golden cover-golden bench bench-check check report
 
 all: check
 
@@ -60,10 +60,17 @@ cover-smoke:
 	done
 	$(GO) test ./sdsp -run 'TestKernelCoverage|TestCoverageFloor'
 
+# Frontend-study smoke: the small-scale predictor × fetch-policy study
+# through the CLI must match its committed golden byte for byte (the
+# in-process j1-vs-j8 and golden checks live in predstudy_test.go).
+predstudy-smoke:
+	$(GO) run ./cmd/sdsp-exp -exp predstudy -scale small -j 8 > /tmp/predstudy.out
+	cmp /tmp/predstudy.out internal/experiments/testdata/predstudy_small.golden
+
 # Regenerate the small-scale golden tables after an intentional change
 # to a kernel, the core, or an experiment.
 golden:
-	$(GO) test ./internal/experiments -run TestGoldenSmallTables -update
+	$(GO) test ./internal/experiments -run 'TestGoldenSmallTables|TestPredstudyGoldenSmall' -update
 
 # Regenerate the committed unguided coverage-gap list after an
 # intentional change to the event model or the generator.
@@ -82,7 +89,7 @@ bench-check:
 	$(GO) run ./cmd/sdsp-bench -check BENCH_sim.json
 
 # Everything CI runs.
-check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke bench-check
+check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke bench-check
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

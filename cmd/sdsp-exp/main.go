@@ -36,6 +36,7 @@ type timingExport struct {
 	Experiments      []string                       `json:"experiments"`
 	Cells            []experiments.CellTiming       `json:"cells"`
 	Degradation      []experiments.DegradationCurve `json:"degradation,omitempty"`
+	Predstudy        []experiments.PredCell         `json:"predstudy,omitempty"`
 	TotalWallSeconds float64                        `json:"total_wall_seconds"`
 	CellWallSeconds  float64                        `json:"cell_wall_seconds"`
 	SimulatedCycles  uint64                         `json:"simulated_cycles"`
@@ -57,6 +58,8 @@ func main() {
 		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 		memprof  = flag.String("memprofile", "", "write a pprof live-heap profile to this file after the run")
 		timing   = flag.Bool("timing", false, "stopwatch each pipeline phase in every cell and print the aggregate breakdown to stderr")
+		bpred    = flag.String("bpred", "2bit", "branch predictor for every cell: 2bit, gshare, gshare-pt, or tage")
+		fetch    = flag.String("fetch", "", "override the fetch policy in every cell: truerr, masked, cswitch, icount, icount-fb, or confthrottle")
 	)
 	flag.Parse()
 
@@ -88,6 +91,20 @@ func main() {
 		os.Exit(2)
 	}
 	runner.Injector = inj
+	pred, err := sdsp.ParsePredictor(*bpred)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", err)
+		os.Exit(2)
+	}
+	runner.Predictor = pred
+	if *fetch != "" {
+		pol, err := sdsp.ParseFetchPolicy(*fetch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", err)
+			os.Exit(2)
+		}
+		runner.FetchOverride, runner.HasFetch = pol, true
+	}
 	if *verbose {
 		runner.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -143,7 +160,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, *scale, *jobs, selected, runner.Curves, timings, elapsed); err != nil {
+		if err := writeJSON(*jsonOut, *scale, *jobs, selected, runner.Curves, runner.PredCells, timings, elapsed); err != nil {
 			fmt.Fprintln(os.Stderr, "sdsp-exp:", err)
 			os.Exit(1)
 		}
@@ -183,7 +200,7 @@ func reportTimings(w *os.File, timings []experiments.CellTiming, elapsed time.Du
 		cellWall, cellWall/elapsed.Seconds())
 }
 
-func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, curves []experiments.DegradationCurve, timings []experiments.CellTiming, elapsed time.Duration) error {
+func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, curves []experiments.DegradationCurve, predCells []experiments.PredCell, timings []experiments.CellTiming, elapsed time.Duration) error {
 	var cellWall float64
 	var cycles uint64
 	for _, t := range timings {
@@ -200,6 +217,7 @@ func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, 
 		Experiments:      names,
 		Cells:            timings,
 		Degradation:      curves,
+		Predstudy:        predCells,
 		TotalWallSeconds: elapsed.Seconds(),
 		CellWallSeconds:  cellWall,
 		SimulatedCycles:  cycles,

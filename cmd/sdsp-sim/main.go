@@ -31,7 +31,9 @@ func main() {
 		bench      = flag.String("bench", "", "built-in benchmark name (see -list)")
 		file       = flag.String("file", "", "SDSP-32 assembly file to run instead of a benchmark")
 		threads    = flag.Int("threads", 4, "number of resident threads (1-6)")
-		policy     = flag.String("policy", "truerr", "fetch policy: truerr, masked, cswitch, or icount")
+		policy     = flag.String("policy", "truerr", "fetch policy: truerr, masked, cswitch, icount, icount-fb, or confthrottle")
+		fetchFlag  = flag.String("fetch", "", "alias for -policy (takes precedence when both are set)")
+		bpredFlag  = flag.String("bpred", "2bit", "branch predictor: 2bit, gshare, gshare-pt, or tage")
 		commit     = flag.String("commit", "flexible", "commit policy: flexible or lowest")
 		su         = flag.Int("su", 32, "scheduling unit entries")
 		cacheKind  = flag.String("cache", "assoc", "data cache: assoc or direct")
@@ -69,18 +71,20 @@ func main() {
 	}
 
 	cfg := sdsp.DefaultConfig(*threads)
-	switch *policy {
-	case "truerr":
-		cfg.FetchPolicy = sdsp.TrueRR
-	case "masked":
-		cfg.FetchPolicy = sdsp.MaskedRR
-	case "cswitch":
-		cfg.FetchPolicy = sdsp.CondSwitch
-	case "icount":
-		cfg.FetchPolicy = sdsp.ICount
-	default:
-		fatal("unknown fetch policy %q", *policy)
+	polSpec := *policy
+	if *fetchFlag != "" {
+		polSpec = *fetchFlag
 	}
+	pol, perr := sdsp.ParseFetchPolicy(polSpec)
+	if perr != nil {
+		fatal("%v", perr)
+	}
+	cfg.FetchPolicy = pol
+	pred, perr := sdsp.ParsePredictor(*bpredFlag)
+	if perr != nil {
+		fatal("%v", perr)
+	}
+	cfg.Predictor = pred
 	switch *commit {
 	case "flexible":
 	case "lowest":
@@ -232,10 +236,15 @@ func printStats(out io.Writer, name string, cfg core.Config, st *core.Stats) {
 	defer w.Flush()
 	fmt.Fprintf(w, "workload\t%s\n", name)
 	fmt.Fprintf(w, "threads\t%d\tfetch policy\t%v\n", cfg.Threads, cfg.FetchPolicy)
+	fmt.Fprintf(w, "predictor\t%v\n", cfg.Predictor)
 	fmt.Fprintf(w, "cycles\t%d\tIPC\t%.3f\n", st.Cycles, st.IPC())
 	fmt.Fprintf(w, "committed\t%d\tsquashed\t%d\n", st.Committed, st.Squashed)
 	fmt.Fprintf(w, "mispredicts\t%d\tprediction accuracy\t%.1f%%\n",
 		st.Mispredicts, 100*st.Branch.Accuracy())
+	fmt.Fprintf(w, "prediction confidence\t%.1f%%\n", 100*st.Branch.Confidence())
+	if st.FetchThrottled > 0 {
+		fmt.Fprintf(w, "fetch throttled cycles\t%d\n", st.FetchThrottled)
+	}
 	fmt.Fprintf(w, "cache accesses\t%d\thit rate\t%.1f%%\n",
 		st.Cache.Hits+st.Cache.Misses, 100*st.Cache.HitRate())
 	fmt.Fprintf(w, "SU stalls\t%d\tavg SU occupancy\t%.1f\n", st.SUStalls, st.AvgSUOccupancy())

@@ -1,13 +1,48 @@
-// Package bpred implements the SDSP's hardware branch predictor:
-// n-bit saturating counters (2-bit in the paper's configuration) with a
-// branch target buffer.
-//
-// Per the paper, a single predictor and BTB are shared by all threads
+// Package bpred implements the SDSP's hardware branch predictors. The
+// paper's configuration is a single 2-bit saturating-counter predictor
+// with a direct-mapped branch target buffer shared by all threads
 // (every thread executes the same code, so shared history helps rather
 // than hurts — the paper reports >80% accuracy with this arrangement),
-// and prediction state is updated only at result commit, when the branch
-// is shifted out of the scheduling unit.
+// and prediction state is updated only at result commit, when the
+// branch is shifted out of the scheduling unit.
+//
+// Behind the Predictor interface the package also provides the frontend
+// design-space alternatives the ROADMAP names: gshare with shared or
+// per-thread global history (NewGshare) and a small TAGE (NewTAGE).
+// Every implementation preallocates all tables at construction and is
+// allocation-free on the Lookup/Update hot path; every implementation
+// keeps the same delayed commit-time update discipline, and all state
+// is timing-only — the fault injector may flip it arbitrarily without
+// changing architectural results.
 package bpred
+
+// Predictor is the frontend's direction-and-target predictor. Lookup
+// happens at fetch; Update at result commit, in commit order. The
+// thread index lets per-thread-history variants distinguish requesters;
+// implementations without per-thread state ignore it. conf reports
+// prediction confidence (a strong counter state backed by a BTB target
+// when one is needed) — the confidence-throttled fetch policy meters
+// it.
+type Predictor interface {
+	// Lookup predicts the branch at pc for thread t: whether it is taken,
+	// the predicted target if so, and whether the prediction is high
+	// confidence. A predictor with no usable target predicts not-taken
+	// (fall through).
+	Lookup(t int, pc uint32) (taken bool, target uint32, conf bool)
+	// Update trains the predictor with a resolved branch outcome at
+	// result commit (delayed update is one of the paper's explanations
+	// for deep-SU slowdowns). correct reports whether the earlier
+	// prediction matched the outcome, for accuracy accounting.
+	Update(t int, pc uint32, taken bool, target uint32, correct bool)
+	// FlipEntry inverts the direction of predictor slot i (reduced
+	// modulo the table size) and reports whether live state was
+	// perturbed. Used by deterministic fault injection: predictor state
+	// is timing-only, so arbitrary perturbation must never change
+	// architectural results — only mispredict counts and cycle times.
+	FlipEntry(i int) bool
+	// Stats reports lookup, accuracy, and confidence counters.
+	Stats() Stats
+}
 
 // Counter states of the default 2-bit saturating counter.
 const (
@@ -17,19 +52,50 @@ const (
 	StrongTaken    = 3
 )
 
-// Predictor is a direct-mapped BTB with an n-bit saturating counter per
-// entry.
-type Predictor struct {
-	entries []btbEntry
-	mask    uint32
-	max     uint8 // counter saturation value (2^bits - 1)
-	taken   uint8 // counter threshold predicting taken (2^(bits-1))
-
-	// Statistics.
+// counters is the statistics block every implementation embeds.
+// Lookups, BTB hits, and confidence are counted at Lookup; predictions
+// and correctness at Update.
+type counters struct {
 	lookups     uint64
 	hits        uint64
 	predictions uint64
 	correct     uint64
+	confHigh    uint64
+	confLow     uint64
+}
+
+func (c *counters) noteConf(conf bool) {
+	if conf {
+		c.confHigh++
+	} else {
+		c.confLow++
+	}
+}
+
+func (c *counters) notePrediction(correct bool) {
+	c.predictions++
+	if correct {
+		c.correct++
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *counters) Stats() Stats {
+	return Stats{
+		Lookups: c.lookups, BTBHits: c.hits,
+		Predictions: c.predictions, Correct: c.correct,
+		ConfHigh: c.confHigh, ConfLow: c.confLow,
+	}
+}
+
+// TwoBit is the paper's predictor: a direct-mapped BTB with an n-bit
+// saturating counter per entry (2-bit in the default configuration).
+type TwoBit struct {
+	counters
+	entries []btbEntry
+	mask    uint32
+	max     uint8 // counter saturation value (2^bits - 1)
+	taken   uint8 // counter threshold predicting taken (2^(bits-1))
 }
 
 type btbEntry struct {
@@ -41,53 +107,55 @@ type btbEntry struct {
 
 // New returns a 2-bit predictor with the given number of BTB entries
 // (must be a power of two).
-func New(entries int) *Predictor { return NewBits(entries, 2) }
+func New(entries int) *TwoBit { return NewBits(entries, 2) }
 
 // NewBits returns a predictor with n-bit saturating counters (1 <= bits
 // <= 4). The paper uses 2 bits; 1-bit is the classic last-outcome
 // predictor kept as an ablation.
-func NewBits(entries, bits int) *Predictor {
-	if entries <= 0 || (entries&(entries-1)) != 0 {
-		panic("bpred: entry count must be a positive power of two")
-	}
+func NewBits(entries, bits int) *TwoBit {
 	if bits < 1 || bits > 4 {
 		panic("bpred: counter bits must be 1..4")
 	}
-	return &Predictor{
-		entries: make([]btbEntry, entries),
+	return &TwoBit{
+		entries: newBTB(entries),
 		mask:    uint32(entries - 1),
 		max:     uint8((1 << bits) - 1),
 		taken:   uint8(1 << (bits - 1)),
 	}
 }
 
-func (p *Predictor) index(pc uint32) uint32 { return (pc >> 2) & p.mask }
+// newBTB allocates a direct-mapped BTB, validating the entry count.
+func newBTB(entries int) []btbEntry {
+	if entries <= 0 || (entries&(entries-1)) != 0 {
+		panic("bpred: entry count must be a positive power of two")
+	}
+	return make([]btbEntry, entries)
+}
 
-// Lookup predicts the branch at pc. It returns whether the branch is
-// predicted taken and, if so, the predicted target. A BTB miss predicts
-// not-taken (fall through).
-func (p *Predictor) Lookup(pc uint32) (taken bool, target uint32) {
+func (p *TwoBit) index(pc uint32) uint32 { return (pc >> 2) & p.mask }
+
+// Lookup predicts the branch at pc. A BTB miss predicts not-taken
+// (fall through) with low confidence; a hit is confident when the
+// counter is in a strong (saturated) state.
+func (p *TwoBit) Lookup(t int, pc uint32) (bool, uint32, bool) {
 	p.lookups++
 	e := &p.entries[p.index(pc)]
 	if !e.valid || e.tag != pc {
-		return false, 0
+		p.noteConf(false)
+		return false, 0, false
 	}
 	p.hits++
+	conf := e.counter == 0 || e.counter == p.max
+	p.noteConf(conf)
 	if e.counter >= p.taken {
-		return true, e.target
+		return true, e.target, conf
 	}
-	return false, 0
+	return false, 0, conf
 }
 
-// Update trains the predictor with a resolved branch outcome. The core
-// calls this at result commit (delayed update is one of the paper's
-// explanations for deep-SU slowdowns). correct reports whether the
-// earlier prediction matched the outcome, for accuracy accounting.
-func (p *Predictor) Update(pc uint32, taken bool, target uint32, correct bool) {
-	p.predictions++
-	if correct {
-		p.correct++
-	}
+// Update trains the predictor with a resolved branch outcome.
+func (p *TwoBit) Update(t int, pc uint32, taken bool, target uint32, correct bool) {
+	p.notePrediction(correct)
 	e := &p.entries[p.index(pc)]
 	if !e.valid || e.tag != pc {
 		// Allocate on taken branches only; a never-taken branch needs no
@@ -109,11 +177,8 @@ func (p *Predictor) Update(pc uint32, taken bool, target uint32, correct bool) {
 }
 
 // FlipEntry inverts the direction of BTB slot i's saturating counter
-// (i is reduced modulo the BTB size) and reports whether a valid entry
-// was perturbed. Used by deterministic fault injection: predictor state
-// is timing-only, so arbitrary perturbation must never change
-// architectural results — only mispredict counts and cycle times.
-func (p *Predictor) FlipEntry(i int) bool {
+// and reports whether a valid entry was perturbed.
+func (p *TwoBit) FlipEntry(i int) bool {
 	e := &p.entries[uint32(i)&p.mask]
 	if !e.valid {
 		return false
@@ -122,10 +187,38 @@ func (p *Predictor) FlipEntry(i int) bool {
 	return true
 }
 
+// trainBTBTarget applies the shared allocate-on-taken BTB policy used
+// by every implementation: unknown branches allocate only when taken,
+// known taken branches refresh their target (indirect branches move).
+func trainBTBTarget(btb []btbEntry, mask uint32, pc uint32, taken bool, target uint32) {
+	e := &btb[(pc>>2)&mask]
+	if !e.valid || e.tag != pc {
+		if taken {
+			*e = btbEntry{tag: pc, target: target, counter: WeakTaken, valid: true}
+		}
+		return
+	}
+	if taken {
+		e.target = target
+	}
+}
+
+// btbProbe reports whether the BTB holds pc's target, and the target.
+func btbProbe(btb []btbEntry, mask uint32, pc uint32) (uint32, bool) {
+	e := &btb[(pc>>2)&mask]
+	if e.valid && e.tag == pc {
+		return e.target, true
+	}
+	return 0, false
+}
+
 // Stats reports lookup and accuracy counters.
 type Stats struct {
 	Lookups, BTBHits     uint64
 	Predictions, Correct uint64
+	// ConfHigh/ConfLow split lookups by reported confidence; the
+	// confidence-throttled fetch policy meters the same signal.
+	ConfHigh, ConfLow uint64
 }
 
 // Accuracy returns the fraction of resolved branches whose prediction
@@ -137,7 +230,22 @@ func (s Stats) Accuracy() float64 {
 	return float64(s.Correct) / float64(s.Predictions)
 }
 
-// Stats returns a copy of the predictor's counters.
-func (p *Predictor) Stats() Stats {
-	return Stats{Lookups: p.lookups, BTBHits: p.hits, Predictions: p.predictions, Correct: p.correct}
+// Confidence returns the fraction of lookups reported high-confidence,
+// or 1 if there have been none (the no-data default, like Accuracy).
+func (s Stats) Confidence() float64 {
+	if s.ConfHigh+s.ConfLow == 0 {
+		return 1
+	}
+	return float64(s.ConfHigh) / float64(s.ConfHigh+s.ConfLow)
+}
+
+// Add accumulates o's counters into s (per-predictor aggregation for
+// the per-thread-BTB configuration).
+func (s *Stats) Add(o Stats) {
+	s.Lookups += o.Lookups
+	s.BTBHits += o.BTBHits
+	s.Predictions += o.Predictions
+	s.Correct += o.Correct
+	s.ConfHigh += o.ConfHigh
+	s.ConfLow += o.ConfLow
 }

@@ -7,15 +7,15 @@ import (
 
 func TestColdLookupPredictsNotTaken(t *testing.T) {
 	p := New(64)
-	if taken, _ := p.Lookup(0x100); taken {
-		t.Error("cold lookup predicted taken")
+	if taken, _, conf := p.Lookup(0, 0x100); taken || conf {
+		t.Error("cold lookup predicted taken or confident")
 	}
 }
 
 func TestTrainTaken(t *testing.T) {
 	p := New(64)
-	p.Update(0x100, true, 0x200, false)
-	taken, target := p.Lookup(0x100)
+	p.Update(0, 0x100, true, 0x200, false)
+	taken, target, _ := p.Lookup(0, 0x100)
 	if !taken || target != 0x200 {
 		t.Errorf("after one taken update: taken=%v target=%#x", taken, target)
 	}
@@ -24,14 +24,14 @@ func TestTrainTaken(t *testing.T) {
 func TestTwoBitHysteresis(t *testing.T) {
 	p := New(64)
 	pc, tgt := uint32(0x100), uint32(0x200)
-	p.Update(pc, true, tgt, false) // WeakTaken
-	p.Update(pc, true, tgt, true)  // StrongTaken
-	p.Update(pc, false, 0, false)  // WeakTaken: one not-taken shouldn't flip
-	if taken, _ := p.Lookup(pc); !taken {
+	p.Update(0, pc, true, tgt, false) // WeakTaken
+	p.Update(0, pc, true, tgt, true)  // StrongTaken
+	p.Update(0, pc, false, 0, false)  // WeakTaken: one not-taken shouldn't flip
+	if taken, _, _ := p.Lookup(0, pc); !taken {
 		t.Error("strong-taken entry flipped after a single not-taken")
 	}
-	p.Update(pc, false, 0, false) // WeakNotTaken
-	if taken, _ := p.Lookup(pc); taken {
+	p.Update(0, pc, false, 0, false) // WeakNotTaken
+	if taken, _, _ := p.Lookup(0, pc); taken {
 		t.Error("entry still predicts taken after two not-taken updates")
 	}
 }
@@ -40,19 +40,19 @@ func TestCounterSaturates(t *testing.T) {
 	p := New(64)
 	pc, tgt := uint32(0x100), uint32(0x200)
 	for i := 0; i < 10; i++ {
-		p.Update(pc, true, tgt, true)
+		p.Update(0, pc, true, tgt, true)
 	}
 	// Saturated at StrongTaken: exactly two not-taken flips the prediction.
-	p.Update(pc, false, 0, false)
-	p.Update(pc, false, 0, false)
-	if taken, _ := p.Lookup(pc); taken {
+	p.Update(0, pc, false, 0, false)
+	p.Update(0, pc, false, 0, false)
+	if taken, _, _ := p.Lookup(0, pc); taken {
 		t.Error("counter did not saturate at strong-taken")
 	}
 }
 
 func TestNotTakenBranchesDontAllocate(t *testing.T) {
 	p := New(64)
-	p.Update(0x100, false, 0, true)
+	p.Update(0, 0x100, false, 0, true)
 	if p.entries[p.index(0x100)].valid {
 		t.Error("not-taken branch allocated a BTB entry")
 	}
@@ -60,12 +60,12 @@ func TestNotTakenBranchesDontAllocate(t *testing.T) {
 
 func TestAliasingEviction(t *testing.T) {
 	p := New(4) // indexes collide every 16 bytes
-	p.Update(0x0, true, 0x40, false)
-	p.Update(0x10, true, 0x80, false) // same index, different tag: evicts
-	if taken, _ := p.Lookup(0x0); taken {
+	p.Update(0, 0x0, true, 0x40, false)
+	p.Update(0, 0x10, true, 0x80, false) // same index, different tag: evicts
+	if taken, _, _ := p.Lookup(0, 0x0); taken {
 		t.Error("evicted entry still predicts taken")
 	}
-	taken, target := p.Lookup(0x10)
+	taken, target, _ := p.Lookup(0, 0x10)
 	if !taken || target != 0x80 {
 		t.Error("new entry not installed after eviction")
 	}
@@ -73,19 +73,19 @@ func TestAliasingEviction(t *testing.T) {
 
 func TestTargetUpdatesOnTaken(t *testing.T) {
 	p := New(64)
-	p.Update(0x100, true, 0x200, false)
-	p.Update(0x100, true, 0x300, true) // indirect branch changed target
-	if _, target := p.Lookup(0x100); target != 0x300 {
+	p.Update(0, 0x100, true, 0x200, false)
+	p.Update(0, 0x100, true, 0x300, true) // indirect branch changed target
+	if _, target, _ := p.Lookup(0, 0x100); target != 0x300 {
 		t.Errorf("target = %#x, want latest", target)
 	}
 }
 
 func TestStats(t *testing.T) {
 	p := New(64)
-	p.Lookup(0x100)
-	p.Update(0x100, true, 0x200, false)
-	p.Lookup(0x100)
-	p.Update(0x100, true, 0x200, true)
+	p.Lookup(0, 0x100)
+	p.Update(0, 0x100, true, 0x200, false)
+	p.Lookup(0, 0x100)
+	p.Update(0, 0x100, true, 0x200, true)
 	s := p.Stats()
 	if s.Lookups != 2 || s.BTBHits != 1 || s.Predictions != 2 || s.Correct != 1 {
 		t.Errorf("stats = %+v", s)
@@ -95,6 +95,41 @@ func TestStats(t *testing.T) {
 	}
 	if (Stats{}).Accuracy() != 1 {
 		t.Error("empty accuracy should be 1")
+	}
+}
+
+// Confidence accounting: a cold miss is low-confidence, a weak hit is
+// low-confidence, a saturated hit is high-confidence — and the no-data
+// rate defaults to 1 like Accuracy.
+func TestConfidenceCounters(t *testing.T) {
+	p := New(64)
+	pc, tgt := uint32(0x100), uint32(0x200)
+	p.Lookup(0, pc) // miss: low
+	p.Update(0, pc, true, tgt, false)
+	p.Lookup(0, pc) // WeakTaken hit: low
+	p.Update(0, pc, true, tgt, true)
+	p.Lookup(0, pc) // StrongTaken hit: high
+	s := p.Stats()
+	if s.ConfHigh != 1 || s.ConfLow != 2 {
+		t.Errorf("conf counters = high %d low %d, want 1/2", s.ConfHigh, s.ConfLow)
+	}
+	if got := s.Confidence(); got != 1.0/3 {
+		t.Errorf("confidence = %v, want 1/3", got)
+	}
+	if (Stats{}).Confidence() != 1 {
+		t.Error("empty confidence should be 1 (no-data default)")
+	}
+}
+
+// Stats.Add must cover every counter — the per-thread-BTB configuration
+// aggregates replica stats with it.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Lookups: 1, BTBHits: 2, Predictions: 3, Correct: 4, ConfHigh: 5, ConfLow: 6}
+	b := a
+	a.Add(b)
+	want := Stats{Lookups: 2, BTBHits: 4, Predictions: 6, Correct: 8, ConfHigh: 10, ConfLow: 12}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
 	}
 }
 
@@ -118,11 +153,11 @@ func TestConvergenceProperty(t *testing.T) {
 		pc := uint32(pcRaw) &^ 3
 		p := New(64)
 		for _, h := range history {
-			p.Update(pc, h, pc+64, false)
+			p.Update(0, pc, h, pc+64, false)
 		}
-		p.Update(pc, true, pc+64, false)
-		p.Update(pc, true, pc+64, false)
-		taken, target := p.Lookup(pc)
+		p.Update(0, pc, true, pc+64, false)
+		p.Update(0, pc, true, pc+64, false)
+		taken, target, _ := p.Lookup(0, pc)
 		return taken && target == pc+64
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
@@ -133,12 +168,12 @@ func TestConvergenceProperty(t *testing.T) {
 func TestOneBitPredictorFlipsImmediately(t *testing.T) {
 	p := NewBits(64, 1)
 	pc, tgt := uint32(0x100), uint32(0x200)
-	p.Update(pc, true, tgt, false)
-	if taken, _ := p.Lookup(pc); !taken {
+	p.Update(0, pc, true, tgt, false)
+	if taken, _, _ := p.Lookup(0, pc); !taken {
 		t.Error("1-bit predictor not taken after taken update")
 	}
-	p.Update(pc, false, 0, false) // single not-taken must flip it
-	if taken, _ := p.Lookup(pc); taken {
+	p.Update(0, pc, false, 0, false) // single not-taken must flip it
+	if taken, _, _ := p.Lookup(0, pc); taken {
 		t.Error("1-bit predictor did not flip after one not-taken")
 	}
 }
@@ -160,17 +195,207 @@ func TestThreeBitHysteresis(t *testing.T) {
 	p := NewBits(64, 3)
 	pc, tgt := uint32(0x100), uint32(0x200)
 	for i := 0; i < 10; i++ {
-		p.Update(pc, true, tgt, true) // saturate at 7
+		p.Update(0, pc, true, tgt, true) // saturate at 7
 	}
 	// Three not-taken updates leave the counter at 4 — still taken.
 	for i := 0; i < 3; i++ {
-		p.Update(pc, false, 0, false)
+		p.Update(0, pc, false, 0, false)
 	}
-	if taken, _ := p.Lookup(pc); !taken {
+	if taken, _, _ := p.Lookup(0, pc); !taken {
 		t.Error("3-bit counter flipped too early")
 	}
-	p.Update(pc, false, 0, false)
-	if taken, _ := p.Lookup(pc); taken {
+	p.Update(0, pc, false, 0, false)
+	if taken, _, _ := p.Lookup(0, pc); taken {
 		t.Error("3-bit counter did not flip at threshold")
+	}
+}
+
+// allPredictors builds one of each implementation for cross-cutting
+// interface tests (the per-thread gshare with 4 history slots).
+func allPredictors() map[string]Predictor {
+	return map[string]Predictor{
+		"2bit":      New(64),
+		"gshare":    NewGshare(64, 1, false),
+		"gshare-pt": NewGshare(64, 4, true),
+		"tage":      NewTAGE(64),
+	}
+}
+
+// Every implementation: cold lookups fall through with low confidence,
+// a repeated taken branch converges to taken with the trained target,
+// and the stats counters account every lookup and update.
+func TestInterfaceConvergence(t *testing.T) {
+	for name, p := range allPredictors() {
+		t.Run(name, func(t *testing.T) {
+			pc, tgt := uint32(0x100), uint32(0x200)
+			if taken, _, conf := p.Lookup(0, pc); taken || conf {
+				t.Error("cold lookup predicted taken or confident")
+			}
+			for i := 0; i < 16; i++ {
+				taken, _, _ := p.Lookup(0, pc)
+				p.Update(0, pc, true, tgt, taken)
+			}
+			taken, target, conf := p.Lookup(0, pc)
+			if !taken || target != tgt {
+				t.Errorf("after 16 taken updates: taken=%v target=%#x", taken, target)
+			}
+			if !conf {
+				t.Error("saturated branch not reported high-confidence")
+			}
+			s := p.Stats()
+			if s.Lookups != 18 || s.Predictions != 16 {
+				t.Errorf("stats = %+v, want 18 lookups / 16 predictions", s)
+			}
+			if s.ConfHigh+s.ConfLow != s.Lookups {
+				t.Errorf("confidence counters don't partition lookups: %+v", s)
+			}
+		})
+	}
+}
+
+// A predicted-taken direction with no BTB target must be demoted to
+// fall-through with low confidence: the frontend cannot fetch from an
+// unknown target. Direction and target state are separate tables in
+// gshare and TAGE, so force the split state directly.
+func TestTakenWithoutTargetFallsThrough(t *testing.T) {
+	pc := uint32(0x100)
+	g := NewGshare(64, 1, false)
+	g.pht[g.phtIdx(pc, g.hist[0])] = StrongTaken // direction says taken, BTB cold
+	if taken, target, conf := g.Lookup(0, pc); taken || target != 0 || conf {
+		t.Errorf("gshare: taken=%v target=%#x conf=%v, want fall-through", taken, target, conf)
+	}
+	p := NewTAGE(64)
+	p.base[(pc>>2)&p.baseMask] = StrongTaken
+	if taken, target, conf := p.Lookup(0, pc); taken || target != 0 || conf {
+		t.Errorf("tage: taken=%v target=%#x conf=%v, want fall-through", taken, target, conf)
+	}
+}
+
+// Per-thread history isolation: an alternating pattern trained on
+// thread 0 must not pollute thread 1's history register.
+func TestGsharePerThreadHistoryIsolation(t *testing.T) {
+	shared := NewGshare(64, 2, false)
+	perT := NewGshare(64, 2, true)
+	pc := uint32(0x100)
+	for i := 0; i < 32; i++ {
+		outcome := i%2 == 0
+		shared.Update(0, pc, outcome, 0x200, true)
+		perT.Update(0, pc, outcome, 0x200, true)
+	}
+	if perT.hist[1] != 0 {
+		t.Errorf("thread 1 history polluted by thread 0 training: %#x", perT.hist[1])
+	}
+	if len(shared.hist) != 1 {
+		t.Errorf("shared variant allocated %d history slots", len(shared.hist))
+	}
+	if perT.hist[0] == 0 {
+		t.Error("thread 0 history did not record outcomes")
+	}
+}
+
+// Gshare history aliasing: the same PC under different history states
+// must index different PHT slots (the point of the XOR).
+func TestGshareHistoryDisambiguates(t *testing.T) {
+	g := NewGshare(64, 1, false)
+	pc := uint32(0x100)
+	i0 := g.phtIdx(pc, 0)
+	i1 := g.phtIdx(pc, 5)
+	if i0 == i1 {
+		t.Fatalf("history did not change the PHT index (%d)", i0)
+	}
+}
+
+// TAGE allocation: an alternating branch defeats the bimodal table
+// completely (its counter oscillates across the threshold, mispredicting
+// every time), so it must migrate into a tagged component — and the
+// history-indexed provider then predicts the alternation perfectly.
+func TestTAGEAllocatesOnMispredict(t *testing.T) {
+	p := NewTAGE(64)
+	pc, tgt := uint32(0x100), uint32(0x200)
+	correct := 0
+	for i := 0; i < 200; i++ {
+		outcome := i%2 == 0
+		taken, _, _ := p.Lookup(0, pc)
+		if i >= 150 && taken == outcome {
+			correct++
+		}
+		p.Update(0, pc, outcome, tgt, taken == outcome)
+	}
+	comp, _, _, _ := p.predict(pc)
+	if comp < 0 {
+		t.Error("no tagged component provides after 200 alternating outcomes")
+	}
+	if correct != 50 {
+		t.Errorf("last-50 accuracy = %d/50, want perfect on a learned alternation", correct)
+	}
+	if taken, target, _ := p.Lookup(0, pc); taken && target != tgt {
+		t.Errorf("taken prediction carries target %#x, want %#x", target, tgt)
+	}
+}
+
+// fold must confine itself to the requested history length: bits above
+// it cannot influence the fold, and folding is stable for fixed input.
+func TestTAGEFoldBounds(t *testing.T) {
+	h := uint64(0xDEAD_BEEF_CAFE)
+	if fold(h, 5, 7) != fold(h|0xFFFF_0000_0000, 5, 7) {
+		t.Error("fold leaked bits beyond the history length")
+	}
+	if fold(h, 40, 7) != fold(h, 40, 7) {
+		t.Error("fold is not deterministic")
+	}
+	if fold(0, 40, 7) != 0 {
+		t.Error("fold of zero history is nonzero")
+	}
+}
+
+// FlipEntry on every implementation: bounded to the table (huge indexes
+// reduce modulo the size), always reported for tables without a valid
+// bit, and deterministic — two instances given identical training and
+// identical flips must predict identically afterwards.
+func TestFlipEntryPerturbsDeterministically(t *testing.T) {
+	for _, name := range []string{"2bit", "gshare", "gshare-pt", "tage"} {
+		t.Run(name, func(t *testing.T) {
+			a, b := allPredictors()[name], allPredictors()[name]
+			pc, tgt := uint32(0x100), uint32(0x200)
+			for _, p := range []Predictor{a, b} {
+				for i := 0; i < 8; i++ {
+					p.Update(0, pc, true, tgt, true)
+				}
+			}
+			flipped := false
+			for i := 0; i < 1<<12; i += 37 { // stride past every table size
+				fa, fb := a.FlipEntry(i), b.FlipEntry(i)
+				if fa != fb {
+					t.Fatalf("flip %d diverged: %v vs %v", i, fa, fb)
+				}
+				flipped = flipped || fa
+			}
+			if !flipped {
+				t.Fatal("no slot reported a perturbation")
+			}
+			ta, tgta, ca := a.Lookup(0, pc)
+			tb, tgtb, cb := b.Lookup(0, pc)
+			if ta != tb || tgta != tgtb || ca != cb {
+				t.Fatalf("post-flip predictions diverged: (%v %#x %v) vs (%v %#x %v)",
+					ta, tgta, ca, tb, tgtb, cb)
+			}
+		})
+	}
+}
+
+// TwoBit FlipEntry semantics are load-bearing for the fault channel:
+// invalid slots report false, valid slots invert the counter.
+func TestFlipEntryTwoBit(t *testing.T) {
+	p := New(64)
+	if p.FlipEntry(3) {
+		t.Error("flip of an invalid entry reported a perturbation")
+	}
+	p.Update(0, 0x100, true, 0x200, true) // counter at WeakTaken (2)
+	idx := int(p.index(0x100))
+	if !p.FlipEntry(idx) {
+		t.Error("flip of a valid entry reported nothing")
+	}
+	if taken, _, _ := p.Lookup(0, 0x100); taken {
+		t.Error("flipped counter still predicts taken")
 	}
 }

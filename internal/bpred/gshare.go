@@ -1,0 +1,122 @@
+package bpred
+
+// Gshare XORs the branch PC with a global branch-history register to
+// index a pattern history table (PHT) of 2-bit counters; targets still
+// come from a direct-mapped BTB with the same allocate-on-taken policy
+// as the 2-bit predictor. Because every SDSP thread runs the same code,
+// history can be shared across threads (cross-thread correlation, the
+// arrangement the paper uses for its BTB) or kept per thread, which
+// removes cross-thread history interleaving at the cost of slower
+// warm-up — both variants are this one type.
+//
+// Like the counters in the paper's predictor, the history register is
+// *committed* history: it advances only at result commit, so lookups
+// between a branch's fetch and its commit see a slightly stale
+// register. That keeps the predictor deterministic under squash and is
+// the same delayed-update discipline the paper describes.
+type Gshare struct {
+	counters
+	btb      []btbEntry
+	pht      []uint8
+	hist     []uint32 // one shared register, or one per thread
+	btbMask  uint32
+	phtMask  uint32
+	histMask uint32
+}
+
+// gsharePHTScale sizes the PHT relative to the BTB: direction counters
+// are two bits against the BTB's ~9 bytes, so a larger table is nearly
+// free and reduces destructive aliasing.
+const gsharePHTScale = 4
+
+// NewGshare returns a gshare predictor with btbEntries BTB entries
+// (power of two) and a PHT of gsharePHTScale×btbEntries counters.
+// perThread gives each of the threads its own history register;
+// otherwise one register is shared by all.
+func NewGshare(btbEntries, threads int, perThread bool) *Gshare {
+	btb := newBTB(btbEntries)
+	phtSize := btbEntries * gsharePHTScale
+	slots := 1
+	if perThread {
+		if threads < 1 {
+			panic("bpred: per-thread gshare needs a positive thread count")
+		}
+		slots = threads
+	}
+	g := &Gshare{
+		btb:      btb,
+		pht:      make([]uint8, phtSize),
+		hist:     make([]uint32, slots),
+		btbMask:  uint32(btbEntries - 1),
+		phtMask:  uint32(phtSize - 1),
+		histMask: uint32(phtSize - 1),
+	}
+	for i := range g.pht {
+		g.pht[i] = WeakNotTaken
+	}
+	return g
+}
+
+func (g *Gshare) histIdx(t int) int {
+	if len(g.hist) == 1 {
+		return 0
+	}
+	return t % len(g.hist)
+}
+
+func (g *Gshare) phtIdx(pc, hist uint32) uint32 {
+	return ((pc >> 2) ^ hist) & g.phtMask
+}
+
+// Lookup predicts the branch at pc using thread t's history view. A
+// taken prediction with no BTB target is demoted to fall-through with
+// low confidence — the frontend cannot fetch from an unknown target.
+func (g *Gshare) Lookup(t int, pc uint32) (bool, uint32, bool) {
+	g.lookups++
+	ctr := g.pht[g.phtIdx(pc, g.hist[g.histIdx(t)])]
+	taken := ctr >= WeakTaken
+	conf := ctr == StrongNotTaken || ctr == StrongTaken
+	target, hit := btbProbe(g.btb, g.btbMask, pc)
+	if hit {
+		g.hits++
+	}
+	if taken && !hit {
+		taken, target, conf = false, 0, false
+	}
+	if !taken {
+		target = 0
+	}
+	g.noteConf(conf)
+	return taken, target, conf
+}
+
+// Update trains the PHT counter under the current committed history,
+// trains the BTB target, then shifts the outcome into the history
+// register. Commit order makes this deterministic.
+func (g *Gshare) Update(t int, pc uint32, taken bool, target uint32, correct bool) {
+	g.notePrediction(correct)
+	hi := g.histIdx(t)
+	h := g.hist[hi]
+	i := g.phtIdx(pc, h)
+	if taken {
+		if g.pht[i] < StrongTaken {
+			g.pht[i]++
+		}
+	} else if g.pht[i] > StrongNotTaken {
+		g.pht[i]--
+	}
+	trainBTBTarget(g.btb, g.btbMask, pc, taken, target)
+	var bit uint32
+	if taken {
+		bit = 1
+	}
+	g.hist[hi] = ((h << 1) | bit) & g.histMask
+}
+
+// FlipEntry inverts PHT counter i (mod table size). PHT counters have
+// no valid bit, so a flip always perturbs live prediction state.
+func (g *Gshare) FlipEntry(i int) bool {
+	c := &g.pht[uint32(i)&g.phtMask]
+	*c = StrongTaken - *c
+	return true
+}

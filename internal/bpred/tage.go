@@ -1,0 +1,203 @@
+package bpred
+
+// TAGE is a small TAgged GEometric-history predictor (Seznec &
+// Michaud): a bimodal base table backed by four tagged components
+// indexed with geometrically increasing global-history lengths. The
+// longest-history component whose tag matches provides the prediction;
+// on a mispredict a longer component is allocated so hard branches
+// migrate toward the history length that disambiguates them.
+//
+// This is the study-scale variant, not a championship predictor: tables
+// are tiny (128 entries per component), history folding is recomputed
+// per access instead of maintained incrementally, and — like every
+// predictor here — the single shared global history advances only at
+// result commit, keeping state deterministic under squash. Targets
+// come from the same allocate-on-taken direct-mapped BTB as the 2-bit
+// predictor. All tables are preallocated at construction; Lookup and
+// Update are allocation-free.
+type TAGE struct {
+	counters
+	base     []uint8 // 2-bit bimodal counters, direct-mapped by PC
+	comp     [tageComps][]tageEntry
+	btb      []btbEntry
+	hist     uint64 // shared committed global history, newest bit 0
+	baseMask uint32
+	btbMask  uint32
+}
+
+const (
+	tageComps    = 4
+	tageCompBits = 7 // 128 entries per tagged component
+	tageTagBits  = 8
+	tageCtrInit  = 3 // weak not-taken for a 3-bit counter
+	tageCtrTaken = 4 // 3-bit counter predicts taken at or above this
+	tageCtrMax   = 7
+	tageUMax     = 3 // 2-bit useful counter
+)
+
+// tageHistLens are the geometric history lengths of the tagged
+// components, shortest first.
+var tageHistLens = [tageComps]uint{5, 10, 20, 40}
+
+type tageEntry struct {
+	tag   uint8
+	ctr   uint8 // 3-bit saturating counter
+	u     uint8 // 2-bit useful counter, gates allocation victims
+	valid bool
+}
+
+// NewTAGE returns a TAGE predictor whose base table and BTB both have
+// btbEntries entries (power of two).
+func NewTAGE(btbEntries int) *TAGE {
+	p := &TAGE{
+		base:     make([]uint8, btbEntries),
+		btb:      newBTB(btbEntries),
+		baseMask: uint32(btbEntries - 1),
+		btbMask:  uint32(btbEntries - 1),
+	}
+	for i := range p.base {
+		p.base[i] = WeakNotTaken
+	}
+	for i := range p.comp {
+		p.comp[i] = make([]tageEntry, 1<<tageCompBits)
+	}
+	return p
+}
+
+// fold compresses the low length bits of history into width bits by
+// XOR-folding fixed-size chunks.
+func fold(h uint64, length, width uint) uint32 {
+	h &= (1 << length) - 1
+	var f uint32
+	mask := uint32(1<<width) - 1
+	for length > 0 {
+		f ^= uint32(h) & mask
+		h >>= width
+		if length < width {
+			break
+		}
+		length -= width
+	}
+	return f
+}
+
+func (p *TAGE) compIndex(c int, pc uint32) uint32 {
+	w := pc >> 2
+	return (w ^ (w >> tageCompBits) ^ fold(p.hist, tageHistLens[c], tageCompBits)) &
+		((1 << tageCompBits) - 1)
+}
+
+func (p *TAGE) compTag(c int, pc uint32) uint8 {
+	w := pc >> 2
+	return uint8((w >> tageCompBits) ^ fold(p.hist, tageHistLens[c], tageTagBits))
+}
+
+// predict finds the provider component (-1 means the base table) and
+// its prediction under the current committed history.
+func (p *TAGE) predict(pc uint32) (comp int, idx uint32, taken, conf bool) {
+	for c := tageComps - 1; c >= 0; c-- {
+		i := p.compIndex(c, pc)
+		e := &p.comp[c][i]
+		if e.valid && e.tag == p.compTag(c, pc) {
+			return c, i, e.ctr >= tageCtrTaken, e.ctr <= 1 || e.ctr >= 6
+		}
+	}
+	b := p.base[(pc>>2)&p.baseMask]
+	return -1, 0, b >= WeakTaken, b == StrongNotTaken || b == StrongTaken
+}
+
+// Lookup predicts the branch at pc. As with gshare, a taken prediction
+// without a BTB target is demoted to fall-through with low confidence.
+func (p *TAGE) Lookup(t int, pc uint32) (bool, uint32, bool) {
+	p.lookups++
+	_, _, taken, conf := p.predict(pc)
+	target, hit := btbProbe(p.btb, p.btbMask, pc)
+	if hit {
+		p.hits++
+	}
+	if taken && !hit {
+		taken, target, conf = false, 0, false
+	}
+	if !taken {
+		target = 0
+	}
+	p.noteConf(conf)
+	return taken, target, conf
+}
+
+// Update trains the provider, manages useful counters, allocates a
+// longer-history entry on mispredicts, trains the BTB target, and
+// shifts the outcome into the global history. The provider is
+// recomputed here under the same committed history Update itself
+// maintains, so training is self-consistent even though fetch-time
+// state is long gone by commit.
+func (p *TAGE) Update(t int, pc uint32, taken bool, target uint32, correct bool) {
+	p.notePrediction(correct)
+	comp, idx, pred, _ := p.predict(pc)
+	if comp >= 0 {
+		e := &p.comp[comp][idx]
+		if taken {
+			if e.ctr < tageCtrMax {
+				e.ctr++
+			}
+		} else if e.ctr > 0 {
+			e.ctr--
+		}
+		if pred == taken {
+			if e.u < tageUMax {
+				e.u++
+			}
+		} else if e.u > 0 {
+			e.u--
+		}
+	} else {
+		b := &p.base[(pc>>2)&p.baseMask]
+		if taken {
+			if *b < StrongTaken {
+				*b++
+			}
+		} else if *b > StrongNotTaken {
+			*b--
+		}
+	}
+	if pred != taken && comp < tageComps-1 {
+		// Deterministic allocation: the first longer-history component
+		// with a dead entry wins; if none, age every candidate so a
+		// future mispredict can allocate.
+		allocated := false
+		for c := comp + 1; c < tageComps; c++ {
+			e := &p.comp[c][p.compIndex(c, pc)]
+			if !e.valid || e.u == 0 {
+				ctr := uint8(tageCtrInit)
+				if taken {
+					ctr = tageCtrTaken
+				}
+				*e = tageEntry{tag: p.compTag(c, pc), ctr: ctr, valid: true}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for c := comp + 1; c < tageComps; c++ {
+				e := &p.comp[c][p.compIndex(c, pc)]
+				if e.u > 0 {
+					e.u--
+				}
+			}
+		}
+	}
+	trainBTBTarget(p.btb, p.btbMask, pc, taken, target)
+	var bit uint64
+	if taken {
+		bit = 1
+	}
+	p.hist = p.hist<<1 | bit
+}
+
+// FlipEntry inverts base-table counter i (mod table size); the bimodal
+// table always holds live direction state, so this always perturbs.
+func (p *TAGE) FlipEntry(i int) bool {
+	b := &p.base[uint32(i)&p.baseMask]
+	*b = StrongTaken - *b
+	return true
+}

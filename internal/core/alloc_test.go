@@ -94,6 +94,44 @@ func TestCycleAllocFreeWithCoverage(t *testing.T) {
 	}
 }
 
+// TestCycleAllocFreePredictors asserts the zero-alloc property for every
+// predictor in the family: gshare and TAGE tables (PHTs, tagged
+// components, per-thread histories) are all preallocated at New, so a
+// warm machine stays allocation-free no matter which predictor is live.
+func TestCycleAllocFreePredictors(t *testing.T) {
+	for _, pred := range []PredictorKind{PredGshare, PredGshareThread, PredTAGE} {
+		pred := pred
+		t.Run(pred.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MaxCycles = 0
+			cfg.Predictor = pred
+			m := warmMachine(t, cfg)
+			if got := allocsPerCycle(m); got != 0 {
+				t.Errorf("warm Cycle with %v allocates %.4f objects/cycle, want 0", pred, got)
+			}
+		})
+	}
+}
+
+// TestCycleAllocFreeFetchPolicies asserts the zero-alloc property for
+// the new fetch policies: the ICOUNT-feedback tally reuses the
+// preallocated occupancy scratch slice, and the confidence throttle is
+// two integer fields on the machine.
+func TestCycleAllocFreeFetchPolicies(t *testing.T) {
+	for _, pol := range []FetchPolicy{ICountFeedback, ConfThrottle} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.MaxCycles = 0
+			cfg.FetchPolicy = pol
+			m := warmMachine(t, cfg)
+			if got := allocsPerCycle(m); got != 0 {
+				t.Errorf("warm Cycle under %v allocates %.4f objects/cycle, want 0", pol, got)
+			}
+		})
+	}
+}
+
 // TestCycleAllocParanoidBudget documents the paranoid-mode allocation
 // budget. CheckInvariants walks the whole machine each cycle building
 // tag/address sets in fresh maps, so it allocates by design; this test

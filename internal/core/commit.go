@@ -154,7 +154,7 @@ func (m *Machine) commitEntry(e *suEntry) {
 	case e.inst.Op.IsBranch() || e.inst.Op == isa.JALR:
 		correct := e.actualTaken == e.predTaken &&
 			(!e.actualTaken || e.actualTarget == e.predTarget)
-		m.predFor(e.thread).Update(e.pc, e.actualTaken, e.actualTarget, correct)
+		m.predFor(e.thread).Update(e.thread, e.pc, e.actualTaken, e.actualTarget, correct)
 		m.covBTBTrained(e.thread, e.pc)
 	case e.inst.Op == isa.HALT:
 		m.halted[e.thread] = true

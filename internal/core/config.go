@@ -37,6 +37,17 @@ const (
 	// fetch for threads in regions of low execution rate. (The same idea
 	// later became Tullsen's ICOUNT.)
 	ICount
+	// ICountFeedback is ICount with backend-pressure feedback: when the
+	// scheduling unit is more than three-quarters full the frontend holds
+	// fetch entirely for a cycle instead of picking a thread, letting the
+	// backend drain before more instructions pile in.
+	ICountFeedback
+	// ConfThrottle is a confidence-throttled variable fetch rate: a small
+	// saturating meter tracks recent branch-prediction confidence, and
+	// fetch slows to every other cycle (low meter) or every fourth cycle
+	// (very low) while predictions are unreliable, spending fewer wasted
+	// slots on likely-wrong paths. Thread choice is TrueRR's rotation.
+	ConfThrottle
 )
 
 func (p FetchPolicy) String() string {
@@ -49,8 +60,80 @@ func (p FetchPolicy) String() string {
 		return "CondSwitch"
 	case ICount:
 		return "ICount"
+	case ICountFeedback:
+		return "ICountFeedback"
+	case ConfThrottle:
+		return "ConfThrottle"
 	}
 	return fmt.Sprintf("FetchPolicy(%d)", int(p))
+}
+
+// ParseFetchPolicy maps a CLI spelling to a fetch policy.
+func ParseFetchPolicy(s string) (FetchPolicy, error) {
+	switch s {
+	case "truerr", "rr":
+		return TrueRR, nil
+	case "masked", "maskedrr":
+		return MaskedRR, nil
+	case "cswitch", "condswitch":
+		return CondSwitch, nil
+	case "icount":
+		return ICount, nil
+	case "icount-fb", "icountfb", "icountfeedback":
+		return ICountFeedback, nil
+	case "confthrottle", "conf-throttle", "conf":
+		return ConfThrottle, nil
+	}
+	return 0, fmt.Errorf("unknown fetch policy %q (truerr, masked, cswitch, icount, icount-fb, confthrottle)", s)
+}
+
+// PredictorKind selects the branch predictor implementation. The zero
+// value is the paper's 2-bit counter + shared BTB, so existing
+// configurations are unchanged.
+type PredictorKind int
+
+const (
+	// PredTwoBit is the paper's n-bit saturating counter in the BTB
+	// (2-bit by default; Config.PredictorBits selects the width).
+	PredTwoBit PredictorKind = iota
+	// PredGshare indexes a pattern history table with PC XOR a global
+	// history register shared by all threads.
+	PredGshare
+	// PredGshareThread is gshare with a private history register per
+	// thread: no cross-thread history interleaving, slower warm-up.
+	PredGshareThread
+	// PredTAGE is a small TAgged GEometric-history predictor: a bimodal
+	// base table plus four tagged components at history lengths 5/10/20/40.
+	PredTAGE
+)
+
+func (k PredictorKind) String() string {
+	switch k {
+	case PredTwoBit:
+		return "2bit"
+	case PredGshare:
+		return "gshare"
+	case PredGshareThread:
+		return "gshare-pt"
+	case PredTAGE:
+		return "tage"
+	}
+	return fmt.Sprintf("PredictorKind(%d)", int(k))
+}
+
+// ParsePredictor maps a CLI spelling to a predictor kind.
+func ParsePredictor(s string) (PredictorKind, error) {
+	switch s {
+	case "2bit", "twobit", "nbit":
+		return PredTwoBit, nil
+	case "gshare":
+		return PredGshare, nil
+	case "gshare-pt", "gsharept", "gshare-thread", "gsharethread":
+		return PredGshareThread, nil
+	case "tage":
+		return PredTAGE, nil
+	}
+	return 0, fmt.Errorf("unknown predictor %q (2bit, gshare, gshare-pt, tage)", s)
 }
 
 // CommitPolicy selects the result-commit scheme (paper §5.6).
@@ -140,6 +223,10 @@ type Config struct {
 	BTBEntries    int  // branch target buffer entries (power of two)
 	PredictorBits int  // saturating counter width; 0 means the paper's 2
 	PerThreadBTB  bool // ablation: private predictor+BTB per thread (paper shares one)
+	// Predictor selects the direction predictor implementation; the zero
+	// value (PredTwoBit) is the paper's. PredictorBits applies only to
+	// PredTwoBit — gshare and TAGE fix their own counter widths.
+	Predictor PredictorKind
 
 	Renaming  bool // true: full renaming; false: 1-bit scoreboarding
 	Bypassing bool // true: results usable the cycle after writeback
@@ -240,8 +327,11 @@ func (c *Config) Validate() error {
 	if c.PredictorBits < 0 || c.PredictorBits > 4 {
 		return fmt.Errorf("core: predictor bits %d out of range", c.PredictorBits)
 	}
-	if c.FetchPolicy < TrueRR || c.FetchPolicy > ICount {
+	if c.FetchPolicy < TrueRR || c.FetchPolicy > ConfThrottle {
 		return fmt.Errorf("core: unknown fetch policy %v", c.FetchPolicy)
+	}
+	if c.Predictor < PredTwoBit || c.Predictor > PredTAGE {
+		return fmt.Errorf("core: unknown predictor kind %v", c.Predictor)
 	}
 	if c.CommitPolicy != FlexibleCommit && c.CommitPolicy != LowestOnly {
 		return fmt.Errorf("core: unknown commit policy %v", c.CommitPolicy)

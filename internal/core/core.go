@@ -23,8 +23,8 @@ type Machine struct {
 	dcache *cache.Cache
 	icache *cache.Cache // nil: perfect instruction cache (paper default)
 	sync   *syncctl.Controller
-	preds  []*bpred.Predictor // one shared (paper) or one per thread
-	text   []isa.Inst         // predecoded text segment
+	preds  []bpred.Predictor // one shared (paper) or one per thread
+	text   []isa.Inst        // predecoded text segment
 
 	regs [isa.NumPhysRegs]uint32
 
@@ -54,6 +54,7 @@ type Machine struct {
 	rrCounter    int
 	curThread    int // CondSwitch's active thread
 	maskedThread int // MaskedRR: thread stalling the bottom block, or -1
+	confMeter    int // ConfThrottle: saturating 0..confMeterMax confidence meter
 
 	pools        []fuPool
 	completions  []*suEntry
@@ -130,9 +131,9 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 	if cfg.PerThreadBTB {
 		npred = cfg.Threads
 	}
-	preds := make([]*bpred.Predictor, npred)
+	preds := make([]bpred.Predictor, npred)
 	for i := range preds {
-		preds[i] = bpred.NewBits(cfg.BTBEntries, cfg.predictorBits())
+		preds[i] = newPredictor(cfg)
 	}
 	m := &Machine{
 		cfg:          cfg,
@@ -149,9 +150,10 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 		maskedThread: -1,
 		pools:        newPools(cfg.FUs),
 	}
-	if cfg.FetchPolicy == ICount {
+	if cfg.FetchPolicy == ICount || cfg.FetchPolicy == ICountFeedback {
 		m.icountOcc = make([]int, cfg.Threads)
 	}
+	m.confMeter = confMeterMax // start confident: full fetch rate until evidence says otherwise
 	if cfg.ICache != nil {
 		m.icache = cache.New(*cfg.ICache, m0)
 	}
@@ -243,8 +245,23 @@ func (m *Machine) Stats() *Stats {
 	return &m.stats
 }
 
+// newPredictor builds one predictor instance for cfg. Per-thread-BTB
+// machines call it once per thread; the per-thread gshare variant still
+// keys history by the real thread index inside each replica.
+func newPredictor(cfg Config) bpred.Predictor {
+	switch cfg.Predictor {
+	case PredGshare:
+		return bpred.NewGshare(cfg.BTBEntries, cfg.Threads, false)
+	case PredGshareThread:
+		return bpred.NewGshare(cfg.BTBEntries, cfg.Threads, true)
+	case PredTAGE:
+		return bpred.NewTAGE(cfg.BTBEntries)
+	}
+	return bpred.NewBits(cfg.BTBEntries, cfg.predictorBits())
+}
+
 // predFor returns the predictor serving thread t.
-func (m *Machine) predFor(t int) *bpred.Predictor {
+func (m *Machine) predFor(t int) bpred.Predictor {
 	if len(m.preds) == 1 {
 		return m.preds[0]
 	}
@@ -255,11 +272,7 @@ func (m *Machine) finishStats() {
 	m.stats.Cycles = m.now
 	m.stats.Branch = bpred.Stats{}
 	for _, p := range m.preds {
-		s := p.Stats()
-		m.stats.Branch.Lookups += s.Lookups
-		m.stats.Branch.BTBHits += s.BTBHits
-		m.stats.Branch.Predictions += s.Predictions
-		m.stats.Branch.Correct += s.Correct
+		m.stats.Branch.Add(p.Stats())
 	}
 	m.stats.Cache = m.dcache.Stats()
 	if m.icache != nil {

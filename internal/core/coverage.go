@@ -54,7 +54,10 @@ func (m *Machine) markCoverageApplicability() {
 	// Configuration gates.
 	mark(cfg.FetchPolicy != MaskedRR, cover.EvFetchMaskedSkip)
 	mark(cfg.FetchPolicy != CondSwitch, cover.EvFetchCondRotate)
-	mark(cfg.FetchPolicy != ICount, cover.EvFetchICountSteer)
+	mark(cfg.FetchPolicy != ICount && cfg.FetchPolicy != ICountFeedback,
+		cover.EvFetchICountSteer)
+	mark(cfg.FetchPolicy != ICountFeedback, cover.EvFetchFeedbackHold)
+	mark(cfg.FetchPolicy != ConfThrottle, cover.EvFetchConfThrottle)
 	mark(cfg.ICache == nil, cover.EvICacheMissStall)
 	mark(cfg.Renaming, cover.EvDispatchWAWStall)
 	mark(cfg.Threads < 2 || cfg.PerThreadBTB, cover.EvBTBCrossThreadHit)
@@ -93,8 +96,9 @@ func (m *Machine) markCoverageApplicability() {
 
 	mark(!hasAnyCT, cover.EvFetchTakenTrunc)
 	mark(!hasPredCT,
-		cover.EvFetchWrongPath, cover.EvMispredictSquash, cover.EvSquashSurvivors,
-		cover.EvSquashSparesOthers, cover.EvSquashKilledLatch, cover.EvSquashRevivedFetch)
+		cover.EvFetchWrongPath, cover.EvFetchLowConf, cover.EvMispredictSquash,
+		cover.EvSquashSurvivors, cover.EvSquashSparesOthers,
+		cover.EvSquashKilledLatch, cover.EvSquashRevivedFetch)
 	mark(!hasPredCT || !hasStore, cover.EvSquashKilledStore)
 	mark(!hasPredCT || !hasMem, cover.EvBadAddrSpeculative)
 	mark(!hasLoad || !hasSyncRead, cover.EvLoadBlockedSyncOrder)

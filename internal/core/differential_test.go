@@ -46,6 +46,11 @@ func diffConfigs() map[string]Config {
 		"forwarding": mk(4, func(c *Config) { c.StoreForwarding = true }),
 		"onebit":     mk(4, func(c *Config) { c.PredictorBits = 1 }),
 		"privateBTB": mk(4, func(c *Config) { c.PerThreadBTB = true }),
+		"gshare":     mk(4, func(c *Config) { c.Predictor = PredGshare }),
+		"gsharePT":   mk(4, func(c *Config) { c.Predictor = PredGshareThread }),
+		"tage":       mk(4, func(c *Config) { c.Predictor = PredTAGE }),
+		"icountFB":   mk(4, func(c *Config) { c.FetchPolicy = ICountFeedback }),
+		"confThrot":  mk(5, func(c *Config) { c.FetchPolicy = ConfThrottle; c.Predictor = PredGshare }),
 		"realICache": mk(4, func(c *Config) {
 			ic := cache.Config{SizeBytes: 2048, LineBytes: 32, Ways: 2, MissPenalty: 8}
 			c.ICache = &ic

@@ -61,7 +61,18 @@ func (m *Machine) eligible(t int) bool {
 	return !m.halted[t] && !m.fetchStopped[t]
 }
 
-// selectThread implements the three fetch policies of paper §5.1.
+// Confidence meter bounds for the ConfThrottle policy: the meter rises
+// by one on each high-confidence prediction, falls by two on each
+// low-confidence one, and the fetch rate halves below confMeterHigh and
+// quarters below confMeterLow.
+const (
+	confMeterMax  = 15
+	confMeterHigh = 12
+	confMeterLow  = 6
+)
+
+// selectThread implements the fetch policies: the paper's three (§5.1),
+// the ICount sketch (§6.1), and the two throttled variants.
 func (m *Machine) selectThread() int {
 	n := m.cfg.Threads
 	switch m.cfg.FetchPolicy {
@@ -102,49 +113,126 @@ func (m *Machine) selectThread() int {
 		}
 		return -1
 	case ICount:
-		// Judicious fetch: favour the eligible thread with the fewest
-		// instructions in flight, so a stalled thread stops consuming
-		// fetch slots and window space. Ties rotate round-robin.
-		counts := m.icountOcc
-		for i := range counts {
-			counts[i] = 0
-		}
-		for _, b := range m.su {
-			for _, e := range b.entries {
-				if e != nil && e.valid && !e.squashed {
-					counts[b.thread]++
-				}
-			}
-		}
-		if m.latch != nil {
-			counts[m.latch.thread] += BlockSize
-		}
-		best, bestCount := -1, 0
-		for i := 0; i < n; i++ {
-			t := (m.rrCounter + i) % n
-			if !m.eligible(t) {
-				continue
-			}
-			if best < 0 || counts[t] < bestCount {
-				best, bestCount = t, counts[t]
-			}
-		}
-		if best >= 0 {
+		m.icountTally()
+		return m.icountPick(n)
+	case ICountFeedback:
+		// ICount with backend-pressure feedback: when the window is more
+		// than three-quarters occupied, hold fetch entirely for a cycle so
+		// the backend drains instead of stacking more work behind a stall.
+		if total := m.icountTally(); total*4 > m.cfg.SUEntries*3 {
+			m.stats.FetchThrottled++
 			if m.cov != nil {
-				for t := 0; t < n; t++ {
-					if t != best && m.eligible(t) && counts[t] > bestCount {
-						m.cov.Hit(cover.EvFetchICountSteer)
-						break
-					}
-				}
+				m.cov.Hit(cover.EvFetchFeedbackHold)
 			}
-			m.rrCounter = best + 1
+			return -1
 		}
-		return best
+		return m.icountPick(n)
+	case ConfThrottle:
+		// Variable fetch rate on prediction confidence: while the meter
+		// says recent predictions are unreliable, fetching at full rate
+		// mostly fills the window with likely-wrong-path work, so slow to
+		// every second (low) or fourth (very low) cycle. Thread selection
+		// is TrueRR's rotation.
+		if gap := m.throttleGap(); gap > 1 && m.now%gap != 0 {
+			m.stats.FetchThrottled++
+			if m.cov != nil {
+				m.cov.Hit(cover.EvFetchConfThrottle)
+			}
+			return -1
+		}
+		t := m.rrCounter % n
+		m.rrCounter++
+		if !m.eligible(t) {
+			return -1
+		}
+		return t
 	}
 	// Unreachable: Config.Validate rejects unknown policies.
 	m.failf(FaultInternal, "fetch", -1, 0, "unknown fetch policy %v", m.cfg.FetchPolicy)
 	return -1
+}
+
+// icountTally recounts per-thread in-flight instructions into
+// m.icountOcc and returns the total (window occupancy plus the latch).
+func (m *Machine) icountTally() int {
+	counts := m.icountOcc
+	for i := range counts {
+		counts[i] = 0
+	}
+	total := 0
+	for _, b := range m.su {
+		for _, e := range b.entries {
+			if e != nil && e.valid && !e.squashed {
+				counts[b.thread]++
+				total++
+			}
+		}
+	}
+	if m.latch != nil {
+		counts[m.latch.thread] += BlockSize
+		total += BlockSize
+	}
+	return total
+}
+
+// icountPick selects the eligible thread with the fewest in-flight
+// instructions per m.icountOcc (judicious fetch: a stalled thread stops
+// consuming fetch slots and window space). Ties rotate round-robin.
+func (m *Machine) icountPick(n int) int {
+	counts := m.icountOcc
+	best, bestCount := -1, 0
+	for i := 0; i < n; i++ {
+		t := (m.rrCounter + i) % n
+		if !m.eligible(t) {
+			continue
+		}
+		if best < 0 || counts[t] < bestCount {
+			best, bestCount = t, counts[t]
+		}
+	}
+	if best >= 0 {
+		if m.cov != nil {
+			for t := 0; t < n; t++ {
+				if t != best && m.eligible(t) && counts[t] > bestCount {
+					m.cov.Hit(cover.EvFetchICountSteer)
+					break
+				}
+			}
+		}
+		m.rrCounter = best + 1
+	}
+	return best
+}
+
+// throttleGap maps the confidence meter to a fetch period: 1 cycle at
+// high confidence, 2 below confMeterHigh, 4 below confMeterLow.
+func (m *Machine) throttleGap() uint64 {
+	switch {
+	case m.confMeter >= confMeterHigh:
+		return 1
+	case m.confMeter >= confMeterLow:
+		return 2
+	}
+	return 4
+}
+
+// noteConf feeds one prediction's confidence into the throttle meter:
+// up one when confident, down two when not (misses hurt more than hits
+// help, so a burst of cold branches slows fetch quickly).
+func (m *Machine) noteConf(conf bool) {
+	if conf {
+		if m.confMeter < confMeterMax {
+			m.confMeter++
+		}
+		return
+	}
+	m.confMeter -= 2
+	if m.confMeter < 0 {
+		m.confMeter = 0
+	}
+	if m.cov != nil {
+		m.cov.Hit(cover.EvFetchLowConf)
+	}
 }
 
 // rotateThread moves CondSwitch to the next thread (called when the
@@ -253,21 +341,25 @@ func (m *Machine) fetchBlockFor(t int) {
 
 // predictCT predicts a control transfer at fetch time. JAL targets are
 // computable by predecode and never mispredict; branches and JALR use
-// the shared 2-bit predictor and BTB.
+// the configured predictor and BTB. Every real prediction also feeds
+// the confidence meter, whether or not ConfThrottle consumes it.
 func (m *Machine) predictCT(t int, in isa.Inst, pc uint32) (bool, uint32) {
 	switch {
 	case in.Op == isa.JAL:
 		return true, isa.CTTarget(in, pc, 0)
 	case in.Op == isa.JALR:
 		m.covBTBLookup(t, pc)
-		taken, target := m.predFor(t).Lookup(pc)
+		taken, target, conf := m.predFor(t).Lookup(t, pc)
+		m.noteConf(conf)
 		if !taken {
 			return false, 0 // predict fall-through; will mispredict and train
 		}
 		return true, target
 	case in.Op.IsBranch():
 		m.covBTBLookup(t, pc)
-		return m.predFor(t).Lookup(pc)
+		taken, target, conf := m.predFor(t).Lookup(t, pc)
+		m.noteConf(conf)
+		return taken, target
 	}
 	return false, 0 // HALT handled by caller
 }

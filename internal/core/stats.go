@@ -16,10 +16,11 @@ type Stats struct {
 
 	CommittedByThread []uint64
 
-	FetchedBlocks uint64
-	FetchedInsts  uint64 // valid instructions entering the latch
-	FetchIdle     uint64 // cycles no thread fetched
-	DispatchStall uint64 // cycles the latch could not enter the SU
+	FetchedBlocks  uint64
+	FetchedInsts   uint64 // valid instructions entering the latch
+	FetchIdle      uint64 // cycles no thread fetched
+	FetchThrottled uint64 // cycles ICountFeedback/ConfThrottle deliberately held fetch
+	DispatchStall  uint64 // cycles the latch could not enter the SU
 
 	SUStalls     uint64 // SU full and nothing committed (paper's SU stall)
 	SUFullCycles uint64 // cycles the SU was full

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/isa"
 )
 
@@ -39,6 +40,88 @@ func TestFUUtilizationUnusedUnit(t *testing.T) {
 	}
 	if got := s.FUUtilization(isa.ClassFPDiv, 0); got != 0 {
 		t.Errorf("unconfigured class utilization = %v, want 0", got)
+	}
+}
+
+// Branch-predictor rates follow the same no-NaN discipline at the
+// degenerate corners the experiment tables hit: a machine that never
+// cycled (and so never looked up a branch) reports perfect accuracy and
+// confidence by convention, and a real run with zero branches must not
+// divide by zero either.
+func TestStatsBranchRatesEdgeCases(t *testing.T) {
+	var s Stats
+	if got := s.Branch.Accuracy(); got != 1 {
+		t.Errorf("zero-cycle Accuracy = %v, want 1", got)
+	}
+	if got := s.Branch.Confidence(); got != 1 {
+		t.Errorf("zero-cycle Confidence = %v, want 1", got)
+	}
+	// A straight-line program: no branches resolve, yet rates stay sane.
+	obj, err := asm.Assemble(`
+main: addi r2, r0, 7
+      li   r3, out
+      sw   r2, 0(r3)
+      halt
+.data
+out:  .word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []PredictorKind{PredTwoBit, PredGshare, PredGshareThread, PredTAGE} {
+		cfg := DefaultConfig()
+		cfg.Threads = 1
+		cfg.Predictor = pred
+		m, err := New(obj, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", pred, err)
+		}
+		if st.Branch.Predictions != 0 {
+			t.Errorf("%v: straight-line run resolved %d branches", pred, st.Branch.Predictions)
+		}
+		if a, c := st.Branch.Accuracy(), st.Branch.Confidence(); a != 1 || c != 1 {
+			t.Errorf("%v: zero-branch rates = %v/%v, want 1/1", pred, a, c)
+		}
+	}
+}
+
+// Every predictor's counters must satisfy the accounting identity on a
+// real branchy run: confidence classifications partition lookups, BTB
+// hits never exceed lookups, correct predictions never exceed resolved
+// ones, and the machine's mispredict counter is exactly the complement
+// of the predictor's correct count.
+func TestStatsBranchCountersConsistent(t *testing.T) {
+	for _, pred := range []PredictorKind{PredTwoBit, PredGshare, PredGshareThread, PredTAGE} {
+		pred := pred
+		t.Run(pred.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Threads = 4
+			cfg.Predictor = pred
+			m := warmMachine(t, cfg)
+			st := m.Stats()
+			b := st.Branch
+			if b.Lookups == 0 || b.Predictions == 0 {
+				t.Fatalf("branchy workload recorded no predictor activity: %+v", b)
+			}
+			if b.ConfHigh+b.ConfLow != b.Lookups {
+				t.Errorf("confidence classes do not partition lookups: %d+%d != %d",
+					b.ConfHigh, b.ConfLow, b.Lookups)
+			}
+			if b.BTBHits > b.Lookups {
+				t.Errorf("BTB hits %d exceed lookups %d", b.BTBHits, b.Lookups)
+			}
+			if b.Correct > b.Predictions {
+				t.Errorf("correct %d exceeds predictions %d", b.Correct, b.Predictions)
+			}
+			if st.Mispredicts != b.Predictions-b.Correct {
+				t.Errorf("machine mispredicts %d != predictions-correct %d",
+					st.Mispredicts, b.Predictions-b.Correct)
+			}
+		})
 	}
 }
 

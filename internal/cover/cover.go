@@ -40,6 +40,9 @@ const (
 	EvFetchMaskedSkip                // MaskedRR skipped the thread stalling the bottom block
 	EvFetchCondRotate                // CondSwitch rotated threads on a decode trigger
 	EvFetchICountSteer               // ICount steered fetch away from a fuller thread
+	EvFetchFeedbackHold              // ICountFeedback held fetch on backend pressure
+	EvFetchConfThrottle              // ConfThrottle slowed the fetch rate on low confidence
+	EvFetchLowConf                   // a branch prediction was reported low-confidence
 	EvICacheMissStall                // instruction cache miss stalled fetch
 	EvDispatchStallFull              // dispatch stalled on a full scheduling unit
 	EvDispatchWAWStall               // scoreboard mode: dispatch stalled on a busy destination register
@@ -140,6 +143,9 @@ var infos = [NumEvents]Info{
 	EvFetchMaskedSkip:   {"fetch-masked-skip", GroupFrontend, "MaskedRR skipped the masked thread", false, false},
 	EvFetchCondRotate:   {"fetch-cond-rotate", GroupFrontend, "CondSwitch rotated on a decode trigger", false, false},
 	EvFetchICountSteer:  {"fetch-icount-steer", GroupFrontend, "ICount steered fetch away from a fuller thread", false, false},
+	EvFetchFeedbackHold: {"fetch-feedback-hold", GroupFrontend, "ICountFeedback held fetch on backend pressure", false, false},
+	EvFetchConfThrottle: {"fetch-conf-throttle", GroupFrontend, "ConfThrottle slowed fetch on low confidence", false, false},
+	EvFetchLowConf:      {"fetch-low-conf", GroupFrontend, "a branch prediction was low-confidence", true, false},
 	EvICacheMissStall:   {"icache-miss-stall", GroupFrontend, "instruction cache miss stalled fetch", false, false},
 	EvDispatchStallFull: {"dispatch-stall-full", GroupFrontend, "dispatch stalled on a full SU", true, false},
 	EvDispatchWAWStall:  {"dispatch-waw-stall", GroupFrontend, "scoreboard WAW stall at dispatch", false, false},

@@ -20,9 +20,13 @@ import (
 // blocked-parallel kernel, one branchy sieve.
 var coverageKernels = []string{"LL1", "LL5", "Matrix", "Sieve"}
 
-// coveragePolicies spans all four fetch policies so the policy-gated
-// events (masked skip, cswitch rotate, icount steer) are reachable.
-var coveragePolicies = []core.FetchPolicy{core.TrueRR, core.MaskedRR, core.CondSwitch, core.ICount}
+// coveragePolicies spans every fetch policy so the policy-gated events
+// (masked skip, cswitch rotate, icount steer, feedback hold, conf
+// throttle) are reachable.
+var coveragePolicies = []core.FetchPolicy{
+	core.TrueRR, core.MaskedRR, core.CondSwitch,
+	core.ICount, core.ICountFeedback, core.ConfThrottle,
+}
 
 // coverageThreads pairs the single-threaded base case with the paper's
 // default; the multi-thread-only events need the latter.

@@ -62,6 +62,7 @@ func Registry() []Experiment {
 		{"compiler", "Toolchain study: MiniC vs hand-written asm; register budget sweep", CompilerStudy},
 		{"faultsweep", "Fault sweep: IPC degradation under injected faults, per mechanism", FaultSweep},
 		{"coverage", "Microarchitectural event coverage across kernels, threads, and policies", Coverage},
+		{"predstudy", "Frontend study: predictor family × fetch policy IPC and accuracy matrix", PredStudy},
 	}
 }
 

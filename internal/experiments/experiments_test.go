@@ -18,7 +18,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "table3", "fig9", "fig10", "fig11", "fig12",
 		"table4", "fig13", "fig14", "summary", "ablations",
-		"improvements", "hwablations", "compiler", "faultsweep", "coverage"}
+		"improvements", "hwablations", "compiler", "faultsweep", "coverage",
+		"predstudy"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))

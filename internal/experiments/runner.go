@@ -137,6 +137,20 @@ type Runner struct {
 	// RunExperiments returns.
 	Curves []DegradationCurve
 
+	// Predictor overrides the branch predictor for every cell the
+	// experiments request through config() (sdsp-exp -bpred). The zero
+	// value is the paper's 2-bit counter, so the default is a no-op.
+	Predictor core.PredictorKind
+	// FetchOverride, when HasFetch is set, overrides the fetch policy for
+	// every cell requested through config() (sdsp-exp -fetch). A bool
+	// gate rather than a sentinel: TrueRR is a legitimate override.
+	FetchOverride core.FetchPolicy
+	HasFetch      bool
+
+	// PredCells accumulates the predictor-study matrix during table
+	// assembly, for the -json export. Read after RunExperiments returns.
+	PredCells []PredCell
+
 	mu         sync.Mutex
 	cache      map[string]cellResult
 	declaring  bool
@@ -184,10 +198,25 @@ func (r *Runner) progressf(format string, args ...any) {
 	r.Progress(format, args...)
 }
 
-// config returns the paper-default configuration for n threads.
+// recordPredCell appends a predictor-study cell unless the runner is in
+// the declaration pass (whose tables — and cells — are discarded).
+func (r *Runner) recordPredCell(c PredCell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.declaring {
+		r.PredCells = append(r.PredCells, c)
+	}
+}
+
+// config returns the paper-default configuration for n threads, with
+// the runner's frontend overrides applied.
 func (r *Runner) config(n int) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Threads = n
+	cfg.Predictor = r.Predictor
+	if r.HasFetch {
+		cfg.FetchPolicy = r.FetchOverride
+	}
 	return cfg
 }
 
@@ -205,10 +234,10 @@ func cacheKey(b *kernels.Benchmark, cfg core.Config, p kernels.Params) string {
 	if cfg.Injector != nil {
 		inj = cfg.Injector.String()
 	}
-	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/cov%v/pt%v/inj{%s}",
+	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/bp%v/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/cov%v/pt%v/inj{%s}",
 		b.Name, p.Scale, cfg.Threads, cfg.FetchPolicy, cfg.CommitPolicy, cfg.CommitWindow,
 		cfg.SUEntries, cfg.IssueWidth, cfg.WritebackWidth, cfg.StoreBuffer, cfg.BTBEntries,
-		cfg.PredictorBits, cfg.PerThreadBTB, cfg.Renaming, cfg.Bypassing, cfg.StoreForwarding,
+		cfg.PredictorBits, cfg.Predictor, cfg.PerThreadBTB, cfg.Renaming, cfg.Bypassing, cfg.StoreForwarding,
 		cfg.Cache.Ways, cfg.Cache.Ports, cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk,
 		cfg.MaxCycles, cfg.Watchdog, cfg.Coverage != nil, cfg.PhaseTiming, inj)
 }

@@ -80,6 +80,50 @@ func TestFaultInjectionPreservesArchitecture(t *testing.T) {
 	}
 }
 
+// TestPredictorFetchGridPreservesArchitecture extends the differential
+// property net across the frontend design space: every new predictor at
+// 1/2/4 threads on all four kernels, with the fetch policy rotating
+// deterministically through all six and a fault schedule active, must
+// still match the functional reference byte for byte. Predictor and
+// fetch-policy state is timing-only; this is the lock on that claim.
+func TestPredictorFetchGridPreservesArchitecture(t *testing.T) {
+	predictors := []core.PredictorKind{
+		sdsp.PredGshare, sdsp.PredGshareThread, sdsp.PredTAGE,
+	}
+	policies := []core.FetchPolicy{
+		sdsp.TrueRR, sdsp.MaskedRR, sdsp.CondSwitch,
+		sdsp.ICount, sdsp.ICountFeedback, sdsp.ConfThrottle,
+	}
+	threadsList := []int{1, 2, 4}
+	var combo int
+	for _, pred := range predictors {
+		for _, name := range kernelsUnder {
+			for _, threads := range threadsList {
+				pred, name, threads := pred, name, threads
+				pol := policies[combo%len(policies)]
+				seed := uint64(combo)*100 + uint64(threads)
+				combo++
+				t.Run(fmt.Sprintf("%v/%v/%s/t%d", pred, pol, name, threads), func(t *testing.T) {
+					t.Parallel()
+					obj, err := sdsp.Workload(name, sdsp.WorkloadParams{Threads: threads})
+					if err != nil {
+						t.Fatalf("build: %v", err)
+					}
+					cfg := sdsp.DefaultConfig(threads)
+					cfg.Predictor = pred
+					cfg.FetchPolicy = pol
+					cfg.Injector = scheduleFor(seed)
+					cfg.CheckInvariants = true
+					cfg.Watchdog = 200_000
+					if err := sdsp.Verify(obj, cfg); err != nil {
+						t.Fatalf("schedule %v: %v", cfg.Injector, err)
+					}
+				})
+			}
+		}
+	}
+}
+
 // Every paper kernel must run the full paranoid gauntlet — per-cycle
 // invariant checking plus the watchdog — with zero violations, at one
 // and four threads.

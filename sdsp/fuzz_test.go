@@ -3,6 +3,7 @@ package sdsp_test
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/progen"
 	"repro/sdsp"
@@ -15,15 +16,28 @@ import (
 // the fuzzer minimizes. The generator's seed is the fuzz input, so
 // every interesting program is reproducible from the corpus entry.
 //
+// The high halves of faultSeed and threads select the frontend: bits
+// 16+ of faultSeed pick the branch predictor and bits 16+ of threads
+// pick the fetch policy. Every pre-existing corpus value is below
+// 2^16, so the old entries keep exercising the paper default (2-bit
+// predictor, TrueRR fetch) unchanged. Non-default predictors run with
+// a 64-entry BTB so gshare PHT and TAGE tag aliasing actually happen
+// at fuzz-sized programs.
+//
 // Seed corpus lives in testdata/fuzz/FuzzVerify; run with
 //
 //	go test ./sdsp -fuzz FuzzVerify -fuzztime 30s
 func FuzzVerify(f *testing.F) {
-	f.Add(int64(1), uint64(0), uint64(4), uint64(0))      // plain program, no faults
-	f.Add(int64(424242), uint64(7), uint64(4), uint64(5)) // medium faults
-	f.Add(int64(31337), uint64(3), uint64(1), uint64(9))  // single thread, heavy
-	f.Add(int64(99), uint64(12), uint64(6), uint64(2))    // full thread house
-	f.Add(int64(-5), uint64(1), uint64(2), uint64(13))    // negative seed, storm range
+	f.Add(int64(1), uint64(0), uint64(4), uint64(0))                      // plain program, no faults
+	f.Add(int64(424242), uint64(7), uint64(4), uint64(5))                 // medium faults
+	f.Add(int64(31337), uint64(3), uint64(1), uint64(9))                  // single thread, heavy
+	f.Add(int64(99), uint64(12), uint64(6), uint64(2))                    // full thread house
+	f.Add(int64(-5), uint64(1), uint64(2), uint64(13))                    // negative seed, storm range
+	f.Add(int64(9001), uint64((1<<16)+7), uint64(4), uint64(8))           // gshare, small BTB aliasing
+	f.Add(int64(-777), uint64((2<<16)+11), uint64((3<<16)+3), uint64(12)) // gshare-pt under ICount
+	f.Add(int64(4242), uint64((3<<16)+1), uint64(2), uint64(15))          // TAGE tag aliasing, faults on
+	f.Add(int64(808), uint64(5), uint64((4<<16)+5), uint64(6))            // ICOUNT-feedback hold path
+	f.Add(int64(13579), uint64((3<<16)+2), uint64((5<<16)+1), uint64(10)) // TAGE + confidence throttle
 	f.Fuzz(func(t *testing.T, progSeed int64, faultSeed, threads, intensity uint64) {
 		n := int(threads%6) + 1
 		p := progen.New(progSeed)
@@ -32,6 +46,11 @@ func FuzzVerify(f *testing.F) {
 			t.Fatalf("progen seed %d emitted unassemblable source: %v", progSeed, err)
 		}
 		cfg := sdsp.DefaultConfig(n)
+		cfg.Predictor = core.PredictorKind((faultSeed >> 16) % 4)
+		cfg.FetchPolicy = core.FetchPolicy((threads >> 16) % 6)
+		if cfg.Predictor != sdsp.PredTwoBit {
+			cfg.BTBEntries = 64
+		}
 		cfg.CheckInvariants = true
 		cfg.Watchdog = 200_000
 		if r := float64(intensity%20) / 100; r > 0 { // 0 .. 0.19
@@ -49,8 +68,8 @@ func FuzzVerify(f *testing.F) {
 			})
 		}
 		if err := sdsp.Verify(obj, cfg); err != nil {
-			t.Fatalf("seed %d threads %d schedule %v: %v\n%s",
-				progSeed, n, cfg.Injector, err, p.Source)
+			t.Fatalf("seed %d threads %d pred %v fetch %v schedule %v: %v\n%s",
+				progSeed, n, cfg.Predictor, cfg.FetchPolicy, cfg.Injector, err, p.Source)
 		}
 	})
 }

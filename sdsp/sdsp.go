@@ -74,13 +74,32 @@ func ParseFaultSpec(spec string) (FaultInjector, error) {
 func FaultPresets() []string { return fault.Presets() }
 
 // Fetch policies (paper §5.1, plus the §6.1 "judicious" ICount
-// extension).
+// extension and its two throttled variants — see docs/FRONTEND.md).
 const (
-	TrueRR     = core.TrueRR
-	MaskedRR   = core.MaskedRR
-	CondSwitch = core.CondSwitch
-	ICount     = core.ICount
+	TrueRR         = core.TrueRR
+	MaskedRR       = core.MaskedRR
+	CondSwitch     = core.CondSwitch
+	ICount         = core.ICount
+	ICountFeedback = core.ICountFeedback
+	ConfThrottle   = core.ConfThrottle
 )
+
+// Branch predictor kinds (Config.Predictor). The zero value is the
+// paper's 2-bit counter, so existing configurations are unchanged.
+const (
+	PredTwoBit       = core.PredTwoBit
+	PredGshare       = core.PredGshare
+	PredGshareThread = core.PredGshareThread
+	PredTAGE         = core.PredTAGE
+)
+
+// ParseFetchPolicy maps a CLI spelling (truerr, masked, cswitch,
+// icount, icount-fb, confthrottle) to a fetch policy.
+func ParseFetchPolicy(s string) (core.FetchPolicy, error) { return core.ParseFetchPolicy(s) }
+
+// ParsePredictor maps a CLI spelling (2bit, gshare, gshare-pt, tage)
+// to a predictor kind.
+func ParsePredictor(s string) (core.PredictorKind, error) { return core.ParsePredictor(s) }
 
 // Commit policies (paper §5.6).
 const (
