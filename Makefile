@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke golden cover-golden bench bench-check check report
+.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke chaos-smoke store-race golden cover-golden bench bench-check check report
 
 all: check
 
@@ -67,6 +67,20 @@ predstudy-smoke:
 	$(GO) run ./cmd/sdsp-exp -exp predstudy -scale small -j 8 > /tmp/predstudy.out
 	cmp /tmp/predstudy.out internal/experiments/testdata/predstudy_small.golden
 
+# Crash-safety chaos harness: kill real sdsp-exp sweeps at seeded
+# mid-flight points, resume against the same store, and require
+# byte-identical tables with zero recompute of committed cells (plus the
+# two-process shared-store race). Set SDSP_CHAOS_OUT=<dir> to preserve
+# the store state of a failing run.
+chaos-smoke:
+	$(GO) test ./internal/store/chaostest -count=1 -v
+
+# The store's concurrency claims under the race detector: in-process
+# concurrent Get/Put/TryLock plus the parallel-runner store properties.
+store-race:
+	$(GO) test -race ./internal/store -run TestConcurrentAccess -count=1
+	$(GO) test -race ./internal/experiments -run 'TestStoreColdWarmMixedIdentity|TestStoreCountersIndependentOfWorkers'
+
 # Regenerate the small-scale golden tables after an intentional change
 # to a kernel, the core, or an experiment.
 golden:
@@ -89,7 +103,7 @@ bench-check:
 	$(GO) run ./cmd/sdsp-bench -check BENCH_sim.json
 
 # Everything CI runs.
-check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke bench-check
+check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke chaos-smoke store-race bench-check
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

@@ -7,10 +7,12 @@
 //	sdsp-exp -scale small     # quick problem sizes
 //	sdsp-exp -j 8             # simulate up to 8 cells in parallel
 //	sdsp-exp -json t.json     # export per-cell wall times as JSON
+//	sdsp-exp -store .cells    # persist cells; resumed runs skip committed work
 //	sdsp-exp -v               # per-simulation progress on stderr
 //
-// The table output on stdout is byte-identical for every -j value; only
-// the wall-clock time and the stderr/-json timing reports change.
+// The table output on stdout is byte-identical for every -j value and
+// for any mix of fresh and store-served cells; only the wall-clock time
+// and the stderr/-json timing reports change.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/prof"
@@ -37,6 +40,7 @@ type timingExport struct {
 	Cells            []experiments.CellTiming       `json:"cells"`
 	Degradation      []experiments.DegradationCurve `json:"degradation,omitempty"`
 	Predstudy        []experiments.PredCell         `json:"predstudy,omitempty"`
+	Store            experiments.StoreReport        `json:"store"`
 	TotalWallSeconds float64                        `json:"total_wall_seconds"`
 	CellWallSeconds  float64                        `json:"cell_wall_seconds"`
 	SimulatedCycles  uint64                         `json:"simulated_cycles"`
@@ -61,6 +65,8 @@ func main() {
 		bpred    = flag.String("bpred", "2bit", "branch predictor for every cell: 2bit, gshare, gshare-pt, or tage")
 		fetch    = flag.String("fetch", "", "override the fetch policy in every cell: truerr, masked, cswitch, icount, icount-fb, or confthrottle")
 	)
+	var sup cliflags.Supervision
+	sup.Register(nil)
 	flag.Parse()
 
 	if *list {
@@ -85,6 +91,12 @@ func main() {
 	runner.Paranoid = *paranoid
 	runner.CrashDir = *crashDir
 	runner.PhaseTiming = *timing
+	if err := sup.Apply(runner, *jobs, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sdsp-exp: "+format+"\n", args...)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", err)
+		os.Exit(2)
+	}
 	inj, err := sdsp.ParseFaultSpec(*fault)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdsp-exp: %v\n", err)
@@ -154,13 +166,19 @@ func main() {
 	}
 
 	reportTimings(os.Stderr, timings, elapsed, *jobs, *verbose)
+	storeRep := runner.StoreReport()
+	if storeRep.Dir != "" {
+		fmt.Fprintf(os.Stderr, "sdsp-exp: store %s: %d hits, %d misses, %d commits, %d repairs, %d retries, %d quarantines, %d timeouts\n",
+			storeRep.Dir, storeRep.Hits, storeRep.Misses, storeRep.Commits, storeRep.Repairs,
+			storeRep.Retries, storeRep.Quarantines, storeRep.Timeouts)
+	}
 	if *timing {
 		fmt.Fprintf(os.Stderr, "sdsp-exp: aggregate per-phase wall-clock breakdown (fresh cells only):\n%s",
 			runner.PhaseTotal())
 	}
 
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, *scale, *jobs, selected, runner.Curves, runner.PredCells, timings, elapsed); err != nil {
+		if err := writeJSON(*jsonOut, *scale, *jobs, selected, runner.Curves, runner.PredCells, storeRep, timings, elapsed); err != nil {
 			fmt.Fprintln(os.Stderr, "sdsp-exp:", err)
 			os.Exit(1)
 		}
@@ -200,7 +218,7 @@ func reportTimings(w *os.File, timings []experiments.CellTiming, elapsed time.Du
 		cellWall, cellWall/elapsed.Seconds())
 }
 
-func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, curves []experiments.DegradationCurve, predCells []experiments.PredCell, timings []experiments.CellTiming, elapsed time.Duration) error {
+func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, curves []experiments.DegradationCurve, predCells []experiments.PredCell, storeRep experiments.StoreReport, timings []experiments.CellTiming, elapsed time.Duration) error {
 	var cellWall float64
 	var cycles uint64
 	for _, t := range timings {
@@ -218,6 +236,7 @@ func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, 
 		Cells:            timings,
 		Degradation:      curves,
 		Predstudy:        predCells,
+		Store:            storeRep,
 		TotalWallSeconds: elapsed.Seconds(),
 		CellWallSeconds:  cellWall,
 		SimulatedCycles:  cycles,

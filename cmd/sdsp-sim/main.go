@@ -171,8 +171,8 @@ func main() {
 		if *crashDir != "" && errors.As(err, &me) {
 			bundle := crash.New(name, obj, cfg, me)
 			dir := filepath.Join(*crashDir, bundle.DirName(""))
-			if replay, werr := bundle.Write(dir); werr == nil {
-				fmt.Fprintf(os.Stderr, "sdsp-sim: crash bundle: %s\nsdsp-sim: reproduce with: %s\n", dir, replay)
+			if final, replay, werr := bundle.Write(dir); werr == nil {
+				fmt.Fprintf(os.Stderr, "sdsp-sim: crash bundle: %s\nsdsp-sim: reproduce with: %s\n", final, replay)
 			} else {
 				fmt.Fprintf(os.Stderr, "sdsp-sim: crash bundle not written: %v\n", werr)
 			}

@@ -1,0 +1,81 @@
+package cliflags
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+)
+
+// apply parses args through a fresh flag set and applies the result,
+// returning the validation error (nil on success).
+func apply(t *testing.T, jobs int, args ...string) (*experiments.Runner, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var s Supervision
+	s.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	r := experiments.NewRunner(kernels.Small)
+	return r, s.Apply(r, jobs, t.Logf)
+}
+
+func TestRejectsBadFlagValues(t *testing.T) {
+	cases := []struct {
+		name string
+		jobs int
+		args []string
+		want string // substring of the one-line error
+	}{
+		{"zero jobs", 0, nil, "-j must be at least 1"},
+		{"negative jobs", -3, nil, "-j must be at least 1"},
+		{"negative retries", 4, []string{"-retries", "-1"}, "-retries must be non-negative"},
+		{"explicit zero timeout", 4, []string{"-cell-timeout", "0s"}, "-cell-timeout must be positive"},
+		{"negative timeout", 4, []string{"-cell-timeout", "-5s"}, "-cell-timeout must be positive"},
+		{"missing store parent", 4, []string{"-store", "/no/such/parent/dir/store"}, "does not exist"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := apply(t, tc.jobs, tc.args...)
+			if err == nil {
+				t.Fatalf("Apply accepted %v with j=%d", tc.args, tc.jobs)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Errorf("validation error is not a one-liner: %q", err)
+			}
+		})
+	}
+}
+
+func TestDefaultsAreValid(t *testing.T) {
+	r, err := apply(t, 8)
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if r.Store != nil || r.CellTimeout != 0 || r.Retries != 2 {
+		t.Errorf("unexpected runner config: store=%v timeout=%v retries=%d",
+			r.Store, r.CellTimeout, r.Retries)
+	}
+}
+
+func TestValidFlagsConfigureRunner(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cells")
+	r, err := apply(t, 2, "-store", dir, "-cell-timeout", "90s", "-retries", "5")
+	if err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if r.Store == nil || r.Store.Dir() != dir {
+		t.Errorf("store not mounted at %s", dir)
+	}
+	if r.CellTimeout != 90*time.Second || r.Retries != 5 {
+		t.Errorf("timeout/retries not applied: %v/%d", r.CellTimeout, r.Retries)
+	}
+}

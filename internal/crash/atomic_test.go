@@ -1,0 +1,162 @@
+package crash_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/crash"
+)
+
+// spinBundle builds a bundle for the canonical runaway failure.
+func spinBundle(t *testing.T, maxCycles uint64) *crash.Bundle {
+	t.Helper()
+	obj, err := asm.Assemble("main: b main\n      halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfg1t()
+	cfg.MaxCycles = maxCycles
+	return crash.New("spin.s", obj, cfg, forceError(t, obj, cfg))
+}
+
+// listEntries returns the names under dir (empty when dir is absent).
+func listEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// A write failure partway through the bundle must leave NOTHING at the
+// target path — no partial bundle a replay tool could trip over, and no
+// leaked staging directory.
+func TestPartialWriteLeavesNoBundle(t *testing.T) {
+	b := spinBundle(t, 2_000)
+	parent := t.TempDir()
+	dir := filepath.Join(parent, b.DirName(""))
+
+	// The injected writer succeeds for the first files and fails at
+	// error.json — a mid-bundle failure.
+	restore := crash.SetWriteFileForTest(func(path string, data []byte, mode os.FileMode) error {
+		if filepath.Base(path) == "error.json" {
+			return errors.New("injected disk-full failure")
+		}
+		return os.WriteFile(path, data, mode)
+	})
+	defer restore()
+
+	if _, _, err := b.Write(dir); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("Write with a failing writer returned %v, want the injected error", err)
+	}
+	if got := listEntries(t, parent); len(got) != 0 {
+		t.Fatalf("failed Write left debris in the parent: %v", got)
+	}
+
+	// After the fault clears, the same bundle writes cleanly.
+	restore()
+	final, _, err := b.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != dir {
+		t.Errorf("recovered Write landed at %q, want %q", final, dir)
+	}
+	if _, err := crash.Read(final); err != nil {
+		t.Errorf("recovered bundle does not read back: %v", err)
+	}
+}
+
+// A truncating writer models a torn write: even a bundle whose files
+// all "succeed" but hold half their bytes must never become visible at
+// the target, because the staging directory is renamed only after every
+// file write reported success.
+func TestTruncatedWriterFailsClosed(t *testing.T) {
+	b := spinBundle(t, 2_000)
+	parent := t.TempDir()
+	dir := filepath.Join(parent, b.DirName(""))
+
+	restore := crash.SetWriteFileForTest(func(path string, data []byte, mode os.FileMode) error {
+		if err := os.WriteFile(path, data[:len(data)/2], mode); err != nil {
+			return err
+		}
+		return errors.New("short write")
+	})
+	defer restore()
+
+	if _, _, err := b.Write(dir); err == nil {
+		t.Fatal("Write with a short writer reported success")
+	}
+	if got := listEntries(t, parent); len(got) != 0 {
+		t.Fatalf("short write left debris: %v", got)
+	}
+}
+
+// Two distinct failures colliding on one directory name (e.g. two cells
+// crashing in the same wall-second under a non-deterministic naming
+// scheme) must both persist, readably, without clobbering each other.
+func TestCollidingBundlesGetDistinctDirs(t *testing.T) {
+	b1 := spinBundle(t, 2_000)
+	b2 := spinBundle(t, 3_000) // same kind, different cycle: a different failure
+	dir := filepath.Join(t.TempDir(), "bundle")
+
+	d1, r1, err := b1.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, r2, err := b2.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != dir {
+		t.Errorf("first bundle landed at %q, want %q", d1, dir)
+	}
+	if d2 == d1 {
+		t.Fatalf("second (different) failure overwrote the first at %q", d2)
+	}
+	if !strings.Contains(r2, d2) {
+		t.Errorf("replay command %q does not name the final dir %q", r2, d2)
+	}
+	for d, want := range map[string]*crash.Bundle{d1: b1, d2: b2} {
+		got, err := crash.Read(d)
+		if err != nil {
+			t.Fatalf("read %s: %v", d, err)
+		}
+		if !crash.SameFailure(got.Err, want.Err) {
+			t.Errorf("%s holds the wrong failure", d)
+		}
+	}
+	_ = r1
+}
+
+// Re-writing the SAME failure to the same directory is idempotent: the
+// existing bundle is reused, no -2 sibling appears.
+func TestSameFailureRewriteIsIdempotent(t *testing.T) {
+	b := spinBundle(t, 2_000)
+	parent := t.TempDir()
+	dir := filepath.Join(parent, b.DirName(""))
+	for i := 0; i < 3; i++ {
+		final, _, err := b.Write(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final != dir {
+			t.Fatalf("rewrite %d landed at %q, want %q", i, final, dir)
+		}
+	}
+	if got := listEntries(t, parent); len(got) != 1 {
+		t.Fatalf("idempotent rewrite created siblings: %v", got)
+	}
+}

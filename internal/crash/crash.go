@@ -9,10 +9,13 @@ package crash
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -78,35 +81,95 @@ func (b *Bundle) DirName(suffix string) string {
 	return name
 }
 
-// Write saves the bundle under dir (created if absent): manifest.json,
-// config.json, object.json, and error.json. Returns the replay command.
-func (b *Bundle) Write(dir string) (replay string, err error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("crash: %w", err)
+// writeFileFn is swapped by tests to inject failing or partial writes;
+// production always uses os.WriteFile.
+var writeFileFn = os.WriteFile
+
+// Write saves the bundle under dir atomically: the four files are
+// staged in a temp directory next to dir and renamed into place in one
+// step, so a crash (or injected write failure) mid-bundle never leaves
+// a partial bundle behind. If dir is already occupied, Write is
+// collision-safe: an existing bundle of the very same failure is
+// reused; a different failure racing to the same name (two cells
+// crashing in the same wall-second, a recycled deterministic name) gets
+// a -2/-3/... suffix. The returned finalDir and replay command name the
+// directory actually holding the bundle.
+func (b *Bundle) Write(dir string) (finalDir, replay string, err error) {
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return "", "", fmt.Errorf("crash: %w", err)
 	}
-	replay = fmt.Sprintf("sdsp-sim -replay %s", dir)
-	files := map[string]any{
-		"manifest.json": manifest{
+	tmp, err := os.MkdirTemp(parent, filepath.Base(dir)+".tmp-")
+	if err != nil {
+		return "", "", fmt.Errorf("crash: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+	files := []struct {
+		name string
+		v    any
+	}{
+		{"config.json", b.Config},
+		{"object.json", b.Object},
+		{"error.json", b.Err},
+	}
+	stage := func(name string, v any) error {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return fmt.Errorf("crash: marshal %s: %w", name, err)
+		}
+		if err := writeFileFn(filepath.Join(tmp, name), append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("crash: %w", err)
+		}
+		return nil
+	}
+	for _, f := range files {
+		if err := stage(f.name, f.v); err != nil {
+			return "", "", err
+		}
+	}
+	for i := 0; ; i++ {
+		target := dir
+		if i > 0 {
+			target = fmt.Sprintf("%s-%d", dir, i+1)
+		}
+		if i > 100 {
+			return "", "", fmt.Errorf("crash: %s and 100 suffixed siblings are all occupied", dir)
+		}
+		// The manifest names its own replay command, so it is (re)staged
+		// per rename target.
+		if err := stage("manifest.json", manifest{
 			Version:   b.Version,
 			Workload:  b.Workload,
 			FaultSpec: b.FaultSpec,
 			Summary:   b.Err.Summary(),
-			Replay:    replay,
-		},
-		"config.json": b.Config,
-		"object.json": b.Object,
-		"error.json":  b.Err,
-	}
-	for name, v := range files {
-		data, err := json.MarshalIndent(v, "", "  ")
-		if err != nil {
-			return "", fmt.Errorf("crash: marshal %s: %w", name, err)
+			Replay:    fmt.Sprintf("sdsp-sim -replay %s", target),
+		}); err != nil {
+			return "", "", err
 		}
-		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
-			return "", fmt.Errorf("crash: %w", err)
+		err := os.Rename(tmp, target)
+		if err == nil {
+			finalDir = target
+			break
+		}
+		if !isDirOccupied(err) {
+			return "", "", fmt.Errorf("crash: %w", err)
+		}
+		// The target exists. If it already holds this very failure the
+		// bundle is effectively written (repeated deterministic runs land
+		// on the same name); otherwise try the next suffix.
+		if existing, rerr := Read(target); rerr == nil && SameFailure(existing.Err, b.Err) {
+			finalDir = target
+			break
 		}
 	}
-	return replay, nil
+	return finalDir, fmt.Sprintf("sdsp-sim -replay %s", finalDir), nil
+}
+
+// isDirOccupied reports whether a rename failed because the target
+// directory already exists (EEXIST or, for non-empty directories on
+// Linux, ENOTEMPTY).
+func isDirOccupied(err error) bool {
+	return errors.Is(err, fs.ErrExist) || errors.Is(err, syscall.ENOTEMPTY)
 }
 
 // Read loads a bundle from dir.

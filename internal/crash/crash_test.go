@@ -54,9 +54,12 @@ func TestBundleRoundTripAndReplay(t *testing.T) {
 
 	b := crash.New("spin.s", obj, cfg, me)
 	dir := filepath.Join(t.TempDir(), b.DirName(""))
-	replayCmd, err := b.Write(dir)
+	finalDir, replayCmd, err := b.Write(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if finalDir != dir {
+		t.Errorf("uncontended Write landed at %q, want %q", finalDir, dir)
 	}
 	if !strings.Contains(replayCmd, "-replay "+dir) {
 		t.Errorf("replay command %q does not name the bundle", replayCmd)
@@ -115,7 +118,7 @@ xs: .word 5
 		t.Fatal("bundle dropped the fault spec")
 	}
 	dir := filepath.Join(t.TempDir(), b.DirName("inj"))
-	if _, err := b.Write(dir); err != nil {
+	if _, _, err := b.Write(dir); err != nil {
 		t.Fatal(err)
 	}
 	back, err := crash.Read(dir)

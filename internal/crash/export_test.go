@@ -1,0 +1,10 @@
+package crash
+
+import "os"
+
+// SetWriteFileForTest swaps the bundle file writer so tests can inject
+// failing or partial writes; the returned func restores os.WriteFile.
+func SetWriteFileForTest(f func(string, []byte, os.FileMode) error) (restore func()) {
+	writeFileFn = f
+	return func() { writeFileFn = os.WriteFile }
+}

@@ -141,17 +141,17 @@ func fetchPolicyFig(r *Runner, group []*kernels.Benchmark, title string) ([]Tabl
 		for _, pol := range []core.FetchPolicy{core.TrueRR, core.MaskedRR, core.CondSwitch} {
 			cfg := r.config(defaultThreads)
 			cfg.FetchPolicy = pol
-			st, err := r.Run(b, cfg)
+			v, err := cycleCell(r, b, cfg)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, cycles(st))
+			row = append(row, v)
 		}
-		st, err := r.Run(b, r.config(1))
+		v, err := cycleCell(r, b, r.config(1))
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, cycles(st))
+		row = append(row, v)
 		t.Rows = append(t.Rows, row)
 	}
 	return []Table{t}, nil
@@ -171,11 +171,11 @@ func threadsFig(r *Runner, group []*kernels.Benchmark, title string) ([]Table, e
 	for _, b := range group {
 		row := []string{b.Name}
 		for _, n := range threadSweep {
-			st, err := r.Run(b, r.config(n))
+			v, err := cycleCell(r, b, r.config(n))
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, cycles(st))
+			row = append(row, v)
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -263,11 +263,11 @@ func suFig(r *Runner, group []*kernels.Benchmark, title string) ([]Table, error)
 			for _, depth := range suDepths {
 				cfg := r.config(n)
 				cfg.SUEntries = depth
-				st, err := r.Run(b, cfg)
+				v, err := cycleCell(r, b, cfg)
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, cycles(st))
+				row = append(row, v)
 			}
 		}
 		t.Rows = append(t.Rows, row)
@@ -294,11 +294,11 @@ func fuFig(r *Runner, group []*kernels.Benchmark, title string) ([]Table, error)
 				if enhanced {
 					cfg.FUs = core.EnhancedFUs()
 				}
-				st, err := r.Run(b, cfg)
+				v, err := cycleCell(r, b, cfg)
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, cycles(st))
+				row = append(row, v)
 			}
 		}
 		// Reorder to the paper's column order (4T, 4T++, Base, Base++).
@@ -483,5 +483,15 @@ func Ablations(r *Runner) ([]Table, error) {
 }
 
 func cycles(st *core.Stats) string { return fmt.Sprint(st.Cycles) }
+
+// cycleCell runs one benchmark × config cell and renders its cycle
+// count — or the explicit QUARANTINED marker when the cell has been
+// condemned by the supervisor. Aggregate builders (group averages)
+// intentionally do not use this: an average over a poisoned cell would
+// be silently wrong, so those propagate the error and fail the sweep.
+func cycleCell(r *Runner, b *kernels.Benchmark, cfg core.Config) (string, error) {
+	st, err := r.Run(b, cfg)
+	return CellValue(st, err, cycles)
+}
 
 func className(cl int) string { return classOf(cl).String() }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/crash"
 	"repro/internal/isa"
 	"repro/internal/kernels"
+	"repro/internal/store"
 )
 
 // keyHash shortens a cell cache key into a stable bundle-dir suffix, so
@@ -81,13 +82,16 @@ type cellResult struct {
 	err   error
 }
 
-// CellTiming records the wall-clock cost of one freshly simulated cell.
+// CellTiming records the wall-clock cost and provenance of one
+// scheduled cell.
 type CellTiming struct {
 	Key         string  `json:"key"`
 	Label       string  `json:"label"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Cycles      uint64  `json:"cycles"` // simulated cycles; 0 if the cell failed
 	Err         string  `json:"error,omitempty"`
+	Attempts    int     `json:"attempts,omitempty"` // simulation attempts; 0 when no simulation ran
+	Source      string  `json:"source,omitempty"`   // "sim", "store", or "quarantined"
 }
 
 // Runner executes benchmark × configuration cells with caching (many
@@ -127,6 +131,21 @@ type Runner struct {
 	// names the bundle and its sdsp-sim -replay command.
 	CrashDir string
 
+	// Store, when non-nil, is the persistent cell store (sdsp-exp
+	// -store): committed cells are served without resimulation, fresh
+	// successful cells are committed atomically, and quarantine verdicts
+	// persist across processes. See superviseCell for the full contract.
+	Store *store.Store
+	// CellTimeout, when positive, bounds each simulation attempt's
+	// wall-clock time; an over-budget cell fails with CellTimeoutError
+	// instead of hanging the sweep.
+	CellTimeout time.Duration
+	// Retries bounds the supervisor's re-attempts of a cell that failed
+	// transiently (store I/O, lock churn). Deterministic simulation
+	// failures are never retried beyond the machine-error confirmation
+	// run.
+	Retries int
+
 	// PhaseTiming stopwatches every cell's pipeline phases (sdsp-exp
 	// -timing). Purely observational — stdout tables are unaffected —
 	// and the aggregate is available from PhaseTotal after the run.
@@ -152,6 +171,7 @@ type Runner struct {
 	PredCells []PredCell
 
 	mu         sync.Mutex
+	sup        SupervisionCounts
 	cache      map[string]cellResult
 	declaring  bool
 	pending    []*cell
@@ -276,11 +296,11 @@ func (r *Runner) runCell(key, label string, placeholder func() *core.Stats, run 
 	}
 	r.mu.Unlock()
 
-	st, err := run()
+	out := r.superviseCell(key, label, run)
 	r.mu.Lock()
-	r.cache[key] = cellResult{st, err}
+	r.cache[key] = cellResult{out.st, out.err}
 	r.mu.Unlock()
-	return st, err
+	return out.st, out.err
 }
 
 // Run simulates benchmark b under cfg (memoized) and validates the
@@ -314,14 +334,21 @@ func (r *Runner) RunWith(b *kernels.Benchmark, cfg core.Config, p kernels.Params
 		if err != nil {
 			err = fmt.Errorf("%s (threads=%d): %w", b.Name, cfg.Threads, err)
 			var me *core.MachineError
-			if r.CrashDir != "" && errors.As(err, &me) {
-				bundle := crash.New(b.Name, obj, cfg, me)
-				dir := filepath.Join(r.CrashDir, bundle.DirName(keyHash(key)))
-				if replay, werr := bundle.Write(dir); werr == nil {
-					err = fmt.Errorf("%w\ncrash bundle: %s (reproduce: %s)", err, dir, replay)
-				} else {
-					err = fmt.Errorf("%w\n(crash bundle not written: %v)", err, werr)
+			if errors.As(err, &me) {
+				bundleDir := ""
+				if r.CrashDir != "" {
+					bundle := crash.New(b.Name, obj, cfg, me)
+					dir := filepath.Join(r.CrashDir, bundle.DirName(keyHash(key)))
+					if final, replay, werr := bundle.Write(dir); werr == nil {
+						bundleDir = final
+						err = fmt.Errorf("%w\ncrash bundle: %s (reproduce: %s)", err, final, replay)
+					} else {
+						err = fmt.Errorf("%w\n(crash bundle not written: %v)", err, werr)
+					}
 				}
+				// cellError threads the bundle path to the supervisor, which
+				// attaches it to the quarantine record if the failure confirms.
+				return nil, &cellError{err: err, bundle: bundleDir}
 			}
 			return nil, err
 		}
@@ -389,17 +416,18 @@ func (r *Runner) executePending(jobs int) []CellTiming {
 			for i := range idx {
 				c := cells[i]
 				start := time.Now()
-				st, err := c.run()
+				out := r.superviseCell(c.key, c.label, c.run)
 				wall := time.Since(start)
 				r.mu.Lock()
-				r.cache[c.key] = cellResult{st, err}
+				r.cache[c.key] = cellResult{out.st, out.err}
 				r.mu.Unlock()
-				tm := CellTiming{Key: c.key, Label: c.label, WallSeconds: wall.Seconds()}
-				if st != nil {
-					tm.Cycles = st.Cycles
+				tm := CellTiming{Key: c.key, Label: c.label, WallSeconds: wall.Seconds(),
+					Attempts: out.attempts, Source: out.source}
+				if out.st != nil {
+					tm.Cycles = out.st.Cycles
 				}
-				if err != nil {
-					tm.Err = err.Error()
+				if out.err != nil {
+					tm.Err = out.err.Error()
 				}
 				timings[i] = tm
 			}

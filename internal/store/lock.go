@@ -1,0 +1,97 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Lock is one held per-cell lock file. Unlock releases it; releasing a
+// lock another process already broke (because this process looked dead
+// to it) is harmless — Unlock only ever removes this lock's own path.
+type Lock struct {
+	path string
+}
+
+// lockBody is the lock file's content: enough to decide staleness.
+type lockBody struct {
+	PID int `json:"pid"`
+}
+
+// TryLock attempts to acquire the advisory per-cell writer lock for
+// key. It returns a non-nil Lock when acquired, and (nil, nil) when a
+// live process holds it — the caller then simulates the cell itself and
+// relies on the idempotent atomic commit. A lock file naming a dead PID
+// is stale (its owner was killed mid-cell) and is broken on sight.
+//
+// PID liveness is probed with signal 0; PID reuse can therefore keep a
+// stale lock alive until the recycled PID exits. That only delays
+// deduplication, never correctness: the caller falls back to computing
+// the cell itself.
+func (s *Store) TryLock(key string) (*Lock, error) {
+	if s.readOnly {
+		return nil, nil
+	}
+	path := filepath.Join(s.dir, "locks", HashKey(key)+".lock")
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			body, _ := json.Marshal(lockBody{PID: os.Getpid()})
+			_, werr := f.Write(body)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return nil, Transient(werr)
+			}
+			return &Lock{path: path}, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			// Lock dir unwritable etc: degrade to lockless operation.
+			return nil, nil
+		}
+		if !s.breakIfStale(path) {
+			return nil, nil // a live process holds it
+		}
+	}
+	return nil, nil
+}
+
+// breakIfStale removes path when its owning process is gone (or the
+// file is unreadable garbage, e.g. a torn write from a kill between
+// create and write). Returns true when the lock was removed and the
+// caller may retry acquisition.
+func (s *Store) breakIfStale(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return true // raced with the holder's own Unlock
+		}
+		return false
+	}
+	var body lockBody
+	if err := json.Unmarshal(data, &body); err == nil && body.PID > 0 && pidAlive(body.PID) {
+		return false
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return false
+	}
+	s.count(func(st *Stats) { st.StaleLocksBroken++ })
+	s.logf("store: broke stale lock %s (owner is gone)", filepath.Base(path))
+	return true
+}
+
+// pidAlive probes pid with signal 0. EPERM means the process exists but
+// belongs to another user — still alive.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// Unlock releases the lock. Safe to call once per acquired lock.
+func (l *Lock) Unlock() {
+	_ = os.Remove(l.path)
+}

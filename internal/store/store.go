@@ -1,0 +1,416 @@
+// Package store is the content-addressed, crash-safe on-disk cell
+// result store behind `sdsp-exp -store` / `sdsp-report -store`: one
+// checksummed JSON file per completed experiment cell, keyed by the
+// same cache key the experiment runner already folds every
+// timing-relevant configuration field (fault spec, predictor, timing
+// mode, ...) into. Repeated sweeps — and concurrent sweeps from
+// several processes — share cells instead of re-simulating them, while
+// the runner's byte-identical `-j` output contract is preserved: a
+// warm cell deserializes to the same Stats the fresh simulation
+// produced.
+//
+// Crash-safety contract:
+//
+//   - A cell is committed with write-to-temp + fsync + rename, so a
+//     reader never observes a torn file: a cell either exists complete
+//     or not at all. Killing a sweep at any instant loses at most the
+//     in-flight cells; every committed cell survives and is never
+//     re-simulated (enforced by internal/store/chaostest).
+//   - Every cell file carries a SHA-256 checksum of its payload and
+//     the full cache key. A corrupted, truncated, mis-keyed, or
+//     wrong-version file is treated as a miss: the file is removed
+//     (a "repair"), a diagnostic is logged, and the cell is simply
+//     recomputed — corruption can cost time, never correctness.
+//   - Writers coordinate through per-cell lock files naming the owning
+//     PID. Locks are advisory (they avoid duplicate work, they do not
+//     gate correctness): a live holder makes other processes simulate
+//     the cell themselves and commit idempotently — the simulator is
+//     deterministic, so racing writers produce identical bytes. A lock
+//     whose PID is dead is stale and is broken on sight.
+//
+// The store only holds successful, golden-validated results plus the
+// quarantine list (cells that failed deterministically, see
+// QuarantineEntry); transient failures are never persisted. This
+// directory is the substrate the future `sdsp-serve` sweep daemon
+// mounts.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Version is bumped whenever the on-disk layout changes incompatibly.
+const Version = 1
+
+// versionFile marks a directory as an sdsp cell store.
+const versionFile = "VERSION"
+
+// versionMagic is the exact content of the version marker.
+var versionMagic = fmt.Sprintf("sdsp-store v%d\n", Version)
+
+// Stats counts the store's traffic and degradations. All counters are
+// deterministic for a deterministic workload (lookups happen once per
+// deduplicated cell, independent of worker count), which is what makes
+// the j1-vs-j8 counter identity testable.
+type Stats struct {
+	Hits             uint64 `json:"hits"`               // cells served from disk
+	Misses           uint64 `json:"misses"`             // lookups that found no usable cell
+	Repairs          uint64 `json:"repairs"`            // corrupt/torn/mis-keyed files removed (each also a miss)
+	Commits          uint64 `json:"commits"`            // cells durably written
+	PutFailures      uint64 `json:"put_failures"`       // commit attempts that failed (e.g. read-only dir)
+	StaleLocksBroken uint64 `json:"stale_locks_broken"` // dead-PID lock files removed
+}
+
+// Store is one on-disk cell store. Safe for concurrent use by multiple
+// goroutines and, through the lock-file protocol, multiple processes.
+type Store struct {
+	dir string
+	// logf receives one line per degradation (repair, stale lock break,
+	// failed commit). Never nil after Open.
+	logf func(format string, args ...any)
+	// readOnly marks a store whose directory rejects writes: reads keep
+	// working, commits and repairs degrade to logged no-ops.
+	readOnly bool
+
+	mu sync.Mutex
+	st Stats
+}
+
+// envelope is the on-disk cell file format: the payload bytes are
+// checksummed independently of the envelope, so any torn or bit-flipped
+// file fails verification.
+type envelope struct {
+	Version  int             `json:"version"`
+	Key      string          `json:"key"`
+	Checksum string          `json:"checksum"` // sha256 hex of Payload
+	Payload  json.RawMessage `json:"payload"`  // core.Stats
+}
+
+// QuarantineEntry records one cell that failed deterministically (two
+// consecutive machine errors): sweeps that see it render an explicit
+// QUARANTINED table entry instead of re-simulating a known-poisoned
+// cell or silently dropping it.
+type QuarantineEntry struct {
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+	Label   string `json:"label"`
+	Reason  string `json:"reason"`
+	Bundle  string `json:"bundle,omitempty"` // crash-report bundle dir, when one was written
+}
+
+// HashKey returns the content address of a cache key: the SHA-256 hex
+// of the key string. Exposed so tests and tools can map keys to files.
+func HashKey(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}
+
+// Open opens (creating if needed) the store at dir. The parent of dir
+// must already exist — a mistyped path should fail loudly, not silently
+// build a directory tree. A dir that exists but rejects writes degrades
+// to a read-only store rather than failing the sweep.
+func Open(dir string, logf func(format string, args ...any)) (*Store, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dir = filepath.Clean(dir)
+	parent := filepath.Dir(dir)
+	if fi, err := os.Stat(parent); err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("store: parent directory %s does not exist", parent)
+	}
+	s := &Store{dir: dir, logf: logf}
+	if err := os.Mkdir(dir, 0o755); err != nil && !errors.Is(err, os.ErrExist) {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	for _, sub := range []string{"cells", "locks", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			s.readOnly = true
+		}
+	}
+	if err := s.checkVersion(); err != nil {
+		return nil, err
+	}
+	s.sweepTempFiles()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ReadOnly reports whether the store degraded to read-only at Open.
+func (s *Store) ReadOnly() bool { return s.readOnly }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// checkVersion verifies or writes the version marker. A marker from a
+// different layout version refuses to open — silently mixing layouts
+// could serve wrong cells.
+func (s *Store) checkVersion() error {
+	path := filepath.Join(s.dir, versionFile)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if string(data) != versionMagic {
+			return fmt.Errorf("store: %s holds layout %q, this build reads %q", s.dir,
+				strings.TrimSpace(string(data)), strings.TrimSpace(versionMagic))
+		}
+		return nil
+	case errors.Is(err, os.ErrNotExist):
+		if werr := atomicWrite(path, []byte(versionMagic)); werr != nil {
+			// Cannot mark the store: degrade to read-only (satisfied by an
+			// empty store) rather than failing the sweep.
+			s.readOnly = true
+			s.logf("store: %s is not writable (%v); continuing without persistence", s.dir, werr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("store: %w", err)
+	}
+}
+
+// sweepTempFiles removes temp files a killed writer left behind. Best
+// effort: a leftover temp file is inert either way (commits are
+// renames), this just keeps the tree tidy.
+func (s *Store) sweepTempFiles() {
+	for _, sub := range []string{"cells", "quarantine"} {
+		_ = filepath.WalkDir(filepath.Join(s.dir, sub), func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+				_ = os.Remove(path)
+			}
+			return nil
+		})
+	}
+}
+
+// cellPath shards cells by the first checksum byte to keep directory
+// fan-out bounded on paper-scale sweeps.
+func (s *Store) cellPath(key string) string {
+	h := HashKey(key)
+	return filepath.Join(s.dir, "cells", h[:2], h+".json")
+}
+
+func (s *Store) quarantinePath(key string) string {
+	return filepath.Join(s.dir, "quarantine", HashKey(key)+".json")
+}
+
+// Committed reports whether a committed cell file exists for key,
+// without touching the hit/miss counters or verifying the contents.
+// Callers that already counted a miss use this to decide whether a
+// re-check (after acquiring the cell lock) is worthwhile.
+func (s *Store) Committed(key string) bool {
+	_, err := os.Stat(s.cellPath(key))
+	return err == nil
+}
+
+// Get loads the committed result for key, or reports a miss. Any form
+// of corruption — torn write, flipped bit, truncated JSON, a file whose
+// embedded key does not match (hash collision or manual tampering) — is
+// repaired (file removed, diagnostic logged) and reported as a miss:
+// the caller recomputes the cell, and the table is still right.
+func (s *Store) Get(key string) (*core.Stats, bool) {
+	path := s.cellPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.repair(path, fmt.Sprintf("unreadable cell file: %v", err))
+		}
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		s.repair(path, fmt.Sprintf("cell file is not valid JSON (truncated or torn): %v", err))
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	if env.Version != Version || env.Key != key || checksum(env.Payload) != env.Checksum {
+		s.repair(path, "cell file failed verification (version/key/checksum mismatch)")
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	stats := &core.Stats{}
+	if err := json.Unmarshal(env.Payload, stats); err != nil {
+		s.repair(path, fmt.Sprintf("cell payload does not decode: %v", err))
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return stats, true
+}
+
+// Put durably commits a successful cell result. The write is atomic
+// (temp file + fsync + rename), so concurrent writers and killed
+// processes can never leave a torn cell. Errors are reported but are
+// expected to be tolerated by the caller: a failed commit only costs a
+// future recomputation.
+func (s *Store) Put(key string, stats *core.Stats) error {
+	if s.readOnly {
+		return s.putFailed(key, errors.New("store is read-only"))
+	}
+	payload, err := json.Marshal(stats)
+	if err != nil {
+		return s.putFailed(key, err)
+	}
+	env := envelope{Version: Version, Key: key, Checksum: checksum(payload), Payload: payload}
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return s.putFailed(key, err)
+	}
+	path := s.cellPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return s.putFailed(key, err)
+	}
+	if err := atomicWrite(path, data); err != nil {
+		return s.putFailed(key, err)
+	}
+	s.count(func(st *Stats) { st.Commits++ })
+	return nil
+}
+
+func (s *Store) putFailed(key string, err error) error {
+	s.count(func(st *Stats) { st.PutFailures++ })
+	err = fmt.Errorf("store: commit %s: %w", HashKey(key)[:12], err)
+	s.logf("%v (cell will be recomputed next run)", err)
+	return Transient(err)
+}
+
+// Quarantine durably records a deterministically failing cell.
+func (s *Store) Quarantine(e QuarantineEntry) error {
+	if s.readOnly {
+		return s.putFailed(e.Key, errors.New("store is read-only"))
+	}
+	e.Version = Version
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return s.putFailed(e.Key, err)
+	}
+	if err := atomicWrite(s.quarantinePath(e.Key), data); err != nil {
+		return s.putFailed(e.Key, err)
+	}
+	return nil
+}
+
+// Quarantined reports whether key is on the quarantine list. Corrupt
+// entries are repaired to a miss, like cells.
+func (s *Store) Quarantined(key string) (QuarantineEntry, bool) {
+	path := s.quarantinePath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.repair(path, fmt.Sprintf("unreadable quarantine entry: %v", err))
+		}
+		return QuarantineEntry{}, false
+	}
+	var e QuarantineEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Version != Version || e.Key != key {
+		s.repair(path, "quarantine entry failed verification")
+		return QuarantineEntry{}, false
+	}
+	return e, true
+}
+
+// CellHashes lists the content addresses of every committed cell —
+// the chaos harness's ground truth for "what survived the kill".
+func (s *Store) CellHashes() ([]string, error) {
+	var hashes []string
+	err := filepath.WalkDir(filepath.Join(s.dir, "cells"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".json") {
+			hashes = append(hashes, strings.TrimSuffix(d.Name(), ".json"))
+		}
+		return nil
+	})
+	return hashes, err
+}
+
+// repair removes a file that failed verification and logs why. On a
+// read-only store the removal fails silently — the file will fail
+// verification again next run, which is still only a miss.
+func (s *Store) repair(path, why string) {
+	_ = os.Remove(path)
+	s.count(func(st *Stats) { st.Repairs++ })
+	s.logf("store: repaired %s: %s (cell will be recomputed)", filepath.Base(path), why)
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.st)
+	s.mu.Unlock()
+}
+
+func checksum(payload []byte) string {
+	h := sha256.Sum256(payload)
+	return hex.EncodeToString(h[:])
+}
+
+// atomicWrite commits data to path via temp file + fsync + rename: the
+// file is either fully present with exactly these bytes, or absent.
+func atomicWrite(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// transientError marks failures that merit a bounded retry (store I/O,
+// lock contention) as opposed to deterministic simulation failures.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// Transient wraps err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err (anywhere in its chain) is marked
+// retryable.
+func IsTransient(err error) bool {
+	var te interface{ Transient() bool }
+	return errors.As(err, &te) && te.Transient()
+}

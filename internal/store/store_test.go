@@ -1,0 +1,452 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// discard is a no-op logger for tests that don't inspect diagnostics.
+func discard(string, ...any) {}
+
+// logTo returns a logger appending each line to lines.
+func logTo(lines *[]string) func(string, ...any) {
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		*lines = append(*lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+}
+
+func sampleStats(cycles uint64) *core.Stats {
+	st := &core.Stats{
+		Cycles:            cycles,
+		Committed:         cycles / 2,
+		CommittedByThread: []uint64{10, 20, 30, 40},
+		Faults:            core.FaultCounts{"cache-miss": 7},
+	}
+	st.FUUsage[0] = []uint64{1, 2}
+	return st
+}
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, filepath.Join(t.TempDir(), "store"))
+	want := sampleStats(12345)
+	if err := s.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("committed cell missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the stats:\n got %+v\nwant %+v", got, want)
+	}
+	if _, ok := s.Get("k2"); ok {
+		t.Error("uncommitted key hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Commits != 1 || st.Repairs != 0 {
+		t.Errorf("counters = %+v, want 1 hit / 1 miss / 1 commit / 0 repairs", st)
+	}
+}
+
+func TestReopenSeesCommittedCells(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s := open(t, dir)
+	if err := s.Put("k", sampleStats(99)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	got, ok := s2.Get("k")
+	if !ok || got.Cycles != 99 {
+		t.Fatalf("reopened store lost the cell (ok=%v)", ok)
+	}
+}
+
+// Any corruption mode must degrade to a recomputed cell: the Get is a
+// miss, the file is repaired away, and a later Put works again.
+func TestCorruptionDegradesToMiss(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"flipped-payload-byte", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip a byte inside the payload's cycle count digits.
+			i := strings.Index(string(data), `"Cycles"`)
+			if i < 0 {
+				// Field names depend on core.Stats JSON casing; fall back to
+				// flipping a byte late in the file.
+				i = len(data) - 10
+			}
+			data[i+10] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated-json", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty-file", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong-key", func(t *testing.T, path string) {
+			s := open(t, filepath.Dir(filepath.Dir(filepath.Dir(path))))
+			if err := s.Put("other", sampleStats(1)); err != nil {
+				t.Fatal(err)
+			}
+			other, err := os.ReadFile(s.cellPath("other"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, other, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong-version", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env envelope
+			if err := json.Unmarshal(data, &env); err != nil {
+				t.Fatal(err)
+			}
+			env.Version = Version + 1
+			out, err := json.Marshal(&env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			var lines []string
+			dir := filepath.Join(t.TempDir(), "store")
+			s, err := Open(dir, logTo(&lines))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("k", sampleStats(777)); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, s.cellPath("k"))
+			if st, ok := s.Get("k"); ok {
+				t.Fatalf("corrupt cell served as a hit: %+v", st)
+			}
+			if s.Stats().Repairs != 1 {
+				t.Errorf("repairs = %d, want 1", s.Stats().Repairs)
+			}
+			if len(lines) == 0 {
+				t.Error("repair produced no diagnostic")
+			}
+			if _, err := os.Stat(s.cellPath("k")); !os.IsNotExist(err) {
+				t.Error("corrupt file was not removed")
+			}
+			// The cell recomputes and commits again.
+			if err := s.Put("k", sampleStats(777)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("k"); !ok || got.Cycles != 777 {
+				t.Error("repaired cell did not recommit")
+			}
+		})
+	}
+}
+
+func TestTempFilesAreInertAndSwept(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s := open(t, dir)
+	if err := s.Put("k", sampleStats(5)); err != nil {
+		t.Fatal(err)
+	}
+	// A killed writer leaves a temp file next to a cell.
+	leftover := s.cellPath("k") + ".tmp12345"
+	if err := os.WriteFile(leftover, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || got.Cycles != 5 {
+		t.Fatal("temp file disturbed the committed cell")
+	}
+	s2 := open(t, dir)
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Error("reopen did not sweep the leftover temp file")
+	}
+	if got, ok := s2.Get("k"); !ok || got.Cycles != 5 {
+		t.Error("sweep removed a committed cell")
+	}
+}
+
+func TestLockProtocol(t *testing.T) {
+	s := open(t, filepath.Join(t.TempDir(), "store"))
+	l, err := s.TryLock("k")
+	if err != nil || l == nil {
+		t.Fatalf("first TryLock = (%v, %v), want acquired", l, err)
+	}
+	// The holder (this live process) blocks a second acquisition.
+	if l2, _ := s.TryLock("k"); l2 != nil {
+		t.Fatal("second TryLock acquired a held lock")
+	}
+	l.Unlock()
+	l3, err := s.TryLock("k")
+	if err != nil || l3 == nil {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l3.Unlock()
+}
+
+func TestStaleLockFromDeadPIDIsBroken(t *testing.T) {
+	var lines []string
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(dir, logTo(&lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockPath := filepath.Join(dir, "locks", HashKey("k")+".lock")
+	// PIDs are capped well below this on Linux (/proc/sys/kernel/pid_max
+	// maxes at 2^22), so the owner is guaranteed dead.
+	body, _ := json.Marshal(lockBody{PID: 1 << 30})
+	if err := os.WriteFile(lockPath, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.TryLock("k")
+	if err != nil || l == nil {
+		t.Fatalf("TryLock over a dead-PID lock = (%v, %v), want acquired", l, err)
+	}
+	l.Unlock()
+	if s.Stats().StaleLocksBroken != 1 {
+		t.Errorf("StaleLocksBroken = %d, want 1", s.Stats().StaleLocksBroken)
+	}
+	if len(lines) == 0 {
+		t.Error("breaking a stale lock produced no diagnostic")
+	}
+
+	// A torn (garbage) lock file is equally stale.
+	if err := os.WriteFile(lockPath, []byte("{to"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = s.TryLock("k")
+	if err != nil || l == nil {
+		t.Fatal("TryLock over a torn lock file did not acquire")
+	}
+	l.Unlock()
+}
+
+func TestReadOnlyStoreDegrades(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: file modes do not enforce read-only")
+	}
+	var lines []string
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(dir, logTo(&lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", sampleStats(3)); err != nil {
+		t.Fatal(err)
+	}
+	var locked []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && d.IsDir() {
+			locked = append(locked, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range locked {
+		if err := os.Chmod(p, 0o555); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range locked {
+			os.Chmod(p, 0o755)
+		}
+	})
+
+	s2, err := Open(dir, logTo(&lines))
+	if err != nil {
+		t.Fatalf("read-only store must open for reading: %v", err)
+	}
+	if got, ok := s2.Get("k"); !ok || got.Cycles != 3 {
+		t.Error("read-only store lost read access to committed cells")
+	}
+	if _, ok := s2.Get("missing"); ok {
+		t.Error("read-only store invented a cell")
+	}
+	if err := s2.Put("k2", sampleStats(4)); err == nil {
+		t.Error("Put on a read-only store reported success")
+	} else if !IsTransient(err) {
+		t.Error("read-only Put error is not marked transient")
+	}
+	if l, err := s2.TryLock("k2"); err != nil || l != nil {
+		t.Error("read-only store handed out a lock")
+	}
+	if s2.Stats().PutFailures == 0 {
+		t.Error("failed Put not counted")
+	}
+	if len(lines) == 0 {
+		t.Error("read-only degradation produced no diagnostic")
+	}
+}
+
+func TestOpenRejectsMissingParent(t *testing.T) {
+	_, err := Open(filepath.Join(t.TempDir(), "no", "such", "store"), discard)
+	if err == nil || !strings.Contains(err.Error(), "parent directory") {
+		t.Fatalf("Open with a missing parent = %v, want a parent-directory error", err)
+	}
+}
+
+func TestOpenRejectsForeignVersion(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	open(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, versionFile), []byte("sdsp-store v999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, discard); err == nil {
+		t.Fatal("Open accepted a store with a foreign layout version")
+	}
+}
+
+func TestQuarantineRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s := open(t, dir)
+	e := QuarantineEntry{Key: "k", Label: "LL1", Reason: "machine error twice", Bundle: "/tmp/bundle"}
+	if err := s.Quarantine(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := open(t, dir).Quarantined("k")
+	if !ok {
+		t.Fatal("quarantine entry lost across reopen")
+	}
+	if got.Reason != e.Reason || got.Bundle != e.Bundle || got.Label != e.Label {
+		t.Errorf("entry changed: %+v", got)
+	}
+	if _, ok := s.Quarantined("other"); ok {
+		t.Error("unquarantined key reported quarantined")
+	}
+	// Corrupt entry: repaired to a miss.
+	if err := os.WriteFile(s.quarantinePath("k"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Quarantined("k"); ok {
+		t.Error("corrupt quarantine entry still quarantines")
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	err := Transient(os.ErrPermission)
+	if !IsTransient(err) {
+		t.Error("marked error not transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", err)) {
+		t.Error("wrapping hides transience")
+	}
+	if IsTransient(os.ErrPermission) {
+		t.Error("unmarked error reported transient")
+	}
+}
+
+// TestConcurrentAccess exercises the store from many goroutines for the
+// race detector: mixed Get/Put/TryLock on overlapping keys.
+func TestConcurrentAccess(t *testing.T) {
+	s := open(t, filepath.Join(t.TempDir(), "store"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("k%d", i%5)
+				if l, _ := s.TryLock(key); l != nil {
+					if _, ok := s.Get(key); !ok {
+						if err := s.Put(key, sampleStats(uint64(i%5)+1)); err != nil {
+							t.Error(err)
+						}
+					}
+					l.Unlock()
+				} else {
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if got, ok := s.Get(key); !ok || got.Cycles != uint64(i)+1 {
+			t.Errorf("%s: ok=%v", key, ok)
+		}
+	}
+}
+
+func TestHashKeyIsStable(t *testing.T) {
+	if HashKey("abc") != HashKey("abc") || len(HashKey("abc")) != 64 {
+		t.Fatal("HashKey is not a stable sha256 hex")
+	}
+	if HashKey("abc") == HashKey("abd") {
+		t.Fatal("distinct keys collide")
+	}
+}
+
+func TestCellHashes(t *testing.T) {
+	s := open(t, filepath.Join(t.TempDir(), "store"))
+	if hs, err := s.CellHashes(); err != nil || len(hs) != 0 {
+		t.Fatalf("empty store: %v, %v", hs, err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.Put(k, sampleStats(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs, err := s.CellHashes()
+	if err != nil || len(hs) != 3 {
+		t.Fatalf("CellHashes = %v, %v; want 3 entries", hs, err)
+	}
+	seen := map[string]bool{}
+	for _, h := range hs {
+		seen[h] = true
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if !seen[HashKey(k)] {
+			t.Errorf("missing hash for %q", k)
+		}
+	}
+}
