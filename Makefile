@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke chaos-smoke store-race golden cover-golden bench bench-check check report
+.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke chaos-smoke serve-smoke store-race golden cover-golden bench bench-check check report
 
 all: check
 
@@ -75,6 +75,14 @@ predstudy-smoke:
 chaos-smoke:
 	$(GO) test ./internal/store/chaostest -count=1 -v
 
+# Daemon smoke: a real sdsp-serve coordinator plus two real worker
+# processes run the complete small-scale sweep over HTTP; the served
+# tables must match the committed golden byte for byte. Set
+# SDSP_SERVE_LOG_DIR=<dir> to tee every fleet process's stderr there
+# (CI uploads it as an artifact on failure).
+serve-smoke:
+	$(GO) test ./internal/store/chaostest -run TestServeSmoke -count=1 -v
+
 # The store's concurrency claims under the race detector: in-process
 # concurrent Get/Put/TryLock plus the parallel-runner store properties.
 store-race:
@@ -103,7 +111,7 @@ bench-check:
 	$(GO) run ./cmd/sdsp-bench -check BENCH_sim.json
 
 # Everything CI runs.
-check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke chaos-smoke store-race bench-check
+check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke chaos-smoke serve-smoke store-race bench-check
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

@@ -1,0 +1,68 @@
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON round-trip for Set, keyed by the stable kebab-case event names
+// rather than ordinals: the on-disk cell store persists coverage cells
+// across binary versions, and an ordinal encoding would silently
+// reshuffle every counter the moment an event is inserted mid-list.
+// With names, renumbering is harmless and a renamed/removed event fails
+// loudly on decode — the store treats that as a corrupt cell and simply
+// recomputes it.
+
+// setJSON is the wire form. Zero-count applicable events are omitted
+// from counts; inapplicable events are listed by name.
+type setJSON struct {
+	Counts       map[string]uint64 `json:"counts,omitempty"`
+	Inapplicable []string          `json:"inapplicable,omitempty"`
+}
+
+// MarshalJSON encodes the set with stable event names. Map keys are
+// sorted by encoding/json, so the encoding is deterministic —
+// byte-identical payloads for identical sets, which the store's
+// checksum and the chaos harness's byte-identity proofs rely on.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	out := setJSON{}
+	for e := Event(0); e < NumEvents; e++ {
+		if s.counts[e] > 0 {
+			if out.Counts == nil {
+				out.Counts = make(map[string]uint64)
+			}
+			out.Counts[infos[e].Name] = s.counts[e]
+		}
+		if s.inapplicable[e] {
+			out.Inapplicable = append(out.Inapplicable, infos[e].Name)
+		}
+	}
+	return json.Marshal(&out)
+}
+
+// UnmarshalJSON decodes a set encoded by MarshalJSON. An unknown event
+// name is an error, never a silent drop: a payload from a different
+// event vocabulary must not masquerade as coverage of this one.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var in setJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	var fresh Set
+	for name, n := range in.Counts {
+		e, ok := ByName(name)
+		if !ok {
+			return fmt.Errorf("cover: unknown event %q in encoded set", name)
+		}
+		fresh.counts[e] = n
+	}
+	for _, name := range in.Inapplicable {
+		e, ok := ByName(name)
+		if !ok {
+			return fmt.Errorf("cover: unknown event %q in encoded set", name)
+		}
+		fresh.inapplicable[e] = true
+	}
+	*s = fresh
+	return nil
+}

@@ -1,0 +1,111 @@
+package cover
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	s := NewSet()
+	s.Hit(EvFetchIdle)
+	s.Hit(EvFetchIdle)
+	s.Hit(EvCommitAhead)
+	s.Hit(EvThreadStarved)
+	s.MarkInapplicable(EvFetchCondRotate)
+	s.MarkInapplicable(EvICacheMissStall)
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Set
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	for e := Event(0); e < NumEvents; e++ {
+		if got.Count(e) != s.Count(e) {
+			t.Errorf("%s: count %d -> %d after round trip", e, s.Count(e), got.Count(e))
+		}
+		if got.Applicable(e) != s.Applicable(e) {
+			t.Errorf("%s: applicability changed after round trip", e)
+		}
+	}
+	if got.Summary() != s.Summary() {
+		t.Errorf("summary changed: %q -> %q", s.Summary(), got.Summary())
+	}
+}
+
+func TestSetJSONDeterministic(t *testing.T) {
+	s := NewSet()
+	for e := Event(0); e < NumEvents; e++ {
+		s.Hit(e)
+	}
+	a, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two marshals of one set differ")
+	}
+}
+
+func TestSetJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(NewSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Errorf("empty set marshals as %s, want {}", data)
+	}
+	var got Set
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Hits() != 0 || got.ApplicableCount() != int(NumEvents) {
+		t.Error("empty round trip is not the zero set")
+	}
+}
+
+func TestSetJSONUnknownEventRejected(t *testing.T) {
+	for _, payload := range []string{
+		`{"counts":{"no-such-event":3}}`,
+		`{"inapplicable":["no-such-event"]}`,
+	} {
+		var got Set
+		if err := json.Unmarshal([]byte(payload), &got); err == nil {
+			t.Errorf("decoding %s succeeded, want an unknown-event error", payload)
+		}
+	}
+}
+
+// TestEventNamesAreStableIdentifiers pins the properties the JSON
+// encoding (and therefore every persisted coverage cell) depends on:
+// every event has a unique, kebab-case name that resolves back to
+// itself. Renaming an event breaks old cells — that is intended (they
+// repair to a recompute) — but must be a deliberate change, caught by
+// the store version or by this shape check, never an accident of
+// reordering.
+func TestEventNamesAreStableIdentifiers(t *testing.T) {
+	kebab := regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
+	seen := map[string]Event{}
+	for e := Event(0); e < NumEvents; e++ {
+		name := e.String()
+		if !kebab.MatchString(name) {
+			t.Errorf("event %d name %q is not kebab-case", e, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("events %d and %d share the name %q", prev, e, name)
+		}
+		seen[name] = e
+		back, ok := ByName(name)
+		if !ok || back != e {
+			t.Errorf("ByName(%q) = (%v, %v), want (%v, true)", name, back, ok, e)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCoverageCellsPersist: the coverage experiment's cells — whose
+// Stats carry a cover.Set — must survive the store round trip like any
+// other cell, now that cover.Set marshals by stable event name. A warm
+// re-run must serve every cell from disk and render byte-identical
+// tables; this is what lets `coverage` sweeps resume after a restart
+// instead of resimulating the whole matrix.
+func TestCoverageCellsPersist(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cells")
+	cov, err := Get("coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := []Experiment{cov}
+
+	cold, coldT := renderStored(t, openStore(t, dir), 4, exps)
+	if n := sourceCounts(coldT); n["sim"] != len(coldT) || len(coldT) == 0 {
+		t.Fatalf("cold coverage sweep sources = %v, want all %d from sim", n, len(coldT))
+	}
+
+	warmStore := openStore(t, dir)
+	warm, warmT := renderStored(t, warmStore, 4, exps)
+	if warm != cold {
+		t.Errorf("warm coverage output differs from cold at byte %d", firstDiff(warm, cold))
+	}
+	if n := sourceCounts(warmT); n["store"] != len(warmT) || len(warmT) != len(coldT) {
+		t.Errorf("warm coverage sweep sources = %v over %d cells, want all %d served from store",
+			n, len(warmT), len(coldT))
+	}
+	if st := warmStore.Stats(); st.Repairs != 0 {
+		t.Errorf("warm coverage sweep repaired %d cells; coverage payloads should verify cleanly", st.Repairs)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// TestStoreDegradesReadOnlyMidSweep: the store going read-only
+// between declaration and commit (disk full, operator intervention)
+// must not change a single output byte — every cell still simulates
+// and memoizes, only persistence is lost — and the degradation must
+// be visible in the counters (PutFailures counts every refused
+// commit, Commits stays zero).
+func TestStoreDegradesReadOnlyMidSweep(t *testing.T) {
+	exps := []Experiment{Registry()[2]} // fig3
+
+	r := NewRunner(kernels.Small)
+	st := openStore(t, filepath.Join(t.TempDir(), "cells"))
+	r.Store = st
+	cells, err := r.DeclareCells(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no cells declared")
+	}
+
+	// The sweep is declared; now the disk goes bad.
+	st.ForceReadOnly()
+
+	for _, c := range cells {
+		tm, err := r.ExecuteDeclared(c)
+		if err != nil {
+			t.Fatalf("cell %s failed on a read-only store: %v", c.Label, err)
+		}
+		if tm.Source != "sim" {
+			t.Errorf("cell %s source = %q, want sim (nothing was committed to serve from)", c.Label, tm.Source)
+		}
+	}
+
+	// Assembly from the memoized cells, exactly as the pipeline would.
+	tables, _, err := r.RunExperiments(exps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, ts := range tables {
+		for _, tab := range ts {
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := buf.String()
+
+	// Reference: the same sweep with no store at all.
+	ref := NewRunner(kernels.Small)
+	refTables, _, err := ref.RunExperiments(exps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refBuf bytes.Buffer
+	for _, ts := range refTables {
+		for _, tab := range ts {
+			if err := tab.Render(&refBuf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got != refBuf.String() {
+		t.Errorf("read-only degradation changed output at byte %d", firstDiff(got, refBuf.String()))
+	}
+
+	// Counters: every commit was refused and counted; nothing landed.
+	stats := st.Stats()
+	if stats.Commits != 0 {
+		t.Errorf("read-only store recorded %d commits", stats.Commits)
+	}
+	if stats.PutFailures != uint64(len(cells)) {
+		t.Errorf("PutFailures = %d, want one per cell (%d)", stats.PutFailures, len(cells))
+	}
+	if hashes, err := st.CellHashes(); err != nil || len(hashes) != 0 {
+		t.Errorf("read-only store persisted %d cells (err %v)", len(hashes), err)
+	}
+	if stats.Misses != uint64(len(cells)) {
+		t.Errorf("Misses = %d, want one per cell (%d)", stats.Misses, len(cells))
+	}
+}

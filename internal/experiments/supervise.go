@@ -236,12 +236,12 @@ func (r *Runner) quarantine(key, label string, err error) *QuarantinedError {
 	return qe
 }
 
-// commitCell persists a successful cell. Coverage-carrying cells are
-// not persisted (a cover.Set does not survive JSON); everything else
-// is. Commit failures degrade to a diagnostic — the result is still
+// commitCell persists a successful cell — coverage-carrying cells
+// included, now that cover.Set round-trips JSON by stable event name.
+// Commit failures degrade to a diagnostic — the result is still
 // returned from memory, and the only cost is a future recomputation.
 func (r *Runner) commitCell(key string, st *core.Stats) {
-	if r.Store == nil || st.Coverage != nil {
+	if r.Store == nil {
 		return
 	}
 	_ = r.Store.Put(key, st) // Put logs its own diagnostics

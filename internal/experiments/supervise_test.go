@@ -321,10 +321,10 @@ func TestQuarantinedCellRendersInTable(t *testing.T) {
 	}
 }
 
-// TestCoverageCellsBypassStore: coverage payloads cannot round-trip
-// JSON, so cells carrying them must not be committed (and must still
-// succeed from memory).
-func TestCoverageCellsBypassStore(t *testing.T) {
+// TestCoverageCellsCommitToStore: cover.Set marshals by stable event
+// name now, so cells carrying coverage commit like any other cell
+// (the end-to-end round trip is TestCoverageCellsPersist).
+func TestCoverageCellsCommitToStore(t *testing.T) {
 	s := openStore(t, filepath.Join(t.TempDir(), "cells"))
 	r := NewRunner(kernels.Small)
 	r.Store = s
@@ -336,7 +336,7 @@ func TestCoverageCellsBypassStore(t *testing.T) {
 	if out.err != nil {
 		t.Fatal(out.err)
 	}
-	if got := s.Stats().Commits; got != 0 {
-		t.Errorf("coverage cell was committed (%d commits); it cannot round-trip", got)
+	if got := s.Stats().Commits; got != 1 {
+		t.Errorf("coverage cell commits = %d, want 1", got)
 	}
 }

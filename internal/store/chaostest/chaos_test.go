@@ -31,8 +31,12 @@ const (
 	sweepScale = "small"
 )
 
-// expBin is the sdsp-exp binary under test, built once by TestMain.
-var expBin string
+// expBin and serveBin are the binaries under test, built once by
+// TestMain.
+var (
+	expBin   string
+	serveBin string
+)
 
 func TestMain(m *testing.M) {
 	tmp, err := os.MkdirTemp("", "sdsp-chaos-bin-")
@@ -41,12 +45,18 @@ func TestMain(m *testing.M) {
 		os.Exit(1)
 	}
 	expBin = filepath.Join(tmp, "sdsp-exp")
-	build := exec.Command("go", "build", "-o", expBin, "repro/cmd/sdsp-exp")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "chaostest: cannot build sdsp-exp:", err)
-		os.RemoveAll(tmp)
-		os.Exit(1)
+	serveBin = filepath.Join(tmp, "sdsp-serve")
+	for bin, pkg := range map[string]string{
+		expBin:   "repro/cmd/sdsp-exp",
+		serveBin: "repro/cmd/sdsp-serve",
+	} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "chaostest: cannot build %s: %v\n", pkg, err)
+			os.RemoveAll(tmp)
+			os.Exit(1)
+		}
 	}
 	code := m.Run()
 	os.RemoveAll(tmp)

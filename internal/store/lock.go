@@ -5,7 +5,6 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
-	"syscall"
 )
 
 // Lock is one held per-cell lock file. Unlock releases it; releasing a
@@ -15,21 +14,20 @@ type Lock struct {
 	path string
 }
 
-// lockBody is the lock file's content: enough to decide staleness.
+// lockBody is the lock file's content: enough to decide staleness. The
+// embedded identity is a (PID, start-time) pair, not a bare PID — see
+// procIdent for why PID reuse would otherwise keep dead locks alive.
 type lockBody struct {
-	PID int `json:"pid"`
+	procIdent
 }
 
 // TryLock attempts to acquire the advisory per-cell writer lock for
 // key. It returns a non-nil Lock when acquired, and (nil, nil) when a
 // live process holds it — the caller then simulates the cell itself and
-// relies on the idempotent atomic commit. A lock file naming a dead PID
-// is stale (its owner was killed mid-cell) and is broken on sight.
-//
-// PID liveness is probed with signal 0; PID reuse can therefore keep a
-// stale lock alive until the recycled PID exits. That only delays
-// deduplication, never correctness: the caller falls back to computing
-// the cell itself.
+// relies on the idempotent atomic commit. A lock file whose owner is
+// gone — the PID is dead, or the PID is alive but its start time shows
+// it is an unrelated process that recycled the number — is stale (its
+// owner was killed mid-cell) and is broken on sight.
 func (s *Store) TryLock(key string) (*Lock, error) {
 	if s.readOnly {
 		return nil, nil
@@ -38,7 +36,7 @@ func (s *Store) TryLock(key string) (*Lock, error) {
 	for attempt := 0; attempt < 2; attempt++ {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err == nil {
-			body, _ := json.Marshal(lockBody{PID: os.Getpid()})
+			body, _ := json.Marshal(lockBody{procIdent: selfIdent()})
 			_, werr := f.Write(body)
 			if cerr := f.Close(); werr == nil {
 				werr = cerr
@@ -73,7 +71,7 @@ func (s *Store) breakIfStale(path string) bool {
 		return false
 	}
 	var body lockBody
-	if err := json.Unmarshal(data, &body); err == nil && body.PID > 0 && pidAlive(body.PID) {
+	if err := json.Unmarshal(data, &body); err == nil && body.alive() {
 		return false
 	}
 	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -82,13 +80,6 @@ func (s *Store) breakIfStale(path string) bool {
 	s.count(func(st *Stats) { st.StaleLocksBroken++ })
 	s.logf("store: broke stale lock %s (owner is gone)", filepath.Base(path))
 	return true
-}
-
-// pidAlive probes pid with signal 0. EPERM means the process exists but
-// belongs to another user — still alive.
-func pidAlive(pid int) bool {
-	err := syscall.Kill(pid, 0)
-	return err == nil || errors.Is(err, syscall.EPERM)
 }
 
 // Unlock releases the lock. Safe to call once per acquired lock.

@@ -50,7 +50,10 @@ import (
 )
 
 // Version is bumped whenever the on-disk layout changes incompatibly.
-const Version = 1
+// v2: coverage-carrying cells persist (cover.Set gained a JSON
+// round-trip); a v1 binary would silently decode their event counters
+// as empty, so the layouts must not mix.
+const Version = 2
 
 // versionFile marks a directory as an sdsp cell store.
 const versionFile = "VERSION"
@@ -63,12 +66,14 @@ var versionMagic = fmt.Sprintf("sdsp-store v%d\n", Version)
 // deduplicated cell, independent of worker count), which is what makes
 // the j1-vs-j8 counter identity testable.
 type Stats struct {
-	Hits             uint64 `json:"hits"`               // cells served from disk
-	Misses           uint64 `json:"misses"`             // lookups that found no usable cell
-	Repairs          uint64 `json:"repairs"`            // corrupt/torn/mis-keyed files removed (each also a miss)
-	Commits          uint64 `json:"commits"`            // cells durably written
-	PutFailures      uint64 `json:"put_failures"`       // commit attempts that failed (e.g. read-only dir)
-	StaleLocksBroken uint64 `json:"stale_locks_broken"` // dead-PID lock files removed
+	Hits              uint64 `json:"hits"`                // cells served from disk
+	Misses            uint64 `json:"misses"`              // lookups that found no usable cell
+	Repairs           uint64 `json:"repairs"`             // corrupt/torn/mis-keyed files removed (each also a miss)
+	Commits           uint64 `json:"commits"`             // cells durably written
+	PutFailures       uint64 `json:"put_failures"`        // commit attempts that failed (e.g. read-only dir)
+	StaleLocksBroken  uint64 `json:"stale_locks_broken"`  // dead-owner lock files removed
+	LeasesAcquired    uint64 `json:"leases_acquired"`     // worker cell claims granted
+	StaleLeasesBroken uint64 `json:"stale_leases_broken"` // expired/dead-owner leases broken (cells requeued)
 }
 
 // Store is one on-disk cell store. Safe for concurrent use by multiple
@@ -132,7 +137,7 @@ func Open(dir string, logf func(format string, args ...any)) (*Store, error) {
 	if err := os.Mkdir(dir, 0o755); err != nil && !errors.Is(err, os.ErrExist) {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
-	for _, sub := range []string{"cells", "locks", "quarantine"} {
+	for _, sub := range []string{"cells", "locks", "leases", "quarantine"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			s.readOnly = true
 		}
@@ -147,8 +152,20 @@ func Open(dir string, logf func(format string, args ...any)) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// ReadOnly reports whether the store degraded to read-only at Open.
+// ReadOnly reports whether the store degraded to read-only at Open (or
+// was forced there).
 func (s *Store) ReadOnly() bool { return s.readOnly }
+
+// ForceReadOnly degrades the store to read-only mode: reads keep
+// working, commits, locks, and leases refuse with diagnostics. It
+// exists for operators and tests that need the degradation path without
+// depending on file modes (which root ignores); a store never upgrades
+// back — reopen it instead. Like Open, it must be called from a single
+// goroutine with no store operation in flight.
+func (s *Store) ForceReadOnly() {
+	s.readOnly = true
+	s.logf("store: %s forced read-only; cells are served but nothing new will persist", s.dir)
+}
 
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
@@ -187,7 +204,7 @@ func (s *Store) checkVersion() error {
 // effort: a leftover temp file is inert either way (commits are
 // renames), this just keeps the tree tidy.
 func (s *Store) sweepTempFiles() {
-	for _, sub := range []string{"cells", "quarantine"} {
+	for _, sub := range []string{"cells", "leases", "quarantine"} {
 		_ = filepath.WalkDir(filepath.Join(s.dir, sub), func(path string, d os.DirEntry, err error) error {
 			if err == nil && !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
 				_ = os.Remove(path)
@@ -341,6 +358,25 @@ func (s *Store) CellHashes() ([]string, error) {
 		return nil
 	})
 	return hashes, err
+}
+
+// CellByHash returns the raw committed envelope bytes for one content
+// address — the cache-sharing primitive: envelopes are self-verifying
+// (embedded key + payload checksum), so a receiver can install the
+// bytes into its own store and let Get verify them. The hash must be a
+// full lowercase SHA-256 hex string; anything else (notably
+// path-escaping garbage from a URL) is rejected before touching the
+// filesystem.
+func (s *Store) CellByHash(hash string) ([]byte, error) {
+	if len(hash) != sha256.Size*2 {
+		return nil, fmt.Errorf("store: malformed cell hash %q", hash)
+	}
+	for _, r := range hash {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return nil, fmt.Errorf("store: malformed cell hash %q", hash)
+		}
+	}
+	return os.ReadFile(filepath.Join(s.dir, "cells", hash[:2], hash+".json"))
 }
 
 // repair removes a file that failed verification and logs why. On a

@@ -237,7 +237,7 @@ func TestStaleLockFromDeadPIDIsBroken(t *testing.T) {
 	lockPath := filepath.Join(dir, "locks", HashKey("k")+".lock")
 	// PIDs are capped well below this on Linux (/proc/sys/kernel/pid_max
 	// maxes at 2^22), so the owner is guaranteed dead.
-	body, _ := json.Marshal(lockBody{PID: 1 << 30})
+	body, _ := json.Marshal(lockBody{procIdent: procIdent{PID: 1 << 30}})
 	if err := os.WriteFile(lockPath, body, 0o644); err != nil {
 		t.Fatal(err)
 	}
