@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke chaos-smoke serve-smoke store-race golden cover-golden bench bench-check check report
+.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke mixstudy-smoke chaos-smoke serve-smoke store-race golden cover-golden bench bench-check check report
 
 all: check
 
@@ -67,6 +67,15 @@ predstudy-smoke:
 	$(GO) run ./cmd/sdsp-exp -exp predstudy -scale small -j 8 > /tmp/predstudy.out
 	cmp /tmp/predstudy.out internal/experiments/testdata/predstudy_small.golden
 
+# Heterogeneous-study smoke: the small-scale multiprogramming ×
+# memory-hierarchy study through the CLI must match its committed
+# golden byte for byte (the in-process j1-vs-j8 and golden checks live
+# in mixstudy_test.go, the hierarchy-off bit-identity guard next to
+# them).
+mixstudy-smoke:
+	$(GO) run ./cmd/sdsp-exp -mixstudy -scale small -j 8 > /tmp/mixstudy.out
+	cmp /tmp/mixstudy.out internal/experiments/testdata/mixstudy_small.golden
+
 # Crash-safety chaos harness: kill real sdsp-exp sweeps at seeded
 # mid-flight points, resume against the same store, and require
 # byte-identical tables with zero recompute of committed cells (plus the
@@ -92,7 +101,7 @@ store-race:
 # Regenerate the small-scale golden tables after an intentional change
 # to a kernel, the core, or an experiment.
 golden:
-	$(GO) test ./internal/experiments -run 'TestGoldenSmallTables|TestPredstudyGoldenSmall' -update
+	$(GO) test ./internal/experiments -run 'TestGoldenSmallTables|TestPredstudyGoldenSmall|TestMixstudyGoldenSmall' -update
 
 # Regenerate the committed unguided coverage-gap list after an
 # intentional change to the event model or the generator.
@@ -111,7 +120,7 @@ bench-check:
 	$(GO) run ./cmd/sdsp-bench -check BENCH_sim.json
 
 # Everything CI runs.
-check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke chaos-smoke serve-smoke store-race bench-check
+check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke mixstudy-smoke chaos-smoke serve-smoke store-race bench-check
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

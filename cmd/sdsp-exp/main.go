@@ -40,6 +40,7 @@ type timingExport struct {
 	Cells            []experiments.CellTiming       `json:"cells"`
 	Degradation      []experiments.DegradationCurve `json:"degradation,omitempty"`
 	Predstudy        []experiments.PredCell         `json:"predstudy,omitempty"`
+	Mixstudy         []experiments.MixCell          `json:"mixstudy,omitempty"`
 	Store            experiments.StoreReport        `json:"store"`
 	TotalWallSeconds float64                        `json:"total_wall_seconds"`
 	CellWallSeconds  float64                        `json:"cell_wall_seconds"`
@@ -58,6 +59,7 @@ func main() {
 		paranoid = flag.Bool("paranoid", false, "check machine invariants every cycle in every cell")
 		fault    = flag.String("fault", "", "apply a deterministic fault schedule to every cell (preset or seed=N,miss=R,...)")
 		sweep    = flag.Bool("faultsweep", false, "run the fault-sweep experiment (shorthand for -exp faultsweep)")
+		mix      = flag.Bool("mixstudy", false, "run the heterogeneous multiprogramming study (shorthand for -exp mixstudy)")
 		crashDir = flag.String("crashdir", "", "write a crash-report bundle here when a cell fails with a machine error")
 		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 		memprof  = flag.String("memprofile", "", "write a pprof live-heap profile to this file after the run")
@@ -127,6 +129,9 @@ func main() {
 	if *sweep {
 		*expNames = "faultsweep"
 	}
+	if *mix {
+		*expNames = "mixstudy"
+	}
 	if *expNames == "all" {
 		selected = experiments.Registry()
 	} else {
@@ -178,7 +183,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, *scale, *jobs, selected, runner.Curves, runner.PredCells, storeRep, timings, elapsed); err != nil {
+		if err := writeJSON(*jsonOut, *scale, *jobs, selected, runner.Curves, runner.PredCells, runner.MixCells, storeRep, timings, elapsed); err != nil {
 			fmt.Fprintln(os.Stderr, "sdsp-exp:", err)
 			os.Exit(1)
 		}
@@ -218,7 +223,7 @@ func reportTimings(w *os.File, timings []experiments.CellTiming, elapsed time.Du
 		cellWall, cellWall/elapsed.Seconds())
 }
 
-func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, curves []experiments.DegradationCurve, predCells []experiments.PredCell, storeRep experiments.StoreReport, timings []experiments.CellTiming, elapsed time.Duration) error {
+func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, curves []experiments.DegradationCurve, predCells []experiments.PredCell, mixCells []experiments.MixCell, storeRep experiments.StoreReport, timings []experiments.CellTiming, elapsed time.Duration) error {
 	var cellWall float64
 	var cycles uint64
 	for _, t := range timings {
@@ -236,6 +241,7 @@ func writeJSON(path, scale string, jobs int, selected []experiments.Experiment, 
 		Cells:            timings,
 		Degradation:      curves,
 		Predstudy:        predCells,
+		Mixstudy:         mixCells,
 		Store:            storeRep,
 		TotalWallSeconds: elapsed.Seconds(),
 		CellWallSeconds:  cellWall,

@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// hierCache builds a deliberately tiny L1 (1 KB direct-mapped) with the
+// full backside hierarchy enabled, so a strided access stream misses
+// constantly and every hot path — victim probe, prefetch probe and
+// training, L2 tag lookup/allocate, install with victim insertion —
+// runs on every iteration.
+func hierCache() *Cache {
+	cfg := DefaultConfig()
+	cfg.SizeBytes = 1024
+	cfg.Ways = 1
+	cfg.L2 = DefaultL2()
+	cfg.VictimEntries = 8
+	cfg.Prefetch = true
+	return New(cfg, mem.New(1<<20))
+}
+
+// drive pushes one access through to completion: retry until Hit,
+// ticking the cache each cycle so refills land. Returns the cycle
+// counter advanced past the access.
+func drive(c *Cache, addr uint32, now uint64) uint64 {
+	count := true
+	for {
+		c.Tick(now)
+		_, res := c.Read(addr, now, count)
+		if res == Hit {
+			return now + 1
+		}
+		count = false
+		now++
+	}
+}
+
+// TestHierarchyMissPathAllocFree pins the zero-alloc property of the
+// whole miss-resolution path. The stream alternates two interleaved
+// strides over a footprint larger than L1+L2, so every probe (victim,
+// prefetch, L2 hit, L2 miss) and the prefetch-eviction path all fire,
+// and none of them may allocate: the victim FIFO, prefetch buffer, and
+// refill bookkeeping are all value-typed by construction.
+func TestHierarchyMissPathAllocFree(t *testing.T) {
+	c := hierCache()
+	var now uint64
+	var addr uint32
+	// Warm up: populate L1/L2 tags, train the stride detector, fill the
+	// victim and prefetch buffers so steady state exercises hits in each.
+	for i := 0; i < 4000; i++ {
+		now = drive(c, addr, now)
+		addr = (addr + 32) % (256 * 1024)
+	}
+	st := c.Stats()
+	if st.VictimInserts == 0 || st.Prefetches == 0 || st.L2Misses == 0 {
+		t.Fatalf("warm-up did not exercise the hierarchy: %+v", st)
+	}
+	const batch = 1000
+	got := testing.AllocsPerRun(10, func() {
+		for i := 0; i < batch; i++ {
+			now = drive(c, addr, now)
+			addr = (addr + 32) % (256 * 1024)
+		}
+	}) / batch
+	if got != 0 {
+		t.Errorf("hierarchy miss path allocates %.4f objects/access, want 0", got)
+	}
+}
+
+// TestVictimHitPathAllocFree drives a ping-pong pattern between two
+// lines mapping to the same direct-mapped L1 set, so each access evicts
+// the other line into the victim buffer and the next access recovers it
+// — the victim-hit path specifically, every iteration.
+func TestVictimHitPathAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SizeBytes = 1024
+	cfg.Ways = 1
+	cfg.VictimEntries = 4
+	c := New(cfg, mem.New(1<<20))
+	a, b := uint32(0), uint32(1024) // same set, different tags
+	var now uint64
+	for i := 0; i < 64; i++ {
+		now = drive(c, a, now)
+		now = drive(c, b, now)
+	}
+	if st := c.Stats(); st.VictimHits == 0 {
+		t.Fatalf("ping-pong produced no victim hits: %+v", st)
+	}
+	const batch = 200
+	got := testing.AllocsPerRun(10, func() {
+		for i := 0; i < batch; i++ {
+			now = drive(c, a, now)
+			now = drive(c, b, now)
+		}
+	}) / (2 * batch)
+	if got != 0 {
+		t.Errorf("victim-hit path allocates %.4f objects/access, want 0", got)
+	}
+}
+
+// TestPrefetchHitPathAllocFree walks a pure unit-stride stream with the
+// prefetcher on: after training, most misses are served by completed
+// prefetches, so the prefetch-hit and prefetch-issue paths dominate.
+func TestPrefetchHitPathAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SizeBytes = 1024
+	cfg.Ways = 1
+	cfg.Prefetch = true
+	c := New(cfg, mem.New(1<<20))
+	var now uint64
+	var addr uint32
+	for i := 0; i < 2000; i++ {
+		now = drive(c, addr, now)
+		addr += 32
+	}
+	if st := c.Stats(); st.PrefetchHits == 0 {
+		t.Fatalf("strided stream produced no prefetch hits: %+v", st)
+	}
+	const batch = 500
+	got := testing.AllocsPerRun(10, func() {
+		for i := 0; i < batch; i++ {
+			now = drive(c, addr, now)
+			addr += 32
+		}
+	}) / batch
+	if got != 0 {
+		t.Errorf("prefetch path allocates %.4f objects/access, want 0", got)
+	}
+}

@@ -7,6 +7,15 @@
 // renders it incapable of servicing any requests until the outstanding
 // refills complete. The cache is uniform — shared by all threads without
 // partitioning.
+//
+// Beyond the paper's L1, the model can grow an optional hierarchy — an
+// L2 behind the L1, a small victim buffer, and a stride prefetcher —
+// all off by default. The hierarchy is tag-only: architectural data
+// always lives in the flat backing memory (dirty L1 evictions write
+// back immediately, refills read memory), and the extra levels only
+// decide the *latency* of each L1 miss. With every extension disabled
+// the miss path computes exactly the classic now+MissPenalty, so the
+// default timing is bit-identical by construction. See docs/MEMORY.md.
 package cache
 
 import (
@@ -25,6 +34,33 @@ type Config struct {
 	// Ports caps accesses serviced per cycle; 0 is unlimited. The paper
 	// lists "employ more cache ports" among its improvements (§6.1 #1).
 	Ports int
+
+	// L2, when non-nil, places a tag-only second-level cache behind the
+	// L1: a miss that hits an L2 tag refills in L2.HitLatency cycles
+	// instead of MissPenalty. Default off.
+	L2 *L2Config
+	// VictimEntries, when non-zero, adds a FIFO victim buffer of that
+	// many line tags; an L1 miss matching a buffered tag (a recently
+	// evicted line) refills in a single cycle. Default off.
+	VictimEntries int
+	// Prefetch enables a global stride prefetcher on the L1 miss stream;
+	// a miss matching a completed prefetch refills in a single cycle.
+	// Default off.
+	Prefetch bool
+}
+
+// L2Config sizes the optional tag-only L2. Lines are the L1's LineBytes.
+type L2Config struct {
+	SizeBytes   uint32 // total capacity
+	Ways        int    // associativity
+	HitLatency  uint64 // L1 refill latency on an L2 tag hit
+	MissPenalty uint64 // L1 refill latency on an L2 tag miss
+}
+
+// DefaultL2 is a representative L2 for studies: 64 KB, 4-way, 4-cycle
+// hit, 40-cycle memory penalty. Not enabled by default anywhere.
+func DefaultL2() *L2Config {
+	return &L2Config{SizeBytes: 64 * 1024, Ways: 4, HitLatency: 4, MissPenalty: 40}
 }
 
 // DefaultConfig is the paper's default data cache: 8 KB, 2-way, LRU.
@@ -55,6 +91,23 @@ func (c Config) Validate() error {
 	nsets := c.SizeBytes / c.LineBytes / uint32(c.Ways)
 	if (nsets & (nsets - 1)) != 0 {
 		return fmt.Errorf("cache: set count %d must be a power of two", nsets)
+	}
+	if c.VictimEntries < 0 || c.VictimEntries > 64 {
+		return fmt.Errorf("cache: victim buffer size %d out of range [0,64]", c.VictimEntries)
+	}
+	if l2 := c.L2; l2 != nil {
+		switch {
+		case l2.SizeBytes == 0 || l2.Ways <= 0:
+			return fmt.Errorf("cache: zero-valued L2 config")
+		case l2.HitLatency == 0 || l2.MissPenalty < l2.HitLatency:
+			return fmt.Errorf("cache: L2 latencies hit=%d miss=%d must satisfy 1 <= hit <= miss", l2.HitLatency, l2.MissPenalty)
+		case l2.SizeBytes%(c.LineBytes*uint32(l2.Ways)) != 0:
+			return fmt.Errorf("cache: L2 size %d not divisible by line size %d times %d ways", l2.SizeBytes, c.LineBytes, l2.Ways)
+		}
+		l2sets := l2.SizeBytes / c.LineBytes / uint32(l2.Ways)
+		if (l2sets & (l2sets - 1)) != 0 {
+			return fmt.Errorf("cache: L2 set count %d must be a power of two", l2sets)
+		}
 	}
 	return nil
 }
@@ -95,6 +148,26 @@ type Stats struct {
 	BlockedRejects uint64 // requests refused while the cache was blocked
 	PortRejects    uint64 // requests refused for lack of a free port
 	Forced         uint64 // misses forced by fault injection (subset of Misses)
+
+	// Hierarchy counters; all zero unless the corresponding extension is
+	// enabled. An L1 miss is served by exactly one of victim buffer,
+	// prefetch buffer, L2 hit, L2 miss, or (no L2) main memory.
+	L2Hits            uint64 // L1 misses served by an L2 tag hit
+	L2Misses          uint64 // L1 misses that also missed the L2 tags
+	VictimHits        uint64 // L1 misses recovered from the victim buffer
+	VictimInserts     uint64 // evicted L1 tags inserted into the victim buffer
+	Prefetches        uint64 // prefetches issued by the stride detector
+	PrefetchHits      uint64 // L1 misses served by a completed prefetch
+	PrefetchEvictions uint64 // unconsumed prefetch entries overwritten
+}
+
+// L2HitRate returns the fraction of L2 lookups that hit.
+func (s Stats) L2HitRate() float64 {
+	total := s.L2Hits + s.L2Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.L2Hits) / float64(total)
 }
 
 // HitRate returns the fraction of counted accesses that hit.
@@ -114,10 +187,40 @@ type line struct {
 	lastUsed uint64 // for LRU
 }
 
+// refill is a value type (not heap-allocated) so the miss path stays
+// allocation-free; valid distinguishes it from the empty slot.
 type refill struct {
 	addr    uint32 // line-aligned address
 	readyAt uint64
+	valid   bool
 }
+
+// l2line is a tag-only L2 way: no data words, the backing memory is
+// always architecturally current.
+type l2line struct {
+	tag      uint32
+	valid    bool
+	lastUsed uint64
+}
+
+// victimEntry holds one evicted L1 line tag.
+type victimEntry struct {
+	tag   uint32
+	valid bool
+}
+
+// pfEntry is one in-flight or completed prefetch.
+type pfEntry struct {
+	tag     uint32
+	readyAt uint64
+	valid   bool
+}
+
+const (
+	victimHitLatency   = 1 // refill latency when the victim buffer holds the tag
+	prefetchHitLatency = 1 // refill latency when a completed prefetch holds the tag
+	prefetchBufEntries = 4
+)
 
 // Cache is a cycle-level data cache model backed by main memory.
 type Cache struct {
@@ -127,8 +230,20 @@ type Cache struct {
 	nsets    uint32
 	useClock uint64
 
-	active  *refill // refill in progress
-	pending *refill // second miss waiting; its presence blocks the cache
+	active  refill // refill in progress
+	pending refill // second miss waiting; its presence blocks the cache
+
+	l2      [][]l2line // tag-only L2 sets; nil when disabled
+	l2nsets uint32
+
+	victim     []victimEntry // FIFO of evicted L1 tags; nil when disabled
+	victimHead int
+
+	pfBuf    [prefetchBufEntries]pfEntry
+	pfHead   int
+	pfLast   uint32 // previous L1 miss line address
+	pfStride int64  // last observed miss-stream delta
+	pfStreak int    // consecutive misses matching pfStride
 
 	portsUsed int    // accesses serviced this cycle
 	portCycle uint64 // cycle portsUsed refers to
@@ -164,8 +279,19 @@ func New(cfg Config, backing *mem.Memory) *Cache {
 			sets[i][w].words = make([]uint32, cfg.LineBytes/4)
 		}
 	}
-	return &Cache{cfg: cfg, sets: sets, backing: backing, nsets: nsets,
+	c := &Cache{cfg: cfg, sets: sets, backing: backing, nsets: nsets,
 		delays: make(map[uint32]uint64)}
+	if cfg.L2 != nil {
+		c.l2nsets = cfg.L2.SizeBytes / cfg.LineBytes / uint32(cfg.L2.Ways)
+		c.l2 = make([][]l2line, c.l2nsets)
+		for i := range c.l2 {
+			c.l2[i] = make([]l2line, cfg.L2.Ways)
+		}
+	}
+	if cfg.VictimEntries > 0 {
+		c.victim = make([]victimEntry, cfg.VictimEntries)
+	}
+	return c
 }
 
 func (c *Cache) lineAddr(addr uint32) uint32 { return addr &^ (c.cfg.LineBytes - 1) }
@@ -186,17 +312,161 @@ func (c *Cache) lookup(addr uint32) *line {
 // Tick completes any refill that is due. Call once per cycle before
 // issuing requests.
 func (c *Cache) Tick(now uint64) {
-	for c.active != nil && now >= c.active.readyAt {
+	for c.active.valid && now >= c.active.readyAt {
 		finished := c.active.readyAt
 		c.install(c.active.addr)
 		c.active = c.pending
-		c.pending = nil
-		if c.active != nil {
+		c.pending = refill{}
+		if c.active.valid {
 			// The queued second miss starts its memory access only once
 			// the first refill has finished.
-			c.active.readyAt = finished + c.cfg.MissPenalty
+			c.active.readyAt = finished + c.missLatency(c.active.addr, finished)
 		}
 	}
+}
+
+// missLatency resolves where an L1 miss is served from and returns the
+// refill latency: victim buffer, completed prefetch, L2 tags, then main
+// memory. With the whole hierarchy disabled it returns cfg.MissPenalty
+// untouched — the classic single-level path. The probe consumes victim
+// and prefetch entries and updates L2 state, and every miss trains the
+// stride detector.
+func (c *Cache) missLatency(la uint32, now uint64) uint64 {
+	lat := c.cfg.MissPenalty
+	switch {
+	case c.victimProbe(la):
+		lat = victimHitLatency
+	case c.prefetchProbe(la, now):
+		lat = prefetchHitLatency
+	case c.l2 != nil:
+		lat = c.l2Probe(la)
+	}
+	if c.cfg.Prefetch {
+		c.trainPrefetch(la, now)
+	}
+	return lat
+}
+
+// victimProbe consumes a victim-buffer entry matching la, if any.
+func (c *Cache) victimProbe(la uint32) bool {
+	for i := range c.victim {
+		if c.victim[i].valid && c.victim[i].tag == la {
+			c.victim[i].valid = false
+			c.stats.VictimHits++
+			if c.Cover != nil {
+				c.Cover.Hit(cover.EvCacheVictimHit)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// insertVictim records an evicted L1 tag in the FIFO victim buffer.
+func (c *Cache) insertVictim(tag uint32) {
+	c.victim[c.victimHead] = victimEntry{tag: tag, valid: true}
+	c.victimHead = (c.victimHead + 1) % len(c.victim)
+	c.stats.VictimInserts++
+}
+
+// prefetchProbe consumes a completed prefetch matching la, if any.
+func (c *Cache) prefetchProbe(la uint32, now uint64) bool {
+	if !c.cfg.Prefetch {
+		return false
+	}
+	for i := range c.pfBuf {
+		if c.pfBuf[i].valid && c.pfBuf[i].tag == la && now >= c.pfBuf[i].readyAt {
+			c.pfBuf[i].valid = false
+			c.stats.PrefetchHits++
+			if c.Cover != nil {
+				c.Cover.Hit(cover.EvCachePrefetchHit)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// trainPrefetch feeds the global stride detector with an L1 miss line
+// address; two consecutive misses with the same delta trigger a
+// prefetch of the next line in the stream.
+func (c *Cache) trainPrefetch(la uint32, now uint64) {
+	delta := int64(la) - int64(c.pfLast)
+	c.pfLast = la
+	if delta == 0 {
+		return
+	}
+	if delta == c.pfStride {
+		c.pfStreak++
+	} else {
+		c.pfStride = delta
+		c.pfStreak = 1
+	}
+	if c.pfStreak < 2 {
+		return
+	}
+	next := int64(la) + delta
+	if next < 0 || next > int64(^uint32(0)) {
+		return
+	}
+	c.issuePrefetch(uint32(next), now)
+}
+
+// issuePrefetch places tag in the prefetch buffer (round-robin),
+// evicting any unconsumed entry in its slot. Lines already present in
+// the L1 or in flight in the buffer are skipped.
+func (c *Cache) issuePrefetch(tag uint32, now uint64) {
+	if c.lookup(tag) != nil {
+		return
+	}
+	for i := range c.pfBuf {
+		if c.pfBuf[i].valid && c.pfBuf[i].tag == tag {
+			return
+		}
+	}
+	if c.pfBuf[c.pfHead].valid {
+		c.stats.PrefetchEvictions++
+		if c.Cover != nil {
+			c.Cover.Hit(cover.EvCachePrefetchEvict)
+		}
+	}
+	lat := c.cfg.MissPenalty
+	if c.cfg.L2 != nil {
+		lat = c.cfg.L2.MissPenalty
+	}
+	c.pfBuf[c.pfHead] = pfEntry{tag: tag, readyAt: now + lat, valid: true}
+	c.pfHead = (c.pfHead + 1) % len(c.pfBuf)
+	c.stats.Prefetches++
+}
+
+// l2Probe looks la up in the tag-only L2 and returns the resulting L1
+// refill latency, allocating the tag (LRU) on a miss.
+func (c *Cache) l2Probe(la uint32) uint64 {
+	set := c.l2[(la/c.cfg.LineBytes)%c.l2nsets]
+	c.useClock++
+	for w := range set {
+		if set[w].valid && set[w].tag == la {
+			set[w].lastUsed = c.useClock
+			c.stats.L2Hits++
+			if c.Cover != nil {
+				c.Cover.Hit(cover.EvCacheL2Hit)
+			}
+			return c.cfg.L2.HitLatency
+		}
+	}
+	victim := &set[0]
+	for w := 1; w < len(set); w++ {
+		if !set[w].valid {
+			victim = &set[w]
+			break
+		}
+		if set[w].lastUsed < victim.lastUsed && victim.valid {
+			victim = &set[w]
+		}
+	}
+	*victim = l2line{tag: la, valid: true, lastUsed: c.useClock}
+	c.stats.L2Misses++
+	return c.cfg.L2.MissPenalty
 }
 
 // install fills addr's line from memory, evicting the LRU victim.
@@ -218,6 +488,9 @@ func (c *Cache) install(addr uint32) {
 		}
 		c.writeback(victim)
 	}
+	if victim.valid && c.victim != nil {
+		c.insertVictim(victim.tag)
+	}
 	base := c.lineAddr(addr)
 	for i := range victim.words {
 		victim.words[i] = c.backing.LoadWord(base + uint32(i)*4)
@@ -238,7 +511,7 @@ func (c *Cache) writeback(l *line) {
 }
 
 // blocked reports whether a second miss has wedged the cache.
-func (c *Cache) blocked() bool { return c.pending != nil }
+func (c *Cache) blocked() bool { return c.pending.valid }
 
 // request implements the shared hit/miss/busy state machine.
 func (c *Cache) request(addr uint32, now uint64, count, write bool) (*line, Result) {
@@ -284,18 +557,19 @@ func (c *Cache) request(addr uint32, now uint64, count, write bool) (*line, Resu
 		if count {
 			c.stats.Hits++
 		}
-		if c.Cover != nil && c.active != nil {
+		if c.Cover != nil && c.active.valid {
 			c.Cover.Hit(cover.EvCacheRefillOverlap)
 		}
 		return l, Hit
 	}
 	la := c.lineAddr(addr)
-	if c.active != nil {
+	if c.active.valid {
 		if c.active.addr == la {
 			return nil, Busy // our line is on its way
 		}
-		// Second miss: queue it and block the cache.
-		c.pending = &refill{addr: la}
+		// Second miss: queue it and block the cache. Its latency is
+		// resolved when the active refill finishes and it is promoted.
+		c.pending = refill{addr: la, valid: true}
 		if c.Cover != nil {
 			c.Cover.Hit(cover.EvCacheSecondMiss)
 		}
@@ -304,7 +578,7 @@ func (c *Cache) request(addr uint32, now uint64, count, write bool) (*line, Resu
 		}
 		return nil, Miss
 	}
-	c.active = &refill{addr: la, readyAt: now + c.cfg.MissPenalty}
+	c.active = refill{addr: la, readyAt: now + c.missLatency(la, now), valid: true}
 	if count {
 		c.stats.Misses++
 	}
@@ -353,7 +627,7 @@ func (c *Cache) FlushAll() {
 
 // Pending reports whether any refill is outstanding (used to decide when
 // a run has fully drained).
-func (c *Cache) Pending() bool { return c.active != nil || c.pending != nil }
+func (c *Cache) Pending() bool { return c.active.valid || c.pending.valid }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/cache"
 	"repro/internal/cover"
 )
 
@@ -129,6 +130,25 @@ func TestCycleAllocFreeFetchPolicies(t *testing.T) {
 				t.Errorf("warm Cycle under %v allocates %.4f objects/cycle, want 0", pol, got)
 			}
 		})
+	}
+}
+
+// TestCycleAllocFreeHierarchy asserts the zero-alloc property with the
+// whole backside memory hierarchy enabled and the L1 shrunk so the
+// workload actually misses into it: the L2 tag array, victim FIFO, and
+// prefetch buffer are preallocated at New and value-typed on the miss
+// path (internal/cache has matching tests at the cache level).
+func TestCycleAllocFreeHierarchy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 0
+	cfg.Cache.SizeBytes = 1024
+	cfg.Cache.Ways = 1
+	cfg.Cache.L2 = cache.DefaultL2()
+	cfg.Cache.VictimEntries = 8
+	cfg.Cache.Prefetch = true
+	m := warmMachine(t, cfg)
+	if got := allocsPerCycle(m); got != 0 {
+		t.Errorf("warm Cycle with L2+victim+prefetch allocates %.4f objects/cycle, want 0", got)
 	}
 }
 

@@ -158,6 +158,7 @@ func (m *Machine) commitEntry(e *suEntry) {
 		m.covBTBTrained(e.thread, e.pc)
 	case e.inst.Op == isa.HALT:
 		m.halted[e.thread] = true
+		m.stats.HaltCycleByThread[e.thread] = m.now
 		if m.cov != nil {
 			m.cov.Hit(cover.EvCommitHalt)
 		}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cover"
 	"repro/internal/isa"
+	"repro/internal/loader"
 )
 
 // FetchPolicy selects which thread fetches each cycle (paper §5.1).
@@ -242,6 +243,13 @@ type Config struct {
 	ICache *cache.Config
 	FUs    FUConfig
 
+	// Mix, when non-nil, runs a heterogeneous multiprogrammed workload:
+	// one program per slot, threads assigned to slots contiguously, each
+	// slot in its own physical window and register partition. Threads
+	// must equal Mix.NumThreads(), and New is then called with a nil
+	// object (the mix carries its programs).
+	Mix *loader.Mix
+
 	MaxCycles uint64 // runaway guard; 0 means a generous default
 
 	// Watchdog is the forward-progress limit: if no block commits and no
@@ -350,6 +358,29 @@ func (c *Config) Validate() error {
 		}
 		if c.FUs.Latency[cl] < 1 {
 			return fmt.Errorf("core: %v latency must be at least 1", cl)
+		}
+	}
+	if c.Mix != nil {
+		if err := c.Mix.Validate(); err != nil {
+			return err
+		}
+		if n := c.Mix.NumThreads(); n != c.Threads {
+			return fmt.Errorf("core: mix has %d threads but Threads is %d", n, c.Threads)
+		}
+		// The slots' register partitions must fit the physical file.
+		total := 0
+		for _, s := range c.Mix.Slots {
+			budget := s.Regs
+			if budget == 0 {
+				budget = isa.RegsPerThread(c.Threads)
+			}
+			if budget < 2 {
+				return fmt.Errorf("core: mix slot register budget %d is too small", budget)
+			}
+			total += budget * s.Threads
+		}
+		if total > isa.NumPhysRegs {
+			return fmt.Errorf("core: mix register partitions need %d physical registers, only %d exist", total, isa.NumPhysRegs)
 		}
 	}
 	return nil

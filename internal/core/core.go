@@ -16,15 +16,30 @@ import (
 // resident threads. Create with New, drive with Run (or Cycle for
 // fine-grained control), then read Stats and architectural state.
 type Machine struct {
-	cfg   Config
-	kregs int // logical registers per thread
+	cfg Config
 
 	memory *mem.Memory
 	dcache *cache.Cache
 	icache *cache.Cache // nil: perfect instruction cache (paper default)
 	sync   *syncctl.Controller
 	preds  []bpred.Predictor // one shared (paper) or one per thread
-	text   []isa.Inst        // predecoded text segment
+
+	// Program layout. A homogeneous run is the single-slot special case:
+	// one text, every physBase zero, regBase[t] = t*kregs, vtid[t] = t —
+	// the arithmetic on every hot path is then bit-identical to the
+	// classic single-program machine. A heterogeneous Mix (Config.Mix)
+	// stacks one 2 MiB physical window per slot (loader.SlotStride):
+	// virtual addresses (PCs and computed effective addresses) translate
+	// by adding the thread's physBase the moment they are validated, so
+	// every address the cache, store buffer, and sync controller see is
+	// physical and slot isolation is structural.
+	texts     [][]isa.Inst // per-slot predecoded text segments
+	slotOf    []int        // thread -> slot index
+	physBase  []uint32     // thread -> slot physical base address
+	regBase   []int        // thread -> first physical register
+	regBudget []int        // thread -> logical register budget
+	vtid      []int        // thread -> rank within its slot's thread group (TID)
+	vnth      []int        // thread -> its slot's thread-group size (NTH)
 
 	regs [isa.NumPhysRegs]uint32
 
@@ -102,10 +117,33 @@ func (m *Machine) trace(format string, args ...any) {
 	}
 }
 
-// New builds a machine for obj under cfg.
+// layout is the per-thread program geometry both constructors hand to
+// build: which text each thread runs, where its slot's physical window
+// and register partition start, and its virtual thread identity.
+type layout struct {
+	texts     [][]isa.Inst
+	slotOf    []int
+	physBase  []uint32
+	regBase   []int
+	regBudget []int
+	vtid      []int
+	vnth      []int
+	entry     []uint32 // per-thread entry PC (virtual)
+	stride    uint32   // syncctl slot stride; 0 for homogeneous runs
+}
+
+// New builds a machine for obj under cfg. A heterogeneous machine is
+// requested by setting cfg.Mix and passing a nil obj; the mix carries
+// its own programs.
 func New(obj *loader.Object, cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Mix != nil {
+		if obj != nil {
+			return nil, fmt.Errorf("core: both an object and Config.Mix were given")
+		}
+		return newMix(cfg)
 	}
 	m0, err := obj.Load()
 	if err != nil {
@@ -127,6 +165,82 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 		}
 		text[i] = in
 	}
+	lay := layout{
+		texts:     [][]isa.Inst{text},
+		slotOf:    make([]int, cfg.Threads),
+		physBase:  make([]uint32, cfg.Threads),
+		regBase:   make([]int, cfg.Threads),
+		regBudget: make([]int, cfg.Threads),
+		vtid:      make([]int, cfg.Threads),
+		vnth:      make([]int, cfg.Threads),
+		entry:     make([]uint32, cfg.Threads),
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		lay.regBase[t] = t * kregs
+		lay.regBudget[t] = kregs
+		lay.vtid[t] = t
+		lay.vnth[t] = cfg.Threads
+		lay.entry[t] = obj.Entry
+	}
+	return build(cfg, m0, lay), nil
+}
+
+// newMix builds a heterogeneous machine from cfg.Mix: one program per
+// slot, each in its own physical window and register partition.
+func newMix(cfg Config) (*Machine, error) {
+	mix := cfg.Mix
+	m0, err := mix.Load()
+	if err != nil {
+		return nil, err
+	}
+	lay := layout{
+		texts:     make([][]isa.Inst, len(mix.Slots)),
+		slotOf:    make([]int, cfg.Threads),
+		physBase:  make([]uint32, cfg.Threads),
+		regBase:   make([]int, cfg.Threads),
+		regBudget: make([]int, cfg.Threads),
+		vtid:      make([]int, cfg.Threads),
+		vnth:      make([]int, cfg.Threads),
+		entry:     make([]uint32, cfg.Threads),
+		stride:    loader.SlotStride,
+	}
+	t, base := 0, 0
+	for s, slot := range mix.Slots {
+		budget := slot.Regs
+		if budget == 0 {
+			budget = isa.RegsPerThread(cfg.Threads)
+		}
+		text := make([]isa.Inst, len(slot.Object.Text))
+		for i, w := range slot.Object.Text {
+			in, err := isa.Decode(w)
+			if err != nil {
+				return nil, fmt.Errorf("core: mix slot %d text word %d: %w", s, i, err)
+			}
+			if r := in.MaxReg(); int(r) >= budget {
+				return nil, fmt.Errorf("core: mix slot %d text word %d (%v at %#x) uses r%d, but the slot's budget is %d registers per thread",
+					s, i, in, uint32(i)*4, r, budget)
+			}
+			text[i] = in
+		}
+		lay.texts[s] = text
+		for k := 0; k < slot.Threads; k++ {
+			lay.slotOf[t] = s
+			lay.physBase[t] = loader.SlotBase(s)
+			lay.regBase[t] = base
+			lay.regBudget[t] = budget
+			lay.vtid[t] = k
+			lay.vnth[t] = slot.Threads
+			lay.entry[t] = slot.Object.Entry
+			base += budget
+			t++
+		}
+	}
+	return build(cfg, m0, lay), nil
+}
+
+// build assembles the machine around a loaded memory image and layout;
+// cfg has been validated.
+func build(cfg Config, m0 *mem.Memory, lay layout) *Machine {
 	npred := 1
 	if cfg.PerThreadBTB {
 		npred = cfg.Threads
@@ -137,18 +251,26 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:          cfg,
-		kregs:        kregs,
 		memory:       m0,
 		dcache:       cache.New(cfg.Cache, m0),
 		sync:         syncctl.New(m0),
 		preds:        preds,
-		text:         text,
+		texts:        lay.texts,
+		slotOf:       lay.slotOf,
+		physBase:     lay.physBase,
+		regBase:      lay.regBase,
+		regBudget:    lay.regBudget,
+		vtid:         lay.vtid,
+		vnth:         lay.vnth,
 		suCap:        cfg.SUEntries / BlockSize,
 		pc:           make([]uint32, cfg.Threads),
 		fetchStopped: make([]bool, cfg.Threads),
 		halted:       make([]bool, cfg.Threads),
 		maskedThread: -1,
 		pools:        newPools(cfg.FUs),
+	}
+	if lay.stride != 0 {
+		m.sync.SetStride(lay.stride)
 	}
 	if cfg.FetchPolicy == ICount || cfg.FetchPolicy == ICountFeedback {
 		m.icountOcc = make([]int, cfg.Threads)
@@ -177,13 +299,14 @@ func New(obj *loader.Object, cfg Config) (*Machine, error) {
 		m.initCoverage()
 	}
 	for t := range m.pc {
-		m.pc[t] = obj.Entry
+		m.pc[t] = lay.entry[t]
 	}
 	m.stats.CommittedByThread = make([]uint64, cfg.Threads)
+	m.stats.HaltCycleByThread = make([]uint64, cfg.Threads)
 	for cl := range m.stats.FUUsage {
 		m.stats.FUUsage[cl] = make([]uint64, cfg.FUs.Count[cl])
 	}
-	return m, nil
+	return m
 }
 
 // Config returns the machine's configuration.
@@ -196,11 +319,16 @@ func (m *Machine) Memory() *mem.Memory { return m.memory }
 // Reg reads thread t's logical register r as of the committed state.
 // Out-of-partition registers read as zero.
 func (m *Machine) Reg(t, r int) uint32 {
-	if r <= 0 || r >= m.kregs || t < 0 || t >= m.cfg.Threads {
+	if t < 0 || t >= m.cfg.Threads || r <= 0 || r >= m.regBudget[t] {
 		return 0
 	}
-	return m.regs[t*m.kregs+r]
+	return m.regs[m.regBase[t]+r]
 }
+
+// physAddr translates thread t's virtual address to physical: its
+// slot's window base plus the virtual offset. Homogeneous machines have
+// a zero base everywhere, so the translation is the identity.
+func (m *Machine) physAddr(t int, va uint32) uint32 { return m.physBase[t] + va }
 
 // Now returns the current cycle.
 func (m *Machine) Now() uint64 { return m.now }
@@ -450,12 +578,12 @@ func (m *Machine) physReg(t int, r uint8) int {
 	if r == 0 {
 		return -1
 	}
-	if int(r) >= m.kregs {
+	if int(r) >= m.regBudget[t] {
 		m.failf(FaultInternal, "rename", t, 0,
-			"r%d exceeds the %d-register partition (text was validated at load)", r, m.kregs)
+			"r%d exceeds the %d-register partition (text was validated at load)", r, m.regBudget[t])
 		return -1
 	}
-	return t*m.kregs + int(r)
+	return m.regBase[t] + int(r)
 }
 
 // writesReg reports whether e architecturally writes a register.

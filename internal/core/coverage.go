@@ -64,6 +64,9 @@ func (m *Machine) markCoverageApplicability() {
 	mark(!cfg.StoreForwarding, cover.EvLoadForwardCross)
 	mark(cfg.StoreForwarding, cover.EvLoadBlockedCrossAlias)
 	mark(cfg.Cache.Ports == 0, cover.EvCachePortReject)
+	mark(cfg.Cache.L2 == nil, cover.EvCacheL2Hit)
+	mark(cfg.Cache.VictimEntries == 0, cover.EvCacheVictimHit)
+	mark(!cfg.Cache.Prefetch, cover.EvCachePrefetchHit, cover.EvCachePrefetchEvict)
 	flex := cfg.CommitPolicy == FlexibleCommit
 	mark(!flex || cfg.Threads < 2 || cfg.CommitWindow < 2, cover.EvCommitAhead)
 	mark(!flex || cfg.Threads < 2 || cfg.CommitWindow < 3, cover.EvCommitAheadDeep)
@@ -73,22 +76,24 @@ func (m *Machine) markCoverageApplicability() {
 
 	// Program gates, from the predecoded text.
 	var hasLoad, hasSW, hasStore, hasFSTW, hasFLDW, hasFAI, hasPredCT, hasAnyCT bool
-	for _, in := range m.text {
-		switch {
-		case in.Op == isa.SW:
-			hasSW, hasStore = true, true
-		case in.Op == isa.FSTW:
-			hasFSTW, hasStore = true, true
-		case in.Op == isa.FLDW:
-			hasFLDW = true
-		case in.Op == isa.FAI:
-			hasFAI = true
-		case in.Op.FUClass() == isa.ClassLoad:
-			hasLoad = true
-		case in.Op.IsBranch() || in.Op == isa.JALR:
-			hasPredCT, hasAnyCT = true, true
-		case in.Op == isa.JAL:
-			hasAnyCT = true
+	for _, text := range m.texts {
+		for _, in := range text {
+			switch {
+			case in.Op == isa.SW:
+				hasSW, hasStore = true, true
+			case in.Op == isa.FSTW:
+				hasFSTW, hasStore = true, true
+			case in.Op == isa.FLDW:
+				hasFLDW = true
+			case in.Op == isa.FAI:
+				hasFAI = true
+			case in.Op.FUClass() == isa.ClassLoad:
+				hasLoad = true
+			case in.Op.IsBranch() || in.Op == isa.JALR:
+				hasPredCT, hasAnyCT = true, true
+			case in.Op == isa.JAL:
+				hasAnyCT = true
+			}
 		}
 	}
 	hasSyncRead := hasFLDW || hasFAI

@@ -258,13 +258,14 @@ func (m *Machine) rotateThread() {
 // waste the paper's alignment improvement addresses).
 func (m *Machine) fetchBlockFor(t int) {
 	pc := m.pc[t]
+	text := m.texts[m.slotOf[t]]
 	base := pc &^ (BlockSize*4 - 1)
 	if m.icache != nil {
 		// One I-cache access covers the aligned block (the 32-byte line
 		// always contains the whole 16-byte block). A miss wastes the
 		// fetch slot while the line refills.
-		if base/4 < uint32(len(m.text)) {
-			if _, res := m.icache.Read(base, m.now, true); res != cache.Hit {
+		if base/4 < uint32(len(text)) {
+			if _, res := m.icache.Read(m.physAddr(t, base), m.now, true); res != cache.Hit {
 				m.stats.ICacheStalls++
 				if m.cov != nil {
 					m.cov.Hit(cover.EvICacheMissStall)
@@ -289,10 +290,10 @@ func (m *Machine) fetchBlockFor(t int) {
 			continue // pre-PC slot of the aligned block
 		}
 		idx := addr / 4
-		if idx >= uint32(len(m.text)) {
+		if idx >= uint32(len(text)) {
 			break // wrong-path fetch beyond text: empty slots
 		}
-		in := m.text[idx]
+		in := text[idx]
 		fb.insts[s] = in
 		fb.pcs[s] = addr
 		fb.valid[s] = true

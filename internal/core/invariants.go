@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/loader"
 )
 
 // CheckInvariants validates the machine's internal consistency; tests
@@ -49,8 +50,8 @@ func (m *Machine) CheckInvariants() error {
 			}
 			// Register-partition isolation: no register field may reach
 			// outside the thread's static partition.
-			if r := e.inst.MaxReg(); int(r) >= m.kregs {
-				return fmt.Errorf("%v uses r%d outside the %d-register partition", e, r, m.kregs)
+			if r := e.inst.MaxReg(); int(r) >= m.regBudget[e.thread] {
+				return fmt.Errorf("%v uses r%d outside the %d-register partition", e, r, m.regBudget[e.thread])
 			}
 			// Operand tags must reference an older in-flight producer.
 			for i := 0; i < e.nsrc; i++ {
@@ -61,6 +62,28 @@ func (m *Machine) CheckInvariants() error {
 			// Issued memory references must have validated addresses.
 			if e.state != stWaiting && e.inst.Op.IsMemRef() && !e.addrValid && !e.squashed {
 				return fmt.Errorf("%v issued without an address", e)
+			}
+			// Slot isolation (heterogeneous mode): every validated
+			// physical address must land inside the issuing thread's own
+			// 2 MiB slot window, in the segment its opcode names. In a
+			// single-slot machine physBase is zero and this reduces to
+			// the ordinary segment checks, so it is asserted always, not
+			// just when a Mix is loaded.
+			if e.addrValid && !e.badAddr {
+				rel := e.addr - m.physBase[e.thread]
+				if rel >= loader.MemSize {
+					return fmt.Errorf("%v address %#x escapes thread %d's slot window", e, e.addr, e.thread)
+				}
+				switch e.inst.Op {
+				case isa.FLDW, isa.FSTW, isa.FAI:
+					if !loader.IsFlagAddr(rel) {
+						return fmt.Errorf("%v address %#x is outside its slot's flag segment", e, e.addr)
+					}
+				case isa.LW, isa.SW:
+					if !loader.IsDataAddr(rel) {
+						return fmt.Errorf("%v address %#x is outside its slot's data segment", e, e.addr)
+					}
+				}
 			}
 			// Squash containment: a squashed entry records its squasher,
 			// which must be an older CT of the same thread.
@@ -90,10 +113,10 @@ func (m *Machine) CheckInvariants() error {
 		if e.squashed || e.state == stDone || !e.writesReg() {
 			return fmt.Errorf("scoreboard claim on phys r%d by %v (squashed=%v)", p, e, e.squashed)
 		}
-		if p < e.thread*m.kregs || p >= (e.thread+1)*m.kregs {
+		if p < m.regBase[e.thread] || p >= m.regBase[e.thread]+m.regBudget[e.thread] {
 			return fmt.Errorf("scoreboard claim on phys r%d outside thread %d's partition", p, e.thread)
 		}
-		if want := e.thread*m.kregs + int(e.inst.Rd); p != want {
+		if want := m.regBase[e.thread] + int(e.inst.Rd); p != want {
 			return fmt.Errorf("scoreboard claim on phys r%d but %v writes phys r%d", p, e, want)
 		}
 	}

@@ -73,7 +73,10 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			}
 			return false
 		}
-		addr := isa.EffAddr(e.src[0].value, e.inst.Imm)
+		// Alias comparisons run on physical addresses throughout: issued
+		// stores latch physical addresses, and same-thread translation is
+		// a constant offset, so equality is unchanged from virtual space.
+		addr := m.physAddr(e.thread, isa.EffAddr(e.src[0].value, e.inst.Imm))
 		v, src, blocked := m.forwardFromStore(e, addr)
 		if blocked {
 			m.stats.LoadBlocked++
@@ -175,9 +178,10 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 				return false
 			}
 			addr := isa.EffAddr(e.src[0].value, e.inst.Imm)
+			pa := m.physAddr(e.thread, addr)
 			if !e.syncRolled {
 				e.syncRolled = true
-				if d := m.sync.GrantDelay(m.now, addr, op == isa.FAI); d > 0 {
+				if d := m.sync.GrantDelay(m.now, pa, op == isa.FAI); d > 0 {
 					e.syncHoldUntil = m.now + d
 					if m.Trace != nil {
 						m.trace("sync hold %v for %d cycles (injected)", e, d)
@@ -190,7 +194,7 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 				if m.cfg.Injector.SpuriousWakeup(m.now, e.tag) {
 					m.stats.Faults.Add(ChanSyncWakeup)
 					if loader.IsFlagAddr(addr) && (addr&3) == 0 {
-						_, _ = m.sync.Read(addr) // woken early: read and discard
+						_, _ = m.sync.Read(pa) // woken early: read and discard
 					}
 					e.syncHoldUntil = m.now + spuriousWakeupBackoff
 					if m.Trace != nil {
@@ -218,9 +222,13 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 
 	switch class {
 	case isa.ClassLoad:
-		e.addr = isa.EffAddr(a, e.inst.Imm)
+		// Addresses are validated in the thread's virtual space, then
+		// latched physical (slot-translated) — including bad addresses, so
+		// every alias comparison stays in one address space.
+		va := isa.EffAddr(a, e.inst.Imm)
+		e.addr = m.physAddr(e.thread, va)
 		e.addrValid = true
-		if !loader.IsDataAddr(e.addr) || (e.addr&3) != 0 {
+		if !loader.IsDataAddr(va) || (va&3) != 0 {
 			// Wrong-path garbage address: complete with a dummy value and
 			// flag it; committing such a load is a program error.
 			e.badAddr = true
@@ -241,11 +249,22 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		return true
 
 	case isa.ClassStore:
-		e.addr = isa.EffAddr(a, e.inst.Imm)
+		va := isa.EffAddr(a, e.inst.Imm)
+		e.addr = m.physAddr(e.thread, va)
 		e.addrValid = true
 		e.storeData = bv // FmtB: src[1] is rs2, the store data
-		wantFlag := op == isa.FSTW
-		if wantFlag != loader.IsFlagAddr(e.addr) || (e.addr&3) != 0 {
+		// SW must land in the data segment, FSTW in the flag segment —
+		// the same rule funcsim enforces, so the invariant checker's slot
+		// containment assertion holds for every non-bad store. badAddr is
+		// never consulted on timing paths (only commit/drain), so marking
+		// is timing-neutral.
+		bad := (va & 3) != 0
+		if op == isa.FSTW {
+			bad = bad || !loader.IsFlagAddr(va)
+		} else {
+			bad = bad || !loader.IsDataAddr(va)
+		}
+		if bad {
 			e.badAddr = true
 			if m.cov != nil {
 				m.cov.Hit(cover.EvBadAddrSpeculative)
@@ -261,9 +280,10 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		return true
 
 	case isa.ClassSync:
-		e.addr = isa.EffAddr(a, e.inst.Imm)
+		va := isa.EffAddr(a, e.inst.Imm)
+		e.addr = m.physAddr(e.thread, va)
 		e.addrValid = true
-		if !loader.IsFlagAddr(e.addr) || (e.addr&3) != 0 {
+		if !loader.IsFlagAddr(va) || (va&3) != 0 {
 			e.badAddr = true
 			e.result = 0
 			if m.cov != nil {
@@ -309,9 +329,12 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 	// (TID and NTH read machine identity instead).
 	switch op {
 	case isa.TID:
-		e.result = uint32(e.thread)
+		// Virtual thread identity: a thread's rank within its slot's
+		// group, so an SPMD program partitions its own group's work
+		// identically whether it runs solo or inside a mix.
+		e.result = uint32(m.vtid[e.thread])
 	case isa.NTH:
-		e.result = uint32(m.cfg.Threads)
+		e.result = uint32(m.vnth[e.thread])
 	case isa.NOP:
 		e.result = 0
 	default:
@@ -417,7 +440,9 @@ func (m *Machine) forwardFromStore(e *suEntry, addr uint32) (value uint32, src *
 			if !s.src[0].ready {
 				return 0, nil, true // address unknown: cannot disambiguate
 			}
-			saddr = isa.EffAddr(s.src[0].value, s.inst.Imm)
+			// Same thread as the load, so translation is the same constant
+			// offset applied to the caller's addr.
+			saddr = m.physAddr(s.thread, isa.EffAddr(s.src[0].value, s.inst.Imm))
 		}
 		if saddr != addr {
 			continue

@@ -15,6 +15,12 @@ type Stats struct {
 	Squashed  uint64 // instructions discarded by mispredict recovery
 
 	CommittedByThread []uint64
+	// HaltCycleByThread records the cycle each thread's HALT committed
+	// (zero while the thread runs). In a heterogeneous mix the max over a
+	// slot's thread group is that program's finish time, which the
+	// mixstudy experiment compares against a solo run of the same
+	// program for interference slowdown.
+	HaltCycleByThread []uint64
 
 	FetchedBlocks  uint64
 	FetchedInsts   uint64 // valid instructions entering the latch

@@ -11,7 +11,8 @@ import (
 // the timed run surfaces a non-zero breakdown covering every cycle.
 func TestPhaseTimingNeutral(t *testing.T) {
 	src := `
-		main:  addi r3, r0, 40
+		main:  li   r5, buf
+		       addi r3, r0, 40
 		loop:  addi r4, r4, 3
 		       sw   r4, 0(r5)
 		       lw   r6, 0(r5)
@@ -19,7 +20,7 @@ func TestPhaseTimingNeutral(t *testing.T) {
 		       bne  r3, r0, loop
 		       halt
 		.data
-		       .word 0
+		buf:   .word 0
 	`
 	_, plain := runSrc(t, src, 1)
 	cfg := DefaultConfig()

@@ -87,6 +87,10 @@ const (
 	EvCacheEvictDirty    // a refill evicted a dirty line (write-back)
 	EvCachePortReject    // a request was refused for lack of a free port
 	EvStoreDrainBlocked  // a committed store's drain was rejected by the cache
+	EvCacheL2Hit         // an L1 miss was served by an L2 tag hit
+	EvCacheVictimHit     // an L1 miss recovered a line from the victim buffer
+	EvCachePrefetchHit   // an L1 miss was served by a completed prefetch
+	EvCachePrefetchEvict // a new prefetch evicted an unconsumed prefetch-buffer entry
 
 	// Synchronization.
 	EvFLDWSleep     // a thread re-read a flag and saw the same value (spin/sleep)
@@ -186,6 +190,10 @@ var infos = [NumEvents]Info{
 	EvCacheEvictDirty:    {"cache-evict-dirty", GroupCache, "refill evicted a dirty line", true, false},
 	EvCachePortReject:    {"cache-port-reject", GroupCache, "request refused for lack of a port", false, false},
 	EvStoreDrainBlocked:  {"store-drain-blocked", GroupCache, "committed store's drain was rejected", true, false},
+	EvCacheL2Hit:         {"cache-l2-hit", GroupCache, "L1 miss served by an L2 tag hit", false, false},
+	EvCacheVictimHit:     {"cache-victim-hit", GroupCache, "L1 miss recovered a line from the victim buffer", false, false},
+	EvCachePrefetchHit:   {"cache-prefetch-hit", GroupCache, "L1 miss served by a completed prefetch", false, false},
+	EvCachePrefetchEvict: {"cache-prefetch-evict", GroupCache, "new prefetch evicted an unconsumed buffer entry", false, false},
 
 	EvFLDWSleep:     {"fldw-sleep", GroupSync, "flag re-read saw the same value (spin)", true, false},
 	EvFLDWWake:      {"fldw-wake", GroupSync, "flag re-read saw a new value (wake)", true, false},

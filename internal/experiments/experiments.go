@@ -63,6 +63,7 @@ func Registry() []Experiment {
 		{"faultsweep", "Fault sweep: IPC degradation under injected faults, per mechanism", FaultSweep},
 		{"coverage", "Microarchitectural event coverage across kernels, threads, and policies", Coverage},
 		{"predstudy", "Frontend study: predictor family × fetch policy IPC and accuracy matrix", PredStudy},
+		{"mixstudy", "Heterogeneous study: multiprogrammed pairings × threads × memory hierarchy", MixStudy},
 	}
 }
 

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7", "fig8", "table3", "fig9", "fig10", "fig11", "fig12",
 		"table4", "fig13", "fig14", "summary", "ablations",
 		"improvements", "hwablations", "compiler", "faultsweep", "coverage",
-		"predstudy"}
+		"predstudy", "mixstudy"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))

@@ -10,6 +10,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/crash"
 	"repro/internal/isa"
@@ -170,6 +171,10 @@ type Runner struct {
 	// assembly, for the -json export. Read after RunExperiments returns.
 	PredCells []PredCell
 
+	// MixCells accumulates the mixstudy grid during table assembly, for
+	// the -json export. Read after RunExperiments returns.
+	MixCells []MixCell
+
 	mu         sync.Mutex
 	sup        SupervisionCounts
 	cache      map[string]cellResult
@@ -228,6 +233,16 @@ func (r *Runner) recordPredCell(c PredCell) {
 	}
 }
 
+// recordMixCell appends a mixstudy cell unless the runner is in the
+// declaration pass (whose tables — and cells — are discarded).
+func (r *Runner) recordMixCell(c MixCell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.declaring {
+		r.MixCells = append(r.MixCells, c)
+	}
+}
+
 // config returns the paper-default configuration for n threads, with
 // the runner's frontend overrides applied.
 func (r *Runner) config(n int) core.Config {
@@ -254,12 +269,27 @@ func cacheKey(b *kernels.Benchmark, cfg core.Config, p kernels.Params) string {
 	if cfg.Injector != nil {
 		inj = cfg.Injector.String()
 	}
-	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/bp%v/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/cov%v/pt%v/inj{%s}",
+	return fmt.Sprintf("%s/s%d/t%d/f%v/c%v/w%d/su%d/i%d/wb%d/sb%d/btb%d/pb%d/bp%v/ptb%v/rn%v/by%v/sf%v/ways%d/ports%d/%s/ic%v/fu%v/al%v/ch%d/mc%d/wd%d/cov%v/pt%v/inj{%s}",
 		b.Name, p.Scale, cfg.Threads, cfg.FetchPolicy, cfg.CommitPolicy, cfg.CommitWindow,
 		cfg.SUEntries, cfg.IssueWidth, cfg.WritebackWidth, cfg.StoreBuffer, cfg.BTBEntries,
 		cfg.PredictorBits, cfg.Predictor, cfg.PerThreadBTB, cfg.Renaming, cfg.Bypassing, cfg.StoreForwarding,
-		cfg.Cache.Ways, cfg.Cache.Ports, cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk,
+		cfg.Cache.Ways, cfg.Cache.Ports, hierKey(&cfg.Cache), cfg.ICache != nil, cfg.FUs.Count, p.Align, p.SyncChunk,
 		cfg.MaxCycles, cfg.Watchdog, cfg.Coverage != nil, cfg.PhaseTiming, inj)
+}
+
+// hierKey folds the backside memory-hierarchy knobs (L2 geometry, victim
+// buffer, prefetcher) into a cache-key fragment. The default —
+// everything off — renders a fixed "h{off}" so hierarchy-less cells keep
+// stable keys.
+func hierKey(c *cache.Config) string {
+	l2 := "off"
+	if c.L2 != nil {
+		l2 = fmt.Sprintf("%d.%d.%d.%d", c.L2.SizeBytes, c.L2.Ways, c.L2.HitLatency, c.L2.MissPenalty)
+	}
+	if l2 == "off" && c.VictimEntries == 0 && !c.Prefetch {
+		return "h{off}"
+	}
+	return fmt.Sprintf("h{l1=%d,l2=%s,vb=%d,pf=%v}", c.SizeBytes, l2, c.VictimEntries, c.Prefetch)
 }
 
 // placeholderStats is what a declared-but-not-yet-simulated cell returns
@@ -270,6 +300,7 @@ func cacheKey(b *kernels.Benchmark, cfg core.Config, p kernels.Params) string {
 func placeholderStats(cfg core.Config) *core.Stats {
 	st := &core.Stats{Cycles: 1, Committed: 1, FetchedBlocks: 1, FetchedInsts: 1}
 	st.CommittedByThread = make([]uint64, cfg.Threads)
+	st.HaltCycleByThread = make([]uint64, cfg.Threads)
 	for cl := range st.FUUsage {
 		st.FUUsage[cl] = make([]uint64, cfg.FUs.Count[cl])
 	}

@@ -18,17 +18,31 @@ import (
 // one instruction per live thread in round-robin order (the interleaving
 // is immaterial for the data-race-free homogeneous-multitasking programs
 // the paper runs, but round robin keeps spin loops live).
+//
+// Heterogeneous mixes (NewMix) generalize the layout: each thread runs
+// the predecoded text of its slot, translates data/flag addresses by the
+// slot's physical base, owns a contiguous window of the register file,
+// and sees TID/NTH relative to its own slot's thread group. The
+// homogeneous constructor builds the identity layout (one slot, base 0),
+// so both modes share one interpreter loop.
 type Sim struct {
 	m        *mem.Memory
 	sync     *syncctl.Controller
 	nthreads int
-	kregs    int // logical registers per thread
 
-	regs   []uint32 // nthreads * kregs
-	pc     []uint32
+	// Per-thread layout (identity in homogeneous mode).
+	slotOf    []int    // which program slot the thread runs
+	physBase  []uint32 // slot window base added to every virtual address
+	regBase   []int    // first register-file index of the thread's window
+	regBudget []int    // logical registers per thread
+	vtid      []int    // virtual thread id within the slot (TID)
+	vnth      []int    // slot thread-group size (NTH)
+
+	regs   []uint32
+	pc     []uint32 // virtual, like the cycle-level core
 	halted []bool
 
-	insts     []isa.Inst // predecoded text
+	insts     [][]isa.Inst // predecoded text per slot
 	instCount uint64
 }
 
@@ -53,6 +67,25 @@ func (f *MemFault) Error() string {
 		f.Thread, f.PC, dir, f.Addr, f.Reason)
 }
 
+// decodeText predecodes a text segment, validating up front that no
+// instruction reaches outside a kregs-register partition, so no register
+// access can fault mid-run for a loadable object.
+func decodeText(text []uint32, kregs int, what string) ([]isa.Inst, error) {
+	insts := make([]isa.Inst, len(text))
+	for i, w := range text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("funcsim: %s text word %d: %w", what, i, err)
+		}
+		if r := in.MaxReg(); int(r) >= kregs {
+			return nil, fmt.Errorf("funcsim: %s text word %d (%v) uses r%d, but the partition budget is %d registers per thread",
+				what, i, in, r, kregs)
+		}
+		insts[i] = in
+	}
+	return insts, nil
+}
+
 // New loads obj and prepares nthreads threads, all starting at the entry
 // point with the register file statically partitioned.
 func New(obj *loader.Object, nthreads int) (*Sim, error) {
@@ -64,68 +97,133 @@ func New(obj *loader.Object, nthreads int) (*Sim, error) {
 		return nil, err
 	}
 	kregs := isa.RegsPerThread(nthreads)
-	insts := make([]isa.Inst, len(obj.Text))
-	for i, w := range obj.Text {
-		in, err := isa.Decode(w)
-		if err != nil {
-			return nil, fmt.Errorf("funcsim: text word %d: %w", i, err)
-		}
-		// Validate the register budget up front so no register access can
-		// fault mid-run for a loadable object.
-		if r := in.MaxReg(); int(r) >= kregs {
-			return nil, fmt.Errorf("funcsim: text word %d (%v) uses r%d, but the %d-thread partition budget is %d registers per thread",
-				i, in, r, nthreads, kregs)
-		}
-		insts[i] = in
+	insts, err := decodeText(obj.Text, kregs, fmt.Sprintf("%d-thread", nthreads))
+	if err != nil {
+		return nil, err
 	}
 	s := &Sim{
-		m:        m,
-		sync:     syncctl.New(m),
-		nthreads: nthreads,
-		kregs:    kregs,
-		regs:     make([]uint32, nthreads*kregs),
-		pc:       make([]uint32, nthreads),
-		halted:   make([]bool, nthreads),
-		insts:    insts,
+		m:         m,
+		sync:      syncctl.New(m),
+		nthreads:  nthreads,
+		slotOf:    make([]int, nthreads),
+		physBase:  make([]uint32, nthreads),
+		regBase:   make([]int, nthreads),
+		regBudget: make([]int, nthreads),
+		vtid:      make([]int, nthreads),
+		vnth:      make([]int, nthreads),
+		regs:      make([]uint32, nthreads*kregs),
+		pc:        make([]uint32, nthreads),
+		halted:    make([]bool, nthreads),
+		insts:     [][]isa.Inst{insts},
 	}
-	for t := range s.pc {
+	for t := 0; t < nthreads; t++ {
+		s.regBase[t] = t * kregs
+		s.regBudget[t] = kregs
+		s.vtid[t] = t
+		s.vnth[t] = nthreads
 		s.pc[t] = obj.Entry
 	}
+	return s, nil
+}
+
+// NewMix loads a heterogeneous program mix: each slot's object sits in
+// its own 2 MiB window and its thread group gets an independent register
+// budget (a slot's Regs, or an equal RegsPerThread share when zero).
+// Threads are numbered contiguously across slots in slot order, matching
+// the cycle-level core.
+func NewMix(mix *loader.Mix, threads int) (*Sim, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, fmt.Errorf("funcsim: %w", err)
+	}
+	if n := mix.NumThreads(); n != threads {
+		return nil, fmt.Errorf("funcsim: mix has %d threads but %d were requested", n, threads)
+	}
+	m, err := mix.Load()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		m:         m,
+		sync:      syncctl.New(m),
+		nthreads:  threads,
+		slotOf:    make([]int, threads),
+		physBase:  make([]uint32, threads),
+		regBase:   make([]int, threads),
+		regBudget: make([]int, threads),
+		vtid:      make([]int, threads),
+		vnth:      make([]int, threads),
+		pc:        make([]uint32, threads),
+		halted:    make([]bool, threads),
+		insts:     make([][]isa.Inst, len(mix.Slots)),
+	}
+	s.sync.SetStride(loader.SlotStride)
+	t, base := 0, 0
+	for si, slot := range mix.Slots {
+		budget := slot.Regs
+		if budget == 0 {
+			budget = isa.RegsPerThread(threads)
+		}
+		insts, err := decodeText(slot.Object.Text, budget, fmt.Sprintf("slot %d", si))
+		if err != nil {
+			return nil, err
+		}
+		s.insts[si] = insts
+		for k := 0; k < slot.Threads; k++ {
+			s.slotOf[t] = si
+			s.physBase[t] = loader.SlotBase(si)
+			s.regBase[t] = base
+			s.regBudget[t] = budget
+			s.vtid[t] = k
+			s.vnth[t] = slot.Threads
+			s.pc[t] = slot.Object.Entry
+			base += budget
+			t++
+		}
+	}
+	if base > isa.NumPhysRegs {
+		return nil, fmt.Errorf("funcsim: mix register partitions need %d physical registers, only %d exist",
+			base, isa.NumPhysRegs)
+	}
+	s.regs = make([]uint32, base)
 	return s, nil
 }
 
 // NumThreads returns the configured thread count.
 func (s *Sim) NumThreads() int { return s.nthreads }
 
-// RegsPerThread returns the per-thread logical register budget.
-func (s *Sim) RegsPerThread() int { return s.kregs }
+// RegsPerThread returns thread 0's logical register budget (the uniform
+// per-thread budget in homogeneous mode).
+func (s *Sim) RegsPerThread() int { return s.regBudget[0] }
+
+// RegBudget returns thread t's logical register budget.
+func (s *Sim) RegBudget(t int) int { return s.regBudget[t] }
 
 // Reg reads thread t's logical register r.
 func (s *Sim) Reg(t, r int) uint32 {
-	if r == 0 {
+	if r <= 0 || r >= s.regBudget[t] {
 		return 0
 	}
-	return s.regs[t*s.kregs+r]
+	return s.regs[s.regBase[t]+r]
 }
 
 func (s *Sim) setReg(t int, r uint8, v uint32) {
 	if r == 0 {
 		return
 	}
-	if int(r) >= s.kregs {
-		panic(fmt.Sprintf("funcsim: thread %d uses r%d but budget is %d registers", t, r, s.kregs))
+	if int(r) >= s.regBudget[t] {
+		panic(fmt.Sprintf("funcsim: thread %d uses r%d but budget is %d registers", t, r, s.regBudget[t]))
 	}
-	s.regs[t*s.kregs+int(r)] = v
+	s.regs[s.regBase[t]+int(r)] = v
 }
 
 func (s *Sim) reg(t int, r uint8) uint32 {
 	if r == 0 {
 		return 0
 	}
-	if int(r) >= s.kregs {
-		panic(fmt.Sprintf("funcsim: thread %d uses r%d but budget is %d registers", t, r, s.kregs))
+	if int(r) >= s.regBudget[t] {
+		panic(fmt.Sprintf("funcsim: thread %d uses r%d but budget is %d registers", t, r, s.regBudget[t]))
 	}
-	return s.regs[t*s.kregs+int(r)]
+	return s.regs[s.regBase[t]+int(r)]
 }
 
 // Memory exposes the architectural memory (for result checks).
@@ -185,12 +283,13 @@ func (s *Sim) checkData(t int, pc, addr uint32, write bool) error {
 
 // step executes one instruction on thread t.
 func (s *Sim) step(t int) error {
+	insts := s.insts[s.slotOf[t]]
 	pc := s.pc[t]
 	idx := pc / 4
-	if idx >= uint32(len(s.insts)) {
+	if idx >= uint32(len(insts)) {
 		return fmt.Errorf("funcsim: thread %d fetched outside text at %#08x", t, pc)
 	}
-	in := s.insts[idx]
+	in := insts[idx]
 	s.instCount++
 	next := pc + 4
 
@@ -199,36 +298,38 @@ func (s *Sim) step(t int) error {
 		s.halted[t] = true
 	case in.Op == isa.NOP:
 	case in.Op == isa.TID:
-		s.setReg(t, in.Rd, uint32(t))
+		s.setReg(t, in.Rd, uint32(s.vtid[t]))
 	case in.Op == isa.NTH:
-		s.setReg(t, in.Rd, uint32(s.nthreads))
+		s.setReg(t, in.Rd, uint32(s.vnth[t]))
 	case in.Op == isa.LW:
+		// Validate the virtual address, access the slot-translated
+		// physical one — exactly the cycle-level core's split.
 		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
 		if err := s.checkData(t, pc, addr, false); err != nil {
 			return err
 		}
-		s.setReg(t, in.Rd, s.m.LoadWord(addr))
+		s.setReg(t, in.Rd, s.m.LoadWord(s.physBase[t]+addr))
 	case in.Op == isa.SW:
 		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
 		if err := s.checkData(t, pc, addr, true); err != nil {
 			return err
 		}
-		s.m.StoreWord(addr, s.reg(t, in.Rs2))
+		s.m.StoreWord(s.physBase[t]+addr, s.reg(t, in.Rs2))
 	case in.Op == isa.FLDW:
 		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
-		v, err := s.sync.Read(addr)
+		v, err := s.sync.Read(s.physBase[t] + addr)
 		if err != nil {
 			return &MemFault{Thread: t, PC: pc, Addr: addr, Reason: "fldw outside the flag segment (or unaligned)"}
 		}
 		s.setReg(t, in.Rd, v)
 	case in.Op == isa.FSTW:
 		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
-		if err := s.sync.Write(addr, s.reg(t, in.Rs2)); err != nil {
+		if err := s.sync.Write(s.physBase[t]+addr, s.reg(t, in.Rs2)); err != nil {
 			return &MemFault{Thread: t, PC: pc, Addr: addr, Write: true, Reason: "fstw outside the flag segment (or unaligned)"}
 		}
 	case in.Op == isa.FAI:
 		addr := isa.EffAddr(s.reg(t, in.Rs1), in.Imm)
-		v, err := s.sync.FetchAdd(addr)
+		v, err := s.sync.FetchAdd(s.physBase[t] + addr)
 		if err != nil {
 			return &MemFault{Thread: t, PC: pc, Addr: addr, Write: true, Reason: "fai outside the flag segment (or unaligned)"}
 		}
@@ -259,6 +360,19 @@ func (s *Sim) step(t int) error {
 // RunProgram is a convenience: assembler output in, final memory out.
 func RunProgram(obj *loader.Object, nthreads int, maxSteps uint64) (*Sim, error) {
 	s, err := New(obj, nthreads)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(maxSteps); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RunMix is the heterogeneous RunProgram: a validated mix in, the fully
+// halted simulator (with its stacked slot memory) out.
+func RunMix(mix *loader.Mix, maxSteps uint64) (*Sim, error) {
+	s, err := NewMix(mix, mix.NumThreads())
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,13 @@ import (
 type Controller struct {
 	m *mem.Memory
 
+	// stride, when non-zero, is the power-of-two physical window size of
+	// a heterogeneous mix (loader.SlotStride): addresses are validated
+	// against the flag segment of their own slot window by masking off
+	// the slot base. Zero (the homogeneous default) validates addresses
+	// directly against the single flag segment.
+	stride uint32
+
 	// FaultDelay, when set, is consulted once per FLDW/FAI request with a
 	// valid flag address; a non-zero return reports how many cycles the
 	// grant is held before the primitive may execute (a delayed lock
@@ -39,6 +46,10 @@ type Controller struct {
 // New wraps main memory's flag segment.
 func New(m *mem.Memory) *Controller { return &Controller{m: m} }
 
+// SetStride arms per-slot flag-segment validation for a heterogeneous
+// mix; stride must be a power of two (loader.SlotStride).
+func (c *Controller) SetStride(stride uint32) { c.stride = stride }
+
 // SegFault is the typed trap for a sync primitive whose address falls
 // outside the flag segment (or is unaligned). The simulators attach
 // cycle, thread, and PC context before surfacing it.
@@ -56,7 +67,11 @@ func (f *SegFault) Error() string {
 }
 
 func (c *Controller) check(addr uint32, write bool) error {
-	if !loader.IsFlagAddr(addr) || (addr&3) != 0 {
+	va := addr
+	if c.stride != 0 {
+		va = addr & (c.stride - 1)
+	}
+	if !loader.IsFlagAddr(va) || (addr&3) != 0 {
 		return &SegFault{Addr: addr, Write: write}
 	}
 	return nil

@@ -1,0 +1,169 @@
+package sdsp_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cover"
+	"repro/sdsp"
+)
+
+// hierWorkload deterministically exercises every backside hierarchy
+// structure on a 1 KB direct-mapped L1 (32 sets):
+//
+//   - the 4 KB stride-32 walk misses every line from the second pass
+//     on, training the stride prefetcher (hits) and hitting L2 tags;
+//   - the ping-pong pair (data+0 / data+1024 share set 0) evicts each
+//     other every access, so the victim buffer recovers each line;
+//   - restarting the walk breaks the stride and re-trains it, so the
+//     prefetches left in flight at the walk's end are overwritten
+//     unconsumed — prefetch evictions.
+const hierWorkload = `
+	main:  li   r3, data
+	       li   r9, 8          ; outer passes
+	outer: li   r4, 128        ; 128 lines x 32 bytes = 4 KB walk
+	       add  r5, r3, r0
+	walk:  lw   r6, 0(r5)
+	       addi r5, r5, 32
+	       addi r4, r4, -1
+	       bne  r4, r0, walk
+	       li   r7, 6          ; victim ping-pong, same L1 set
+	ping:  lw   r6, 0(r3)
+	       lw   r6, 1024(r3)
+	       addi r7, r7, -1
+	       bne  r7, r0, ping
+	       addi r9, r9, -1
+	       bne  r9, r0, outer
+	       halt
+	.data
+	data:  .word 0
+`
+
+// hierConfig is the shrunken-L1 full-hierarchy machine the workload
+// above is written against.
+func hierConfig(threads int) sdsp.Config {
+	cfg := sdsp.DefaultConfig(threads)
+	cfg.Cache.SizeBytes = 1024
+	cfg.Cache.Ways = 1
+	cfg.Cache.L2 = cache.DefaultL2()
+	cfg.Cache.VictimEntries = 8
+	cfg.Cache.Prefetch = true
+	return cfg
+}
+
+// TestHierarchyCoverageFloor is the dedicated must-hit floor for the
+// four hierarchy coverage events: on a machine with L2, victim buffer,
+// and prefetcher enabled, a single run of the crafted workload must
+// light up all of them (they are config-gated "n/a" everywhere else,
+// so no other tier would notice if one went dark).
+func TestHierarchyCoverageFloor(t *testing.T) {
+	obj, err := sdsp.Assemble(hierWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hierConfig(1)
+	cov := cover.NewSet()
+	cfg.Coverage = cov
+	st, err := sdsp.Run(obj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []cover.Event{
+		cover.EvCacheL2Hit,
+		cover.EvCacheVictimHit,
+		cover.EvCachePrefetchHit,
+		cover.EvCachePrefetchEvict,
+	} {
+		if cov.Count(ev) == 0 {
+			t.Errorf("event %v never fired (cache stats: %+v)", ev, st.Cache)
+		}
+	}
+	cs := st.Cache
+	if cs.L2Hits == 0 || cs.VictimHits == 0 || cs.PrefetchHits == 0 || cs.PrefetchEvictions == 0 {
+		t.Errorf("stats counters incomplete: L2Hits=%d VictimHits=%d PrefetchHits=%d PrefetchEvictions=%d",
+			cs.L2Hits, cs.VictimHits, cs.PrefetchHits, cs.PrefetchEvictions)
+	}
+	// The workload must also verify differentially like everything else.
+	if err := sdsp.Verify(obj, cfg); err != nil {
+		t.Errorf("hierarchy workload diverges from funcsim: %v", err)
+	}
+}
+
+// TestFuzzCorpusHitsHierarchy pins the hierarchy-forcing FuzzVerify
+// corpus entries to the counters they were chosen for: each entry must
+// keep producing victim-buffer hits and prefetch-triggered evictions
+// (plus L2 and prefetch hits where noted). If progen's generator or the
+// input bit-packing drifts, these entries stop covering the structures
+// they document — this test fails instead of the corpus rotting.
+func TestFuzzCorpusHitsHierarchy(t *testing.T) {
+	cases := []struct {
+		name                          string
+		progSeed                      int64
+		faultSeed, threads, intensity uint64
+		wantPFHit, wantL2             bool
+	}{
+		{"progen-383-full-hier", 383, 9, 4, (7 << 16) + 11, true, true},
+		{"progen-326-victim-storm", 326, 9, 4, (7 << 16) + 11, false, false},
+		{"progen-382-l2-victim", 382, 9, 4, (7 << 16) + 11, true, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			fc := buildFuzzCase(t, c.progSeed, c.faultSeed, c.threads, c.intensity)
+			if fc.mix != nil {
+				t.Fatalf("entry unexpectedly decodes as heterogeneous")
+			}
+			st, err := sdsp.Run(fc.obj, fc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := st.Cache
+			if cs.VictimHits == 0 {
+				t.Errorf("no victim-buffer hits: %+v", cs)
+			}
+			if cs.PrefetchEvictions == 0 {
+				t.Errorf("no prefetch-triggered evictions: %+v", cs)
+			}
+			if c.wantPFHit && cs.PrefetchHits == 0 {
+				t.Errorf("no prefetch hits: %+v", cs)
+			}
+			if c.wantL2 && cs.L2Hits == 0 {
+				t.Errorf("no L2 hits: %+v", cs)
+			}
+		})
+	}
+}
+
+// TestFuzzCorpusMixedEntries guards the heterogeneous corpus entries'
+// decoding: each must select a two-slot mix (not silently fall back to
+// a homogeneous run) and drive real cache traffic through it.
+func TestFuzzCorpusMixedEntries(t *testing.T) {
+	cases := []struct {
+		name                          string
+		progSeed                      int64
+		faultSeed, threads, intensity uint64
+	}{
+		{"mix-equal-split-victim", 1618, (1 << 18) + 4, 2, (2 << 16) + 3},
+		{"mix-pinned-slot-l2-pf", 3141, (2 << 18) + (1 << 16) + 2, 5, (5 << 16) + 7},
+		{"mix-both-21regs-pf", -271, (3 << 18) + 6, 3, (4 << 16) + 14},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			fc := buildFuzzCase(t, c.progSeed, c.faultSeed, c.threads, c.intensity)
+			if fc.mix == nil {
+				t.Fatal("entry decodes as homogeneous; mixSel/threads packing drifted")
+			}
+			if len(fc.mix.Slots) != 2 {
+				t.Fatalf("want 2 slots, got %d", len(fc.mix.Slots))
+			}
+			st, err := sdsp.RunMix(fc.mix, fc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Cache.Misses == 0 {
+				t.Errorf("mixed run produced no cache misses: %+v", st.Cache)
+			}
+		})
+	}
+}

@@ -175,6 +175,39 @@ func kernelParams(p WorkloadParams) kernels.Params {
 	return kernels.Params{Threads: p.Threads, Scale: scale}
 }
 
+// Mix describes a heterogeneous multiprogrammed workload: several
+// programs resident at once, each in its own 2 MiB memory window with an
+// independent thread group and register budget. Run one by setting
+// Config.Mix and passing a nil object to NewMachine/Run, or use the
+// RunMix/VerifyMix helpers.
+type Mix = loader.Mix
+
+// MixSlot is one program of a Mix: the object, how many threads run it,
+// and its per-thread register budget (0 = an equal 128/N share).
+type MixSlot = loader.Slot
+
+// NewMixMachine builds a machine running mix under cfg (whose Mix and
+// Threads fields are set from the mix), for cycle-stepping.
+func NewMixMachine(mix *Mix, cfg Config) (*Machine, error) {
+	cfg.Mix = mix
+	cfg.Threads = mix.NumThreads()
+	return core.New(nil, cfg)
+}
+
+// RunMix executes a heterogeneous mix to completion under cfg.
+func RunMix(mix *Mix, cfg Config) (*Stats, error) {
+	m, err := NewMixMachine(mix, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// RunMixFunctional interprets a mix on the in-order reference simulator.
+func RunMixFunctional(mix *Mix) (*funcsim.Sim, error) {
+	return funcsim.RunMix(mix, 500_000_000)
+}
+
 // NewMachine builds a machine without running it, for cycle-stepping.
 func NewMachine(obj *Object, cfg Config) (*Machine, error) { return core.New(obj, cfg) }
 
@@ -213,8 +246,34 @@ func Verify(obj *Object, cfg Config) error {
 	if _, err := m.Run(); err != nil {
 		return fmt.Errorf("pipeline run: %w", err)
 	}
+	return compareMemory(ref, m)
+}
+
+// VerifyMix is Verify for heterogeneous mixes: the full stacked memory —
+// every slot's window — must match word for word, so any cross-slot leak
+// shows up even when each program's own results look right.
+func VerifyMix(mix *Mix, cfg Config) error {
+	ref, err := funcsim.RunMix(mix, 500_000_000)
+	if err != nil {
+		return fmt.Errorf("functional run: %w", err)
+	}
+	m, err := NewMixMachine(mix, cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Run(); err != nil {
+		return fmt.Errorf("pipeline run: %w", err)
+	}
+	return compareMemory(ref, m)
+}
+
+func compareMemory(ref *funcsim.Sim, m *Machine) error {
 	refMem := ref.Memory().Snapshot()
 	gotMem := m.Memory().Snapshot()
+	if len(refMem) != len(gotMem) {
+		return fmt.Errorf("memory sizes diverge: pipeline %d words, functional %d words",
+			len(gotMem), len(refMem))
+	}
 	for i := range refMem {
 		if refMem[i] != gotMem[i] {
 			return fmt.Errorf("memory diverges at %#x: pipeline %#x, functional %#x",
