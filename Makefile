@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke mixstudy-smoke chaos-smoke serve-smoke store-race golden cover-golden bench bench-check check report
+.PHONY: all build vet lint test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke mixstudy-smoke chaos-smoke serve-smoke store-race ffdiff golden cover-golden bench bench-check check report
 
 all: check
 
@@ -98,6 +98,14 @@ store-race:
 	$(GO) test -race ./internal/store -run TestConcurrentAccess -count=1
 	$(GO) test -race ./internal/experiments -run 'TestStoreColdWarmMixedIdentity|TestStoreCountersIndependentOfWorkers'
 
+# Fast-forward neutrality differential: the 204-schedule fault corpus
+# (and the miss-bound in-package smokes) with the idle-cycle
+# fast-forward off and on must produce bit-identical cycle counts,
+# stats, and coverage sets.
+ffdiff:
+	$(GO) test ./internal/core -run TestFastForward -count=1
+	$(GO) test ./sdsp -run 'TestFastForwardDifferential|TestFuzzCorpusExercisesFastForward' -count=1
+
 # Regenerate the small-scale golden tables after an intentional change
 # to a kernel, the core, or an experiment.
 golden:
@@ -120,7 +128,7 @@ bench-check:
 	$(GO) run ./cmd/sdsp-bench -check BENCH_sim.json
 
 # Everything CI runs.
-check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke mixstudy-smoke chaos-smoke serve-smoke store-race bench-check
+check: vet lint build test race fuzz-seeds paranoid fault-smoke fault-sweep-smoke cover-smoke predstudy-smoke mixstudy-smoke chaos-smoke serve-smoke store-race ffdiff bench-check
 
 # Full paper-scale experiment report (several minutes; all cores).
 report:

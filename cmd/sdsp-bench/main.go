@@ -46,6 +46,16 @@ type Point struct {
 	InstrsPerSec float64 `json:"instrs_per_sec"`
 }
 
+// TrajectoryPoint is one historical headline measurement, kept so a
+// check can enforce the floor of every optimization the baseline has
+// ever recorded, not just the latest one.
+type TrajectoryPoint struct {
+	Label               string  `json:"label"`
+	SuiteT4CyclesPerSec float64 `json:"suite_t4_cycles_per_sec"`
+	GoVersion           string  `json:"go_version"`
+	NumCPU              int     `json:"num_cpu"`
+}
+
 // Baseline is the BENCH_sim.json schema.
 type Baseline struct {
 	Schema    string  `json:"schema"`
@@ -56,6 +66,12 @@ type Baseline struct {
 	// SuiteT4CyclesPerSec is the headline: total simulated cycles of the
 	// 4-thread kernel suite divided by the total wall time to run it.
 	SuiteT4CyclesPerSec float64 `json:"suite_t4_cycles_per_sec"`
+	// Trajectory is the headline's history across optimization PRs,
+	// oldest first. -write carries it forward (seeding it from the old
+	// file's headline if it predates the field) and -label appends the
+	// fresh measurement; -check enforces the throughput floor against
+	// every entry.
+	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
 }
 
 func main() {
@@ -63,6 +79,7 @@ func main() {
 		write = flag.String("write", "", "measure and write the baseline JSON to this file")
 		check = flag.String("check", "", "measure and compare against the baseline JSON in this file")
 		tol   = flag.Float64("tol", 0.5, "allowed fractional throughput regression in -check mode")
+		label = flag.String("label", "", "with -write: append the fresh headline to the trajectory under this label")
 	)
 	flag.Parse()
 	if (*write == "") == (*check == "") {
@@ -77,6 +94,31 @@ func main() {
 	}
 
 	if *write != "" {
+		// Carry the trajectory forward from the file being replaced, so a
+		// regeneration never forgets the floors of earlier optimizations.
+		if raw, err := os.ReadFile(*write); err == nil {
+			var old Baseline
+			if json.Unmarshal(raw, &old) == nil {
+				cur.Trajectory = old.Trajectory
+				if len(cur.Trajectory) == 0 && old.SuiteT4CyclesPerSec > 0 {
+					// Pre-trajectory file: its headline becomes the first entry.
+					cur.Trajectory = []TrajectoryPoint{{
+						Label:               "pre-soa",
+						SuiteT4CyclesPerSec: old.SuiteT4CyclesPerSec,
+						GoVersion:           old.GoVersion,
+						NumCPU:              old.NumCPU,
+					}}
+				}
+			}
+		}
+		if *label != "" {
+			cur.Trajectory = append(cur.Trajectory, TrajectoryPoint{
+				Label:               *label,
+				SuiteT4CyclesPerSec: cur.SuiteT4CyclesPerSec,
+				GoVersion:           cur.GoVersion,
+				NumCPU:              cur.NumCPU,
+			})
+		}
 		out, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdsp-bench:", err)
@@ -106,8 +148,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sdsp-bench: FAIL:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("sdsp-bench: OK: %d points deterministic-identical; suite t4 %.0f cycles/s vs baseline %.0f (tolerance %.0f%%)\n",
-		len(cur.Points), cur.SuiteT4CyclesPerSec, base.SuiteT4CyclesPerSec, *tol*100)
+	fmt.Printf("sdsp-bench: OK: %d points deterministic-identical; suite t4 %.0f cycles/s vs baseline %.0f and %d trajectory floors (tolerance %.0f%%)\n",
+		len(cur.Points), cur.SuiteT4CyclesPerSec, base.SuiteT4CyclesPerSec, len(base.Trajectory), *tol*100)
 }
 
 // measure runs the full family and assembles a Baseline.
@@ -213,6 +255,16 @@ func compare(base, cur *Baseline, tol float64) error {
 	if cur.SuiteT4CyclesPerSec < floor {
 		return fmt.Errorf("suite t4 throughput %.0f cycles/s is below %.0f (baseline %.0f, tolerance %.0f%%)",
 			cur.SuiteT4CyclesPerSec, floor, base.SuiteT4CyclesPerSec, tol*100)
+	}
+	// Every recorded optimization stays a floor: the current measurement
+	// must clear each trajectory entry, not just the latest headline, so
+	// a regression that gives back an earlier PR's win cannot hide
+	// behind a later, larger one.
+	for _, tp := range base.Trajectory {
+		if f := tp.SuiteT4CyclesPerSec * (1 - tol); cur.SuiteT4CyclesPerSec < f {
+			return fmt.Errorf("suite t4 throughput %.0f cycles/s is below %.0f, the %q trajectory floor (%.0f, tolerance %.0f%%)",
+				cur.SuiteT4CyclesPerSec, f, tp.Label, tp.SuiteT4CyclesPerSec, tol*100)
+		}
 	}
 	return nil
 }

@@ -40,8 +40,36 @@ type Predictor interface {
 	// is timing-only, so arbitrary perturbation must never change
 	// architectural results — only mispredict counts and cycle times.
 	FlipEntry(i int) bool
+	// LookupBlock batches one fetch block's probes: it predicts each pc
+	// in order with Lookup's exact semantics (one lookup counted per
+	// probe, same confidence accounting), stopping after the first
+	// taken prediction — the fetch block is truncated there, so later
+	// slots are never probed. It fills out[:n] and returns n, the
+	// number of probes consumed. len(out) must be >= len(pcs).
+	LookupBlock(t int, pcs []uint32, out []BlockPred) int
 	// Stats reports lookup, accuracy, and confidence counters.
 	Stats() Stats
+}
+
+// BlockPred is one probe's result within a batched LookupBlock.
+type BlockPred struct {
+	Taken  bool
+	Target uint32
+	Conf   bool
+}
+
+// scanLookup implements LookupBlock for predictors whose per-probe
+// state updates make a specialized batch no different from a loop:
+// probe order and per-probe accounting are exactly Lookup's.
+func scanLookup(p Predictor, t int, pcs []uint32, out []BlockPred) int {
+	for k, pc := range pcs {
+		taken, target, conf := p.Lookup(t, pc)
+		out[k] = BlockPred{Taken: taken, Target: target, Conf: conf}
+		if taken {
+			return k + 1
+		}
+	}
+	return len(pcs)
 }
 
 // Counter states of the default 2-bit saturating counter.
@@ -174,6 +202,31 @@ func (p *TwoBit) Update(t int, pc uint32, taken bool, target uint32, correct boo
 	} else if e.counter > 0 {
 		e.counter--
 	}
+}
+
+// LookupBlock batches a fetch block's probes against the BTB with one
+// bounds-checked table walk. Direction, target, and confidence per
+// probe are exactly Lookup's; the scan stops after the first taken
+// prediction, as fetch truncates there.
+func (p *TwoBit) LookupBlock(t int, pcs []uint32, out []BlockPred) int {
+	for k, pc := range pcs {
+		p.lookups++
+		e := &p.entries[p.index(pc)]
+		if !e.valid || e.tag != pc {
+			p.noteConf(false)
+			out[k] = BlockPred{}
+			continue
+		}
+		p.hits++
+		conf := e.counter == 0 || e.counter == p.max
+		p.noteConf(conf)
+		if e.counter >= p.taken {
+			out[k] = BlockPred{Taken: true, Target: e.target, Conf: conf}
+			return k + 1
+		}
+		out[k] = BlockPred{Conf: conf}
+	}
+	return len(pcs)
 }
 
 // FlipEntry inverts the direction of BTB slot i's saturating counter

@@ -113,6 +113,12 @@ func (g *Gshare) Update(t int, pc uint32, taken bool, target uint32, correct boo
 	g.hist[hi] = ((h << 1) | bit) & g.histMask
 }
 
+// LookupBlock batches a fetch block's probes. Each probe reads (never
+// writes) the PHT and history, so the loop is exactly per-probe Lookup.
+func (g *Gshare) LookupBlock(t int, pcs []uint32, out []BlockPred) int {
+	return scanLookup(g, t, pcs, out)
+}
+
 // FlipEntry inverts PHT counter i (mod table size). PHT counters have
 // no valid bit, so a flip always perturbs live prediction state.
 func (g *Gshare) FlipEntry(i int) bool {

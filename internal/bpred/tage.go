@@ -194,6 +194,13 @@ func (p *TAGE) Update(t int, pc uint32, taken bool, target uint32, correct bool)
 	p.hist = p.hist<<1 | bit
 }
 
+// LookupBlock batches a fetch block's probes. Lookup only reads
+// component tables (training happens at Update), so the loop is
+// exactly per-probe Lookup.
+func (p *TAGE) LookupBlock(t int, pcs []uint32, out []BlockPred) int {
+	return scanLookup(p, t, pcs, out)
+}
+
 // FlipEntry inverts base-table counter i (mod table size); the bimodal
 // table always holds live direction state, so this always perturbs.
 func (p *TAGE) FlipEntry(i int) bool {

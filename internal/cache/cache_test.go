@@ -34,7 +34,7 @@ func readThrough(t *testing.T, c *Cache, addr uint32, start uint64) (uint32, uin
 		}
 		count = false
 		now++
-		if now-start > 1000 {
+		if now > start+1000 {
 			t.Fatalf("read at %#x never completed", addr)
 		}
 	}

@@ -37,6 +37,25 @@ func (m *Machine) commit() {
 		window = len(m.su)
 	}
 
+	// Fast path: with no complete block anywhere in the SU the selection
+	// loop cannot choose, so only the no-commit bookkeeping remains.
+	// (The injector consult above still ran — its fault count must not
+	// depend on this shortcut.)
+	if m.doneBlocks == 0 {
+		if len(m.su) > 0 {
+			m.maskedThread = m.su[0].thread
+		} else {
+			m.maskedThread = -1
+		}
+		if len(m.su) == m.suCap {
+			m.stats.SUStalls++
+			if m.cov != nil {
+				m.cov.Hit(cover.EvSUStallFull)
+			}
+		}
+		return
+	}
+
 	chosen := -1
 	for i := 0; i < window; i++ {
 		b := m.su[i]
@@ -116,8 +135,12 @@ func (m *Machine) commit() {
 	if m.Trace != nil {
 		m.trace("commit   t%d block from window slot %d", b.thread, chosen)
 	}
-	for _, e := range b.entries {
-		if e == nil || !e.valid || e.squashed {
+	for _, ei := range b.entries {
+		if ei < 0 {
+			continue
+		}
+		e := &m.ents[ei]
+		if !e.valid || e.squashed {
 			continue
 		}
 		m.commitEntry(e)
@@ -125,10 +148,11 @@ func (m *Machine) commit() {
 			return // leave the faulting block in place for the dump
 		}
 	}
+	m.suExitBlock(b)
 	m.su = append(m.su[:chosen], m.su[chosen+1:]...)
-	for _, e := range b.entries {
-		if e != nil {
-			m.release(e) // drop the block's reference
+	for _, ei := range b.entries {
+		if ei >= 0 {
+			m.release(&m.ents[ei]) // drop the block's reference
 		}
 	}
 	m.freeBlock(b)
@@ -171,12 +195,13 @@ func (m *Machine) commitEntry(e *suEntry) {
 // draining in commit order, stamping the commit-order sequence the
 // invariant checker uses to verify in-order drain.
 func (m *Machine) releaseStore(e *suEntry) {
-	for _, so := range m.storeBuf {
-		if so.entry == e {
+	for _, soi := range m.storeBuf {
+		so := &m.sops[soi]
+		if so.entry == e.idx {
 			so.committed = true
 			m.storeSeq++
 			so.seq = m.storeSeq
-			m.drainQueue = append(m.drainQueue, so)
+			m.drainQueue = append(m.drainQueue, soi)
 			return
 		}
 	}

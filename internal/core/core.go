@@ -43,23 +43,57 @@ type Machine struct {
 
 	regs [isa.NumPhysRegs]uint32
 
-	// Scheduling unit: su[0] is the bottom (oldest) block.
+	// Scheduling unit: su[0] is the bottom (oldest) block. Blocks point
+	// into the fixed block arena; entries and store ops live in growable
+	// arenas and are referenced by index (see pool.go and soa.go).
 	su          []*block
 	suCap       int // capacity in blocks
 	nextTag     uint64
 	nextBlockID uint64
 
-	// Hot-path free lists and scratch buffers (see pool.go). The cycle
-	// loop is allocation-free once warm: entries, blocks, and store ops
-	// recycle through the free lists, and the per-stage scratch slices
+	// Arenas and free lists (see pool.go). The cycle loop is
+	// allocation-free once warm: entries, blocks, and store ops recycle
+	// through the index free lists, and the per-stage scratch slices
 	// keep their capacity between cycles.
-	entryFree   []*suEntry
-	blockFree   []*block
-	storeOpFree []*storeOp
-	fbuf        fetchBlock // the single decode latch, reused across fetches
-	wbDue       []*suEntry // writeback: completions due this cycle
-	fwdCands    []*suEntry // forwardFromStore: candidate older stores
-	icountOcc   []int      // ICount policy: per-thread in-flight counts
+	ents        []suEntry
+	blocks      []block
+	sops        []storeOp
+	entryFree   []int32
+	blockFree   []int32
+	storeOpFree []int32
+	fbuf        fetchBlock                 // the single decode latch, reused across fetches
+	wbDue       []int32                    // writeback: completions due this cycle
+	fwdCands    []int32                    // forwardFromStore: candidate older stores
+	icountOcc   []int                      // ICount policy: per-thread in-flight counts
+	probePCs    [BlockSize]uint32          // fetch: batched BTB probe addresses
+	probeOut    [BlockSize]bpred.BlockPred // fetch: batched BTB probe results
+	ffClash     []bool                     // fast-forward: clashing done blocks per window slot
+	ffBlocked   []ffBlockKind              // fast-forward: blocked-entry refusals replayed per cycle
+	ffSkipped   uint64                     // fast-forward: cycles replayed in batch (diagnostic)
+
+	// Bitset scoreboards and incremental counters mirroring the entry
+	// arrays (see soa.go; re-derived by the invariant checker).
+	liveBits    []uint64
+	waitBits    []uint64
+	unreadyBits []uint64
+	swBits      []uint64
+	fstwBits    []uint64
+	threadBits  [][]uint64
+	suOcc       int     // live SU entries
+	waitCnt     int     // live entries in stWaiting
+	doneBlocks  int     // SU blocks with every live entry done
+	sqComp      int     // squashed entries lingering in m.completions
+	sqPend      int     // squashed entries lingering in m.pendingLoads
+	heldLoads   int     // load units held waiting on the cache
+	occByThread []int32 // live SU entries per thread
+	syncUndone  []int32 // per thread: live sync-class entries not yet done
+	ctUnres     []int32 // per thread: live CT entries not yet done
+	fstwPend    []int32 // per thread: FSTW live in SU or undrained in buffer
+	swPend      []int32 // per thread: SW live in SU or committed-undrained
+	// regProd[p] is the newest live SU writer of physical register p
+	// (entry arena index, -1 when the register file is current) — the
+	// associative rename lookup as a table.
+	regProd [isa.NumPhysRegs]int32
 
 	// Front end.
 	latch        *fetchBlock
@@ -72,11 +106,12 @@ type Machine struct {
 	confMeter    int // ConfThrottle: saturating 0..confMeterMax confidence meter
 
 	pools        []fuPool
-	completions  []*suEntry
-	pendingLoads []*suEntry
+	completions  []int32 // entry indices with results in flight
+	pendingLoads []int32 // entry indices of loads waiting on the cache
+	loadReqs     []cache.ReadReq
 
-	storeBuf   []*storeOp // all undrained stores, for occupancy and alias checks
-	drainQueue []*storeOp // committed stores in commit order
+	storeBuf   []int32 // all undrained stores, for occupancy and alias checks
+	drainQueue []int32 // committed stores in commit order
 
 	// Scoreboard mode (Renaming=false): tag+1 of the in-flight writer of
 	// each physical register, 0 when free.
@@ -102,7 +137,6 @@ type Machine struct {
 	covFAIAddr   uint32         // last FAI address machine-wide
 	covFAIThread int            // thread of the last FAI, or -1
 	covBTBTrain  map[uint32]int // shared-BTB trainer thread per branch PC
-	covThreadOcc []int          // per-thread SU occupancy scratch
 
 	// Trace, when set, receives one line per pipeline event (fetch,
 	// dispatch, issue, writeback, mispredict, commit), prefixed with the
@@ -269,6 +303,7 @@ func build(cfg Config, m0 *mem.Memory, lay layout) *Machine {
 		maskedThread: -1,
 		pools:        newPools(cfg.FUs),
 	}
+	m.initSoA()
 	if lay.stride != 0 {
 		m.sync.SetStride(lay.stride)
 	}
@@ -351,10 +386,17 @@ func (m *Machine) Done() bool {
 // thread, PC, and a state dump.
 func (m *Machine) Run() (*Stats, error) {
 	limit := m.cfg.maxCycles()
+	// The fast-forward (ffwd.go) lives here, not in Cycle: hand-clocked
+	// machines always see the exact per-cycle pipeline. Phase timing
+	// measures real stage work, so it forces the full path too.
+	useFF := !m.cfg.NoFastForward && !m.cfg.PhaseTiming
 	for !m.Done() && m.fault == nil {
 		if m.now >= limit {
 			m.failf(FaultRunaway, "run", -1, 0, "exceeded %d cycles without finishing", limit)
 			break
+		}
+		if useFF && m.fastForward(limit) {
+			continue // re-check Done and the limit before the boundary cycle
 		}
 		m.Cycle()
 	}
@@ -496,7 +538,9 @@ func (m *Machine) watchdogCheck() {
 	if limit == 0 || m.fault != nil || m.Done() {
 		return
 	}
-	if m.now-m.lastProgress <= limit {
+	// Additive comparison: now <= lastProgress+limit avoids the
+	// uint64 subtraction-underflow hazard sdsp-lint flags.
+	if m.now <= m.lastProgress+limit {
 		return
 	}
 	thread, pc := -1, uint32(0)
@@ -504,54 +548,41 @@ func (m *Machine) watchdogCheck() {
 	if len(m.su) > 0 {
 		b := m.su[0]
 		thread = b.thread
-		for _, e := range b.entries {
-			if e != nil && e.valid && !e.squashed {
+		for _, ei := range b.entries {
+			if ei < 0 {
+				continue
+			}
+			e := &m.ents[ei]
+			if e.valid && !e.squashed {
 				pc = e.pc
 				why = fmt.Sprintf("bottom block is thread %d at pc %#x, oldest state %v", b.thread, e.pc, e.state)
 				break
 			}
 		}
 	} else if len(m.drainQueue) > 0 {
-		so := m.drainQueue[0]
-		thread, pc = so.entry.thread, so.entry.pc
-		why = fmt.Sprintf("store to %#x committed but never drained", so.entry.addr)
+		e := &m.ents[m.sops[m.drainQueue[0]].entry]
+		thread, pc = e.thread, e.pc
+		why = fmt.Sprintf("store to %#x committed but never drained", e.addr)
 	}
 	m.failf(FaultDeadlock, "watchdog", thread, pc,
 		"no commit or store drain for %d cycles; %s", m.now-m.lastProgress, why)
 }
 
 func (m *Machine) cycleStats() {
-	perThread := m.covThreadOcc
-	for i := range perThread {
-		perThread[i] = 0
-	}
-	occ := 0
-	for _, b := range m.su {
-		n := 0
-		for _, e := range b.entries {
-			if e != nil && e.valid && !e.squashed {
-				n++
-			}
-		}
-		occ += n
-		if perThread != nil {
-			perThread[b.thread] += n
-		}
-	}
-	m.stats.SUOccupancy += uint64(occ)
+	m.stats.SUOccupancy += uint64(m.suOcc)
 	if len(m.su) == m.suCap {
 		m.stats.SUFullCycles++
 	}
 	if m.cov != nil {
-		if occ == 0 {
+		if m.suOcc == 0 {
 			for _, h := range m.halted {
 				if !h {
 					m.cov.Hit(cover.EvSUEmptyBubble)
 					break
 				}
 			}
-		} else if perThread != nil {
-			for t, n := range perThread {
+		} else if m.cfg.Threads > 1 {
+			for t, n := range m.occByThread {
 				if n == 0 && !m.halted[t] {
 					m.cov.Hit(cover.EvThreadStarved)
 					break
@@ -559,11 +590,14 @@ func (m *Machine) cycleStats() {
 			}
 		}
 	}
-	// Held units (loads waiting on the cache) accrue occupancy here.
-	for cl := range m.pools {
-		for u := range m.pools[cl].units {
-			if m.pools[cl].units[u].holder != nil {
-				m.pools[cl].units[u].usedCyc++
+	// Held units (loads waiting on the cache) accrue occupancy here;
+	// only loads hold units, so the walk is skipped when none are held.
+	if m.heldLoads > 0 {
+		for cl := range m.pools {
+			for u := range m.pools[cl].units {
+				if m.pools[cl].units[u].holder >= 0 {
+					m.pools[cl].units[u].usedCyc++
+				}
 			}
 		}
 	}
@@ -596,8 +630,12 @@ func (m *Machine) dump() string {
 		s += fmt.Sprintf("  thread %d: pc=%#x halted=%v stopped=%v\n", t, m.pc[t], m.halted[t], m.fetchStopped[t])
 	}
 	for i, b := range m.su {
-		for _, e := range b.entries {
-			if e != nil && e.valid {
+		for _, ei := range b.entries {
+			if ei < 0 {
+				continue
+			}
+			e := &m.ents[ei]
+			if e.valid {
 				sq := ""
 				if e.squashed {
 					sq = " SQUASHED"
@@ -608,9 +646,11 @@ func (m *Machine) dump() string {
 	}
 	s += fmt.Sprintf("  storeBuf=%d drainQueue=%d completions=%d pendingLoads=%d\n",
 		len(m.storeBuf), len(m.drainQueue), len(m.completions), len(m.pendingLoads))
-	for _, so := range m.storeBuf {
+	for _, si := range m.storeBuf {
+		so := &m.sops[si]
+		e := &m.ents[so.entry]
 		s += fmt.Sprintf("  storeBuf: %v addr=%#x committed=%v drained=%v squashed=%v\n",
-			so.entry, so.entry.addr, so.committed, so.drained, so.entry.squashed)
+			e, e.addr, so.committed, so.drained, e.squashed)
 	}
 	cs := m.dcache.Stats()
 	s += fmt.Sprintf("  dcache: reads=%d writes=%d hits=%d misses=%d writebacks=%d pending=%v\n",

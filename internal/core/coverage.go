@@ -26,11 +26,8 @@ func (m *Machine) initCoverage() {
 	m.covFLDWVal = make([]uint32, m.cfg.Threads)
 	m.covFLDWSeen = make([]bool, m.cfg.Threads)
 	m.covFAIThread = -1
-	if m.cfg.Threads > 1 {
-		m.covThreadOcc = make([]int, m.cfg.Threads)
-		if !m.cfg.PerThreadBTB {
-			m.covBTBTrain = make(map[uint32]int, 64)
-		}
+	if m.cfg.Threads > 1 && !m.cfg.PerThreadBTB {
+		m.covBTBTrain = make(map[uint32]int, 64)
 	}
 	m.markCoverageApplicability()
 }

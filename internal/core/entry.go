@@ -24,21 +24,35 @@ type operand struct {
 	readyAt uint64 // earliest cycle the value may feed issue (bypassing)
 }
 
+// Container membership flags (suEntry.where): which lazy-cleanup lists
+// still reference the entry. The fast-forward needs exact counts of
+// squashed entries lingering in these lists (see soa.go).
+const (
+	inCompletions  uint8 = 1 << iota // m.completions holds the entry
+	inPendingLoads                   // m.pendingLoads holds the entry
+)
+
 // suEntry is one instruction's scheduling unit slot. All cross-stage
 // state lives here; stages communicate only through these entries.
 //
-// Entries are pool-allocated (see pool.go): refs counts the containers
+// Entries live in a per-machine arena (m.ents, see pool.go) and are
+// named by their int32 arena index everywhere a reference is stored;
+// *suEntry pointers are taken transiently within a stage and are never
+// held across newEntry (the arena may grow). refs counts the containers
 // that may still reach the entry — its block while that block sits in
 // the SU, the completion queue, the pending-load list, and a store
-// buffer slot — and the entry returns to the free list when the last
-// reference is dropped. blkID is the owning block's unique id; same-
-// block checks against entries whose block has already committed (and
-// possibly been recycled) must compare blkID, never the blk pointer.
+// buffer slot — and the entry's index returns to the free list when the
+// last reference is dropped. blkID is the owning block's unique id;
+// same-block checks against entries whose block has already committed
+// (and possibly been recycled) must compare blkID, never blk.
 type suEntry struct {
 	valid    bool // false: empty fetch slot or squashed hole
 	squashed bool
-	blk      *block // owning block (same-block forwarding checks)
+	blk      *block // owning block (stable: blocks live in a fixed arena)
 	blkID    uint64 // owning block's unique id (stable across pooling)
+	idx      int32  // this entry's own arena index
+	slot     int8   // slot within the owning block (bitset position)
+	where    uint8  // lazy-cleanup list membership (inCompletions, ...)
 	refs     int8   // live container references; 0 returns the entry to the pool
 	tag      uint64
 	thread   int
@@ -97,22 +111,24 @@ func (e *suEntry) ready(now uint64) bool {
 // block is a fetch-aligned group of BlockSize entries, all from one
 // thread. Invalid slots are holes (pre-PC slots, post-taken-branch
 // slots, or squashed instructions). id is unique for the machine's
-// lifetime even though the block struct itself is pooled.
+// lifetime even though the block struct itself is pooled; bi is the
+// block's fixed arena index, which doubles as its bitset group (slot s
+// of block bi is scoreboard bit bi*BlockSize+s, see soa.go).
 type block struct {
 	thread  int
 	id      uint64
-	entries [BlockSize]*suEntry
+	bi      int32
+	pending int8 // live entries not yet written back; 0 = committable
+	entries [BlockSize]int32
 }
 
-// done reports whether every live entry has its result.
-func (b *block) done() bool {
-	for _, e := range b.entries {
-		if e != nil && e.valid && !e.squashed && e.state != stDone {
-			return false
-		}
-	}
-	return true
-}
+// done reports whether every live entry has its result. pending is
+// maintained incrementally (dispatch, writeback, squash) and asserted
+// against the slow scan by the invariant checker.
+func (b *block) done() bool { return b.pending == 0 }
+
+// noEntries initialises a block's slots to the empty index.
+var noEntries = [BlockSize]int32{-1, -1, -1, -1}
 
 // fetchBlock is the decode latch: one fetched block awaiting dispatch.
 type fetchBlock struct {
@@ -130,9 +146,11 @@ type predInfo struct {
 
 // storeOp is a store buffer entry. A store occupies the buffer from
 // issue until it drains to the cache after its block commits (the
-// paper's restricted load/store policy).
+// paper's restricted load/store policy). Store ops live in an arena
+// (m.sops) and are named by index in the buffer and drain queue.
 type storeOp struct {
-	entry     *suEntry
+	entry     int32 // arena index of the owning suEntry
+	idx       int32 // this op's own arena index
 	committed bool
 	drained   bool
 	counted   bool   // cache access counted on first drain attempt

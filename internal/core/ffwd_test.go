@@ -1,0 +1,127 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// missBoundWorkload is a single-thread pointer-stride walk over a
+// footprint much larger than the default 8 KB cache, so steady state is
+// one cache miss after another: the machine spends most cycles with
+// nothing to do but wait, which is exactly the regime the idle-cycle
+// fast-forward targets.
+const missBoundWorkload = `
+main: li   r1, data
+      li   r2, 512         ; words to touch (8 KB span at stride 16B)
+loop: lw   r3, 0(r1)
+      add  r4, r4, r3
+      addi r1, r1, 16
+      addi r2, r2, -1
+      bne  r2, r0, loop
+      li   r5, out
+      sw   r4, 0(r5)
+      halt
+.data
+out:  .word 0
+data: .space 8192
+`
+
+func ffWorkload(t testing.TB) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Threads = 1
+	cfg.Cache.SizeBytes = 1024 // shrink L1 so the walk misses constantly
+	cfg.Cache.MissPenalty = 40 // long stalls: plenty of inert cycles
+	return cfg
+}
+
+// TestFastForwardEngagesAndAgrees runs the miss-bound workload with the
+// fast-forward off and on: identical cycle counts and stats, and the
+// fast-forwarded run must have batched a meaningful share of its cycles
+// (this is the in-package smoke; the full 204-schedule differential
+// lives in sdsp/ffdiff_test.go).
+func TestFastForwardEngagesAndAgrees(t *testing.T) {
+	obj, err := asm.Assemble(missBoundWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noFF bool) (*Stats, uint64) {
+		cfg := ffWorkload(t)
+		cfg.NoFastForward = noFF
+		m, err := New(obj, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("run (noFF=%v): %v", noFF, err)
+		}
+		return st, m.FFSkipped()
+	}
+	base, baseSkip := run(true)
+	ff, ffSkip := run(false)
+	if baseSkip != 0 {
+		t.Fatalf("NoFastForward run skipped %d cycles", baseSkip)
+	}
+	if base.Cycles != ff.Cycles {
+		t.Fatalf("cycle counts diverge: plain %d, fast-forward %d", base.Cycles, ff.Cycles)
+	}
+	if !reflect.DeepEqual(base, ff) {
+		t.Fatalf("stats diverge:\nplain:        %+v\nfast-forward: %+v", base, ff)
+	}
+	if ffSkip == 0 {
+		t.Fatal("fast-forward never engaged on a miss-bound workload")
+	}
+	if frac := float64(ffSkip) / float64(ff.Cycles); frac < 0.25 {
+		t.Errorf("fast-forward batched only %.1f%% of a miss-bound run", 100*frac)
+	}
+}
+
+// TestFastForwardAllocFree pins the allocation behavior of the
+// fast-forwarded run loop: the bitset precondition scans, the FFProbe
+// calls, and the light-cycle replay must all run without allocating,
+// like the plain per-cycle path they replace. Machines are built ahead
+// of time so only Run-loop allocations are measured (AllocsPerRun
+// invokes the function runs+1 times: one warm-up plus the measured
+// runs).
+func TestFastForwardAllocFree(t *testing.T) {
+	obj, err := asm.Assemble(missBoundWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 5
+	machines := make([]*Machine, 0, runs+1)
+	for i := 0; i <= runs; i++ {
+		cfg := ffWorkload(t)
+		m, err := New(obj, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines = append(machines, m)
+	}
+	next := 0
+	limit := machines[0].cfg.maxCycles()
+	avg := testing.AllocsPerRun(runs, func() {
+		m := machines[next]
+		next++
+		for !m.Done() && m.fault == nil {
+			if m.fastForward(limit) {
+				continue
+			}
+			m.Cycle()
+		}
+	})
+	for _, m := range machines {
+		if m.fault != nil {
+			t.Fatalf("measured run faulted: %v", m.fault)
+		}
+		if m.FFSkipped() == 0 {
+			t.Fatal("fast-forward never engaged during the allocation measurement")
+		}
+	}
+	if avg != 0 {
+		t.Errorf("fast-forwarded run loop allocates %.2f objects/run, want 0", avg)
+	}
+}

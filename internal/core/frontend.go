@@ -152,22 +152,16 @@ func (m *Machine) selectThread() int {
 	return -1
 }
 
-// icountTally recounts per-thread in-flight instructions into
-// m.icountOcc and returns the total (window occupancy plus the latch).
+// icountTally refreshes m.icountOcc from the per-thread occupancy
+// counters and returns the total in-flight count (window occupancy
+// plus the latch). O(threads), not O(window): the SU scoreboards
+// already maintain the tallies incrementally.
 func (m *Machine) icountTally() int {
 	counts := m.icountOcc
-	for i := range counts {
-		counts[i] = 0
+	for t := range counts {
+		counts[t] = int(m.occByThread[t])
 	}
-	total := 0
-	for _, b := range m.su {
-		for _, e := range b.entries {
-			if e != nil && e.valid && !e.squashed {
-				counts[b.thread]++
-				total++
-			}
-		}
-	}
+	total := m.suOcc
 	if m.latch != nil {
 		counts[m.latch.thread] += BlockSize
 		total += BlockSize
@@ -277,6 +271,39 @@ func (m *Machine) fetchBlockFor(t int) {
 	if m.cov != nil && pc != base {
 		m.cov.Hit(cover.EvFetchPartialBlock)
 	}
+	// Collect the block's predictor probes — branch and JALR addresses
+	// from the first fetched slot up to the first slot predecode itself
+	// resolves (beyond-text, HALT, or JAL, which is always taken) — and
+	// present them to the predictor as one batch. A predicted-taken
+	// probe truncates the block; LookupBlock stops there and reports
+	// how many probes it consumed, each counted exactly as one Lookup.
+	np := 0
+	for s := 0; s < BlockSize; s++ {
+		addr := base + uint32(s)*4
+		if addr < pc {
+			continue
+		}
+		idx := addr / 4
+		if idx >= uint32(len(text)) {
+			break
+		}
+		op := text[idx].Op
+		if op == isa.HALT || op == isa.JAL {
+			break
+		}
+		if op.IsCT() {
+			m.probePCs[np] = addr
+			np++
+		}
+	}
+	consumed := 0
+	if np > 0 {
+		consumed = m.predFor(t).LookupBlock(t, m.probePCs[:np], m.probeOut[:np])
+		for k := 0; k < consumed; k++ {
+			m.covBTBLookup(t, m.probePCs[k])
+			m.noteConf(m.probeOut[k].Conf)
+		}
+	}
 	// The machine holds at most one latch, so the decode buffer is a
 	// single reused struct; reset it fully (a squash may have killed a
 	// previous latch mid-flight, leaving stale slots behind).
@@ -284,6 +311,7 @@ func (m *Machine) fetchBlockFor(t int) {
 	*fb = fetchBlock{thread: t}
 	next := base + BlockSize*4
 	anyValid := false
+	k := 0
 	for s := 0; s < BlockSize; s++ {
 		addr := base + uint32(s)*4
 		if addr < pc {
@@ -311,7 +339,18 @@ func (m *Machine) fetchBlockFor(t int) {
 		if !in.Op.IsCT() {
 			continue
 		}
-		taken, target := m.predictCT(t, in, addr)
+		var taken bool
+		var target uint32
+		if in.Op == isa.JAL {
+			// JAL targets are computable by predecode; never mispredicts.
+			taken, target = true, isa.CTTarget(in, addr, 0)
+		} else {
+			bp := m.probeOut[k]
+			k++
+			// A not-taken probe's target is already zero (every
+			// implementation demotes taken-without-target to fall-through).
+			taken, target = bp.Taken, bp.Target
+		}
 		fb.pred[s] = predInfo{taken: taken, target: target}
 		if taken {
 			if m.cov != nil && s < BlockSize-1 {
@@ -340,34 +379,11 @@ func (m *Machine) fetchBlockFor(t int) {
 	}
 }
 
-// predictCT predicts a control transfer at fetch time. JAL targets are
-// computable by predecode and never mispredict; branches and JALR use
-// the configured predictor and BTB. Every real prediction also feeds
-// the confidence meter, whether or not ConfThrottle consumes it.
-func (m *Machine) predictCT(t int, in isa.Inst, pc uint32) (bool, uint32) {
-	switch {
-	case in.Op == isa.JAL:
-		return true, isa.CTTarget(in, pc, 0)
-	case in.Op == isa.JALR:
-		m.covBTBLookup(t, pc)
-		taken, target, conf := m.predFor(t).Lookup(t, pc)
-		m.noteConf(conf)
-		if !taken {
-			return false, 0 // predict fall-through; will mispredict and train
-		}
-		return true, target
-	case in.Op.IsBranch():
-		m.covBTBLookup(t, pc)
-		taken, target, conf := m.predFor(t).Lookup(t, pc)
-		m.noteConf(conf)
-		return taken, target
-	}
-	return false, 0 // HALT handled by caller
-}
-
 // dispatch decodes the latch block into the scheduling unit: one entry
 // per valid instruction, renamed with globally unique tags, operands
-// resolved against the SU (newest first) then the register file.
+// resolved against the register-producer table (the decoder's
+// associative lookup, kept as a direct-mapped table over physical
+// registers) then the register file.
 func (m *Machine) dispatch() {
 	if m.fault != nil || m.latch == nil {
 		return
@@ -409,7 +425,8 @@ func (m *Machine) dispatch() {
 		}
 		in := fb.insts[s]
 		m.nextTag++
-		e := m.newEntry()
+		ei := m.newEntry()
+		e := &m.ents[ei]
 		e.valid = true
 		e.tag = m.nextTag
 		e.thread = fb.thread
@@ -417,13 +434,19 @@ func (m *Machine) dispatch() {
 		e.inst = in
 		e.predTaken = fb.pred[s].taken
 		e.predTarget = fb.pred[s].target
-		m.renameSources(e, b)
+		// Rename before registering e's own destination, so an
+		// instruction reading its destination register sees the previous
+		// writer, not itself.
+		m.renameSources(e)
 		e.blk = b
 		e.blkID = b.id
-		b.entries[s] = e
+		e.slot = int8(s)
+		b.entries[s] = ei
+		m.suEnter(e)
 		if in.Op.WritesRd() && in.Rd != 0 {
 			if p := m.physReg(fb.thread, in.Rd); p >= 0 {
 				m.busyReg[p] = e.tag + 1
+				m.regProd[p] = ei
 			}
 		}
 		if in.Op.SwitchTrigger() {
@@ -432,9 +455,9 @@ func (m *Machine) dispatch() {
 	}
 	m.su = append(m.su, b)
 	if m.Trace != nil {
-		for _, e := range b.entries {
-			if e != nil {
-				m.trace("dispatch %v", e)
+		for _, ei := range b.entries {
+			if ei >= 0 {
+				m.trace("dispatch %v", &m.ents[ei])
 			}
 		}
 	}
@@ -444,15 +467,16 @@ func (m *Machine) dispatch() {
 	}
 }
 
-// renameSources resolves e's source operands: first against older slots
-// of the block being dispatched, then the SU newest-to-oldest, then the
+// renameSources resolves e's source operands against the newest
+// in-flight producers (including earlier slots of the block being
+// dispatched, which registered themselves just before) then the
 // register file.
-func (m *Machine) renameSources(e *suEntry, current *block) {
+func (m *Machine) renameSources(e *suEntry) {
 	r1, r2, n := e.inst.SrcRegs()
 	e.nsrc = n
 	regs := [2]uint8{r1, r2}
 	for i := 0; i < n; i++ {
-		e.src[i] = m.lookupOperand(e.thread, regs[i], current)
+		e.src[i] = m.lookupOperand(e.thread, regs[i])
 	}
 	// Immediate-operand ALU forms carry the immediate as the second
 	// operand value. LUI has no register source at all.
@@ -467,40 +491,21 @@ func (m *Machine) renameSources(e *suEntry, current *block) {
 
 // lookupOperand performs the decoder's associative lookup: the most
 // recent in-flight producer of (thread, reg) wins; otherwise the value
-// comes from the register file.
-func (m *Machine) lookupOperand(thread int, reg uint8, current *block) operand {
+// comes from the register file. The register-producer table gives the
+// answer in O(1) — dispatch registers writers, commit retires them, and
+// squashes rebuild the squashing thread's partition.
+func (m *Machine) lookupOperand(thread int, reg uint8) operand {
 	if reg == 0 {
 		return operand{ready: true, value: 0}
-	}
-	// Earlier slots of the block being dispatched are the newest.
-	if p := newestWriter(current, thread, reg); p != nil {
-		return producerOperand(p, m.cfg.Bypassing)
-	}
-	for i := len(m.su) - 1; i >= 0; i-- {
-		if p := newestWriter(m.su[i], thread, reg); p != nil {
-			return producerOperand(p, m.cfg.Bypassing)
-		}
 	}
 	p := m.physReg(thread, reg)
 	if p < 0 {
 		return operand{ready: true} // out-of-budget (faulted) reads as zero
 	}
+	if pi := m.regProd[p]; pi >= 0 {
+		return producerOperand(&m.ents[pi], m.cfg.Bypassing)
+	}
 	return operand{ready: true, value: m.regs[p]}
-}
-
-// newestWriter scans a block's slots from newest to oldest for a live
-// producer of (thread, reg).
-func newestWriter(b *block, thread int, reg uint8) *suEntry {
-	if b == nil || b.thread != thread {
-		return nil
-	}
-	for s := BlockSize - 1; s >= 0; s-- {
-		e := b.entries[s]
-		if e != nil && e.valid && !e.squashed && e.writesReg() && e.inst.Rd == reg {
-			return e
-		}
-	}
-	return nil
 }
 
 // producerOperand captures a value from a completed producer or a tag

@@ -4,11 +4,11 @@ import "repro/internal/isa"
 
 // fuUnit is one functional unit instance.
 type fuUnit struct {
-	busyUntil uint64   // unpipelined units: busy through this cycle
-	lastIssue uint64   // pipelined units: accept one op per cycle
-	issued    bool     // lastIssue is meaningful
-	holder    *suEntry // loads hold their unit until data returns
-	usedCyc   uint64   // occupancy, for Table 4 utilisation
+	busyUntil uint64 // unpipelined units: busy through this cycle
+	lastIssue uint64 // pipelined units: accept one op per cycle
+	issued    bool   // lastIssue is meaningful
+	holder    int32  // entry index holding the unit until data returns, or -1
+	usedCyc   uint64 // occupancy, for Table 4 utilisation
 }
 
 // fuPool is all units of one class.
@@ -28,6 +28,9 @@ func newPools(cfg FUConfig) []fuPool {
 			pipelined: cfg.Pipelined[cl],
 			units:     make([]fuUnit, cfg.Count[cl]),
 		}
+		for i := range pools[cl].units {
+			pools[cl].units[i].holder = -1
+		}
 	}
 	return pools
 }
@@ -35,7 +38,7 @@ func newPools(cfg FUConfig) []fuPool {
 // free reports whether unit i can accept an op at cycle now.
 func (p *fuPool) freeUnit(i int, now uint64) bool {
 	u := &p.units[i]
-	if u.holder != nil {
+	if u.holder >= 0 {
 		return false
 	}
 	if p.pipelined {
@@ -69,7 +72,7 @@ func (p *fuPool) issue(i int, now uint64) uint64 {
 }
 
 // hold parks entry e on unit i until release (variable-latency loads).
-func (p *fuPool) hold(i int, e *suEntry) { p.units[i].holder = e }
+func (p *fuPool) hold(i int, e *suEntry) { p.units[i].holder = e.idx }
 
 // release frees a held unit.
-func (p *fuPool) release(i int) { p.units[i].holder = nil }
+func (p *fuPool) release(i int) { p.units[i].holder = -1 }

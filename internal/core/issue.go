@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/cover"
 	"repro/internal/isa"
@@ -10,9 +12,12 @@ import (
 // issue is the dynamic scheduler: it scans the SU bottom-to-top (oldest
 // first) and sends ready instructions to free functional units, up to
 // IssueWidth per cycle. It is thread-blind — dependencies are entirely
-// expressed by tags — exactly as the paper argues.
+// expressed by tags — exactly as the paper argues. The scan walks the
+// waiting-entry bitset one block group at a time, so cycles with no
+// issue candidates cost a counter test and blocks with no waiting
+// entries cost one shift.
 func (m *Machine) issue() {
-	if m.fault != nil {
+	if m.fault != nil || m.waitCnt == 0 {
 		return
 	}
 	issued := 0
@@ -20,11 +25,15 @@ func (m *Machine) issue() {
 	crossed := false
 scan:
 	for _, b := range m.su {
-		for _, e := range b.entries {
+		g := bsGroup(m.waitBits, b.bi)
+		for g != 0 {
+			s := bits.TrailingZeros64(g)
+			g &= g - 1
 			if issued >= m.cfg.IssueWidth {
 				break scan
 			}
-			if e == nil || !e.valid || e.squashed || !e.ready(m.now) {
+			e := &m.ents[b.entries[s]]
+			if !e.ready(m.now) {
 				continue
 			}
 			if m.tryIssue(e) {
@@ -53,6 +62,13 @@ scan:
 // spuriousWakeupBackoff is how many cycles an FLDW retries after an
 // injected spurious wakeup discarded its delivered value.
 const spuriousWakeupBackoff = 4
+
+// toCompletions moves an issued entry onto the completion queue.
+func (m *Machine) toCompletions(e *suEntry) {
+	m.retain(e)
+	e.where |= inCompletions
+	m.completions = append(m.completions, e.idx)
+}
 
 // tryIssue applies per-class constraints, acquires a unit, and begins
 // execution. Reports whether the instruction left the window.
@@ -111,13 +127,13 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 				return false
 			}
 			e.state = stIssued
+			m.noteIssued(e)
 			e.fuUnit = unit
 			e.addr = addr
 			e.addrValid = true
 			e.result = v
 			e.completeAt = pool.issue(unit, m.now)
-			m.retain(e)
-			m.completions = append(m.completions, e)
+			m.toCompletions(e)
 			m.stats.LoadsForwarded++
 			if m.cov != nil {
 				if src.blkID == e.blkID {
@@ -215,6 +231,7 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		return false
 	}
 	e.state = stIssued
+	m.noteIssued(e)
 	e.fuUnit = unit
 
 	a := e.src[0].value
@@ -237,15 +254,16 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 				m.cov.Hit(cover.EvBadAddrSpeculative)
 			}
 			e.completeAt = pool.issue(unit, m.now)
-			m.retain(e)
-			m.completions = append(m.completions, e)
+			m.toCompletions(e)
 			return true
 		}
 		// The load holds its unit until the cache responds.
 		pool.issue(unit, m.now)
 		pool.hold(unit, e)
+		m.heldLoads++
 		m.retain(e)
-		m.pendingLoads = append(m.pendingLoads, e)
+		e.where |= inPendingLoads
+		m.pendingLoads = append(m.pendingLoads, e.idx)
 		return true
 
 	case isa.ClassStore:
@@ -272,8 +290,7 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		}
 		e.completeAt = pool.issue(unit, m.now)
 		m.storeBuf = append(m.storeBuf, m.newStoreOp(e))
-		m.retain(e)
-		m.completions = append(m.completions, e)
+		m.toCompletions(e)
 		if m.cov != nil && len(m.storeBuf) == m.cfg.StoreBuffer {
 			m.cov.Hit(cover.EvStoreBufferSaturated)
 		}
@@ -313,15 +330,13 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 			}
 		}
 		e.completeAt = pool.issue(unit, m.now)
-		m.retain(e)
-		m.completions = append(m.completions, e)
+		m.toCompletions(e)
 		return true
 
 	case isa.ClassCT:
 		m.resolveCT(e, a)
 		e.completeAt = pool.issue(unit, m.now)
-		m.retain(e)
-		m.completions = append(m.completions, e)
+		m.toCompletions(e)
 		return true
 	}
 
@@ -341,8 +356,7 @@ func (m *Machine) tryIssue(e *suEntry) bool {
 		e.result = isa.EvalOp(op, a, bv)
 	}
 	e.completeAt = pool.issue(unit, m.now)
-	m.retain(e)
-	m.completions = append(m.completions, e)
+	m.toCompletions(e)
 	return true
 }
 
@@ -370,35 +384,36 @@ func (m *Machine) resolveCT(e *suEntry, rs1 uint32) {
 
 // waitingStoresBelow counts the un-issued stores (other than e itself)
 // in e's block and every block below it — the stores whose buffer slots
-// must stay reservable for the machine to keep draining.
+// must stay reservable for the machine to keep draining. Per block this
+// is a popcount of waiting ∩ store-class bits; e itself is a waiting
+// store at or below its own block, hence the -1.
 func (m *Machine) waitingStoresBelow(e *suEntry) int {
 	n := 0
 	for _, b := range m.su {
-		for _, o := range b.entries {
-			if o != nil && o.valid && !o.squashed && o != e && o.state == stWaiting &&
-				o.inst.Op.FUClass() == isa.ClassStore {
-				n++
-			}
+		w := bsGroup(m.waitBits, b.bi)
+		if w != 0 {
+			n += bits.OnesCount64(w & (bsGroup(m.swBits, b.bi) | bsGroup(m.fstwBits, b.bi)))
 		}
 		if b == e.blk {
 			break
 		}
 	}
-	return n
+	return n - 1
 }
 
 // olderUnresolvedCT reports whether any older same-thread control
-// transfer in the SU has not resolved yet.
+// transfer in the SU has not resolved yet. The per-thread unresolved-CT
+// counter gates the scan (zero for every thread between branches).
 func (m *Machine) olderUnresolvedCT(e *suEntry) bool {
-	for _, b := range m.su {
-		if b.thread != e.thread {
-			continue
-		}
-		for _, c := range b.entries {
-			if c == nil || !c.valid || c.squashed || c.tag >= e.tag {
-				continue
-			}
-			if c.inst.Op.IsCT() && c.state != stDone {
+	if m.ctUnres[e.thread] == 0 {
+		return false
+	}
+	for wi, w := range m.threadBits[e.thread] {
+		for w != 0 {
+			pos := int32((wi << 6) + bits.TrailingZeros64(w))
+			w &= w - 1
+			c := &m.ents[m.entryAt(pos)]
+			if c.tag < e.tag && c.inst.Op.IsCT() && c.state != stDone {
 				return true
 			}
 		}
@@ -412,29 +427,40 @@ func (m *Machine) olderUnresolvedCT(e *suEntry) bool {
 // store under the paper's restricted policy — the one case that would
 // otherwise deadlock block-granularity commit). blocked=true means an
 // older store's address or data is still unknown, so the load cannot
-// issue yet either way.
+// issue yet either way. Candidates are collected from the live-SW
+// bitset and the store buffer, then tag-sorted, so the walk order is
+// age order regardless of arena layout; the per-thread pending-SW
+// counter skips the whole function for store-free threads.
 func (m *Machine) forwardFromStore(e *suEntry, addr uint32) (value uint32, src *suEntry, blocked bool) {
+	if m.swPend[e.thread] == 0 {
+		return 0, nil, false
+	}
 	cands := m.fwdCands[:0]
-	for _, b := range m.su {
-		if b.thread != e.thread {
-			continue
-		}
-		for _, s := range b.entries {
-			if s != nil && s.valid && !s.squashed && s.tag < e.tag && s.inst.Op == isa.SW {
-				cands = append(cands, s)
+	tb := m.threadBits[e.thread]
+	for wi, w := range m.swBits {
+		g := w & tb[wi]
+		for g != 0 {
+			pos := int32((wi << 6) + bits.TrailingZeros64(g))
+			g &= g - 1
+			si := m.entryAt(pos)
+			if m.ents[si].tag < e.tag {
+				cands = append(cands, si)
 			}
 		}
 	}
 	// Committed stores have left the SU but may still be draining.
-	for _, so := range m.storeBuf {
-		if so.committed && !so.drained && so.entry.thread == e.thread &&
-			so.entry.tag < e.tag && so.entry.inst.Op == isa.SW {
+	for _, soi := range m.storeBuf {
+		so := &m.sops[soi]
+		s := &m.ents[so.entry]
+		if so.committed && !so.drained && s.thread == e.thread &&
+			s.tag < e.tag && s.inst.Op == isa.SW {
 			cands = append(cands, so.entry)
 		}
 	}
 	m.fwdCands = cands
-	sortEntriesByTagDesc(cands)
-	for _, s := range cands {
+	m.sortIdxByTagDesc(cands)
+	for _, ci := range cands {
+		s := &m.ents[ci]
 		saddr := s.addr
 		if !s.addrValid {
 			if !s.src[0].ready {
@@ -460,21 +486,28 @@ func (m *Machine) forwardFromStore(e *suEntry, addr uint32) (value uint32, src *
 
 // olderPendingFlagStore reports whether an older same-thread FSTW has
 // not yet drained to the synchronization controller (still in the SU or
-// the store buffer).
+// the store buffer). The per-thread pending-FSTW counter gates both
+// scans.
 func (m *Machine) olderPendingFlagStore(e *suEntry) bool {
-	for _, b := range m.su {
-		if b.thread != e.thread {
-			continue
-		}
-		for _, s := range b.entries {
-			if s != nil && s.valid && !s.squashed && s.tag < e.tag && s.inst.Op == isa.FSTW {
+	if m.fstwPend[e.thread] == 0 {
+		return false
+	}
+	tb := m.threadBits[e.thread]
+	for wi, w := range m.fstwBits {
+		g := w & tb[wi]
+		for g != 0 {
+			pos := int32((wi << 6) + bits.TrailingZeros64(g))
+			g &= g - 1
+			if m.ents[m.entryAt(pos)].tag < e.tag {
 				return true
 			}
 		}
 	}
-	for _, so := range m.storeBuf {
-		if !so.drained && so.entry.thread == e.thread &&
-			so.entry.tag < e.tag && so.entry.inst.Op == isa.FSTW {
+	for _, soi := range m.storeBuf {
+		so := &m.sops[soi]
+		s := &m.ents[so.entry]
+		if !so.drained && s.thread == e.thread &&
+			s.tag < e.tag && s.inst.Op == isa.FSTW {
 			return true
 		}
 	}
@@ -482,17 +515,18 @@ func (m *Machine) olderPendingFlagStore(e *suEntry) bool {
 }
 
 // olderUnresolvedSync reports whether an older same-thread sync
-// primitive (FLDW/FAI) is still in flight.
+// primitive (FLDW/FAI) is still in flight. The per-thread undone-sync
+// counter keeps this free for programs (and phases) with no sync ops.
 func (m *Machine) olderUnresolvedSync(e *suEntry) bool {
-	for _, b := range m.su {
-		if b.thread != e.thread {
-			continue
-		}
-		for _, c := range b.entries {
-			if c == nil || !c.valid || c.squashed || c.tag >= e.tag {
-				continue
-			}
-			if c.inst.Op.FUClass() == isa.ClassSync && c.state != stDone {
+	if m.syncUndone[e.thread] == 0 {
+		return false
+	}
+	for wi, w := range m.threadBits[e.thread] {
+		for w != 0 {
+			pos := int32((wi << 6) + bits.TrailingZeros64(w))
+			w &= w - 1
+			c := &m.ents[m.entryAt(pos)]
+			if c.tag < e.tag && c.inst.Op.FUClass() == isa.ClassSync && c.state != stDone {
 				return true
 			}
 		}
@@ -501,29 +535,46 @@ func (m *Machine) olderUnresolvedSync(e *suEntry) bool {
 }
 
 // serviceLoads retries pending loads against the cache, oldest first.
-// A hit schedules the result and frees the load unit.
+// A hit schedules the result and frees the load unit. All of a cycle's
+// retries go to the cache as one batched call (cache.ReadMany), which
+// hoists the blocked-refill fast path out of the per-load work while
+// preserving per-request semantics and order exactly.
 func (m *Machine) serviceLoads() {
 	if m.fault != nil || len(m.pendingLoads) == 0 {
 		return
 	}
 	pool := &m.pools[isa.ClassLoad]
-	remaining := m.pendingLoads[:0]
-	for _, e := range m.pendingLoads {
+	live := m.pendingLoads[:0]
+	reqs := m.loadReqs[:0]
+	for _, ei := range m.pendingLoads {
+		e := &m.ents[ei]
 		if e.squashed {
 			pool.release(e.fuUnit)
+			m.heldLoads--
+			m.sqPend--
+			e.where &^= inPendingLoads
 			m.release(e)
 			continue
 		}
-		v, res := m.dcache.Read(e.addr, m.now, !e.counted)
+		live = append(live, ei)
+		reqs = append(reqs, cache.ReadReq{Addr: e.addr, Count: !e.counted})
+	}
+	m.loadReqs = reqs
+	m.dcache.ReadMany(m.now, reqs)
+	remaining := live[:0]
+	for i, ei := range live {
+		e := &m.ents[ei]
 		e.counted = true
-		if res != cache.Hit {
-			remaining = append(remaining, e)
+		if reqs[i].Res != cache.Hit {
+			remaining = append(remaining, ei)
 			continue
 		}
-		e.result = v
+		e.result = reqs[i].Val
 		e.completeAt = m.now + pool.latency
-		m.completions = append(m.completions, e)
+		e.where = e.where&^inPendingLoads | inCompletions
+		m.completions = append(m.completions, ei)
 		pool.release(e.fuUnit)
+		m.heldLoads--
 	}
 	m.pendingLoads = remaining
 }
@@ -534,8 +585,8 @@ func (m *Machine) drainStores() {
 	if m.fault != nil || len(m.drainQueue) == 0 {
 		return
 	}
-	so := m.drainQueue[0]
-	e := so.entry
+	so := &m.sops[m.drainQueue[0]]
+	e := &m.ents[so.entry]
 	if e.badAddr {
 		m.failMem("drain", e, "%v committed an illegal store address", e.inst)
 		return
@@ -547,6 +598,7 @@ func (m *Machine) drainStores() {
 				"sync controller rejected validated FSTW address %#x: %v", e.addr, err)
 			return
 		}
+		m.fstwPend[e.thread]--
 	} else {
 		res := m.dcache.Write(e.addr, e.storeData, m.now, !so.counted)
 		so.counted = true
@@ -556,17 +608,18 @@ func (m *Machine) drainStores() {
 			}
 			return
 		}
+		m.swPend[e.thread]--
 	}
 	so.drained = true
 	m.popDrainQueue()
-	m.removeFromStoreBuf(so)
+	m.removeFromStoreBuf(so.idx)
 	m.freeStoreOp(so)
 	m.lastProgress = m.now
 }
 
-func (m *Machine) removeFromStoreBuf(target *storeOp) {
-	for i, so := range m.storeBuf {
-		if so == target {
+func (m *Machine) removeFromStoreBuf(target int32) {
+	for i, soi := range m.storeBuf {
+		if soi == target {
 			m.storeBuf = append(m.storeBuf[:i], m.storeBuf[i+1:]...)
 			return
 		}

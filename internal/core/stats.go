@@ -76,18 +76,36 @@ func (s *Stats) AvgSUOccupancy() float64 {
 }
 
 // FUUtilization returns the fraction of cycles unit `unit` of class `cl`
-// was in use (Table 4's metric).
+// was in use (Table 4's metric). Out-of-range classes or units — report
+// code iterating past a smaller configuration — read as zero rather
+// than panicking.
 func (s *Stats) FUUtilization(cl isa.Class, unit int) float64 {
+	if int(cl) >= len(s.FUUsage) || unit < 0 {
+		return 0
+	}
 	if s.Cycles == 0 || unit >= len(s.FUUsage[cl]) {
 		return 0
 	}
 	return float64(s.FUUsage[cl][unit]) / float64(s.Cycles)
 }
 
+// HaltCycle returns the cycle thread t committed its HALT. ok is false
+// when t is out of range or the thread has not halted (no thread can
+// halt at cycle 0 — the clock starts at 1 — so a zero record is
+// unambiguous).
+func (s *Stats) HaltCycle(t int) (uint64, bool) {
+	if t < 0 || t >= len(s.HaltCycleByThread) {
+		return 0, false
+	}
+	c := s.HaltCycleByThread[t]
+	return c, c != 0
+}
+
 // Speedup computes the paper's speedup formula:
-// (MTperf - STperf) / STperf with performance = 1/cycles.
+// (MTperf - STperf) / STperf with performance = 1/cycles. Zero cycle
+// counts (an unfinished or faulted run) yield 0, never NaN or Inf.
 func Speedup(multiCycles, singleCycles uint64) float64 {
-	if multiCycles == 0 {
+	if multiCycles == 0 || singleCycles == 0 {
 		return 0
 	}
 	mt := 1 / float64(multiCycles)

@@ -125,10 +125,96 @@ func TestStatsBranchCountersConsistent(t *testing.T) {
 	}
 }
 
-// Speedup guards against a zero-cycle numerator the same way.
+// FUUtilization is a report-path helper fed by loops over classes and
+// unit indices; indices that were never valid for this run (negative
+// unit, class outside the ISA's range) must read as zero, not panic
+// with an array index fault.
+func TestFUUtilizationOutOfRange(t *testing.T) {
+	s := Stats{Cycles: 100}
+	s.FUUsage[isa.ClassALU] = []uint64{50}
+	for _, tc := range []struct {
+		name string
+		cl   isa.Class
+		unit int
+	}{
+		{"negative unit", isa.ClassALU, -1},
+		{"class past NumClasses", isa.NumClasses, 0},
+		{"class far past NumClasses", isa.NumClasses + 100, 0},
+	} {
+		if got := s.FUUtilization(tc.cl, tc.unit); got != 0 {
+			t.Errorf("%s: FUUtilization = %v, want 0", tc.name, got)
+		}
+	}
+	if got := s.FUUtilization(isa.ClassALU, 0); got != 0.5 {
+		t.Errorf("in-range utilization = %v, want 0.5 (guards must not damp real reads)", got)
+	}
+}
+
+// Speedup guards both degenerate cycle counts: a zero numerator OR a
+// zero single-thread baseline (an unfinished or faulted reference run)
+// must yield 0, never NaN or Inf.
 func TestSpeedupZeroCycles(t *testing.T) {
-	if got := Speedup(0, 100); got != 0 {
-		t.Errorf("Speedup(0, 100) = %v, want 0", got)
+	for _, tc := range []struct {
+		name          string
+		multi, single uint64
+		want          float64
+	}{
+		{"zero multi", 0, 100, 0},
+		{"zero single", 100, 0, 0},
+		{"both zero", 0, 0, 0},
+		{"equal halves", 50, 100, 1}, // half the cycles = 2x perf = +1.0 speedup
+		{"no change", 100, 100, 0},
+	} {
+		if got := Speedup(tc.multi, tc.single); got != tc.want {
+			t.Errorf("%s: Speedup(%d, %d) = %v, want %v", tc.name, tc.multi, tc.single, got, tc.want)
+		}
+	}
+}
+
+// HaltCycle distinguishes "halted at cycle c" from "still running" and
+// tolerates out-of-range thread indices.
+func TestHaltCycle(t *testing.T) {
+	s := Stats{HaltCycleByThread: []uint64{120, 0}}
+	for _, tc := range []struct {
+		name   string
+		thread int
+		want   uint64
+		ok     bool
+	}{
+		{"halted thread", 0, 120, true},
+		{"running thread", 1, 0, false},
+		{"negative thread", -1, 0, false},
+		{"thread past slice", 2, 0, false},
+	} {
+		got, ok := s.HaltCycle(tc.thread)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("%s: HaltCycle(%d) = (%d, %v), want (%d, %v)",
+				tc.name, tc.thread, got, ok, tc.want, tc.ok)
+		}
+	}
+	// End-to-end: a finished run records a real halt cycle per thread.
+	obj, err := asm.Assemble(`
+main: addi r2, r0, 3
+      addi r2, r2, 4
+      halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	m, err := New(obj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr := 0; tr < cfg.Threads; tr++ {
+		if c, ok := st.HaltCycle(tr); !ok || c == 0 || c > st.Cycles {
+			t.Errorf("thread %d: HaltCycle = (%d, %v), want a cycle in (0, %d]", tr, c, ok, st.Cycles)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/cover"
 	"repro/internal/isa"
 )
@@ -16,8 +18,11 @@ func (m *Machine) writeback() {
 	// (and so an older mispredict squashes younger CTs before they act).
 	due := m.wbDue[:0]
 	rest := m.completions[:0]
-	for _, e := range m.completions {
+	for _, ei := range m.completions {
+		e := &m.ents[ei]
 		if e.squashed {
+			m.sqComp--
+			e.where &^= inCompletions
 			m.release(e) // dropped; its block slot is a hole
 			continue
 		}
@@ -29,17 +34,17 @@ func (m *Machine) writeback() {
 				if d := inj.WritebackDelay(m.now, e.tag); d > 0 {
 					m.stats.Faults.Add(ChanWritebackDelay)
 					e.completeAt = m.now + d
-					rest = append(rest, e)
+					rest = append(rest, ei)
 					continue
 				}
 			}
-			due = append(due, e)
+			due = append(due, ei)
 		} else {
-			rest = append(rest, e)
+			rest = append(rest, ei)
 		}
 	}
 	m.wbDue = due
-	sortEntriesByTag(due)
+	m.sortIdxByTag(due)
 	if len(due) > m.cfg.WritebackWidth {
 		rest = append(rest, due[m.cfg.WritebackWidth:]...)
 		due = due[:m.cfg.WritebackWidth]
@@ -49,13 +54,17 @@ func (m *Machine) writeback() {
 	}
 	m.completions = rest
 
-	for _, e := range due {
+	for _, ei := range due {
+		e := &m.ents[ei]
 		if e.squashed {
+			m.sqComp--
+			e.where &^= inCompletions
 			m.release(e) // squashed by an older CT written back just before
 			continue
 		}
 		e.state = stDone
 		e.wbCycle = m.now
+		m.noteDone(e)
 		if m.Trace != nil {
 			m.trace("wb       %v = %#x", e, e.result)
 		}
@@ -69,25 +78,41 @@ func (m *Machine) writeback() {
 			e.resolved = true
 			m.handleResolvedCT(e)
 		}
+		e.where &^= inCompletions
 		m.release(e) // consumed from the completion queue
 	}
 }
 
 // broadcast delivers e's result to every waiting operand with its tag.
+// Only same-thread waiting entries with an unready source can match
+// (rename construction: an operand's tag always names a same-thread
+// producer), so the scan is the unready ∩ thread bitset — a handful of
+// word operations on the common all-ready cycle instead of a walk of
+// the whole window.
 func (m *Machine) broadcast(e *suEntry) {
 	readyAt := m.now
 	if !m.cfg.Bypassing {
 		readyAt++
 	}
-	for _, b := range m.su {
-		for _, w := range b.entries {
-			if w == nil || !w.valid || w.squashed {
-				continue
-			}
+	tb := m.threadBits[e.thread]
+	for wi, uw := range m.unreadyBits {
+		g := uw & tb[wi]
+		for g != 0 {
+			pos := int32((wi << 6) + bits.TrailingZeros64(g))
+			g &= g - 1
+			w := &m.ents[m.entryAt(pos)]
+			still := false
 			for i := 0; i < w.nsrc; i++ {
-				if !w.src[i].ready && w.src[i].tag == e.tag {
-					w.src[i] = operand{ready: true, value: e.result, readyAt: readyAt}
+				if !w.src[i].ready {
+					if w.src[i].tag == e.tag {
+						w.src[i] = operand{ready: true, value: e.result, readyAt: readyAt}
+					} else {
+						still = true
+					}
 				}
+			}
+			if !still {
+				bsClear(m.unreadyBits, pos)
 			}
 		}
 	}
@@ -151,29 +176,31 @@ func (m *Machine) reviveFetch(t int) {
 }
 
 // squashYounger discards all younger same-thread entries: SU entries,
-// the fetch latch, store buffer slots, and scoreboard claims.
+// the fetch latch, store buffer slots, and scoreboard claims. The
+// register-producer table's slice for the thread is rebuilt afterwards
+// (a squash invalidates an unknown subset of it).
 func (m *Machine) squashYounger(ct *suEntry) {
 	survivors, spared := 0, false
 	for _, b := range m.su {
 		if b.thread != ct.thread {
-			if m.cov != nil && !spared {
-				for _, e := range b.entries {
-					if e != nil && e.valid && !e.squashed {
-						spared = true
-						break
-					}
-				}
+			if m.cov != nil && !spared && bsGroup(m.liveBits, b.bi) != 0 {
+				spared = true
 			}
 			continue
 		}
-		for _, e := range b.entries {
-			if e == nil || !e.valid || e.squashed {
+		for _, ei := range b.entries {
+			if ei < 0 {
+				continue
+			}
+			e := &m.ents[ei]
+			if !e.valid || e.squashed {
 				continue
 			}
 			if e.tag <= ct.tag {
 				survivors++
 				continue
 			}
+			m.noteSquashed(e)
 			e.squashed = true
 			// Record the squasher; the invariant checker verifies
 			// containment (same thread, older tag) from this.
@@ -199,15 +226,16 @@ func (m *Machine) squashYounger(ct *suEntry) {
 	}
 	// Uncommitted stores by squashed entries free their buffer slots.
 	keep := m.storeBuf[:0]
-	for _, so := range m.storeBuf {
-		if so.entry.squashed && !so.committed {
+	for _, soi := range m.storeBuf {
+		so := &m.sops[soi]
+		if m.ents[so.entry].squashed && !so.committed {
 			if m.cov != nil {
 				m.cov.Hit(cover.EvSquashKilledStore)
 			}
 			m.freeStoreOp(so)
 			continue
 		}
-		keep = append(keep, so)
+		keep = append(keep, soi)
 	}
 	m.storeBuf = keep
 	// The latch, if it holds this thread, is younger than any SU entry.
@@ -217,5 +245,6 @@ func (m *Machine) squashYounger(ct *suEntry) {
 		}
 		m.latch = nil
 	}
+	m.rebuildRegProd(ct.thread)
 	// Pending loads and completions drop squashed entries lazily.
 }

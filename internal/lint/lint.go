@@ -19,6 +19,13 @@
 //
 // Both patterns are legal, well-defined Go; the lint asks only that the
 // intended grouping be spelled out. make lint runs it over the tree.
+//
+// Two further checks use best-effort type information (see typed.go):
+//
+//   - nilfunc-call: a call through a function-valued struct field with
+//     no nil check of that selector in the enclosing function;
+//   - unsigned-sub-compare: an ordered comparison against an
+//     unsigned subtraction (`next-now < k` wraps when next < now).
 package lint
 
 import (
@@ -109,19 +116,29 @@ func File(fset *token.FileSet, f *ast.File) []Diagnostic {
 }
 
 // Source checks a single source buffer (used by tests and by editors
-// feeding unsaved content).
+// feeding unsaved content). Both the syntactic and the type-aware
+// checks run; the latter see only this one file's declarations.
 func Source(filename string, src []byte) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
 	if err != nil {
 		return nil, err
 	}
-	return File(fset, f), nil
+	diags := File(fset, f)
+	diags = append(diags, typedChecks(fset, []*ast.File{f})...)
+	return diags, nil
 }
 
 // Dir checks every .go file under root (skipping hidden directories),
-// returning diagnostics sorted by file, line, column.
+// returning diagnostics sorted by file, line, column. Files are
+// grouped by directory and package clause so the type-aware checks see
+// whole packages — a guard in one file clears a call in another only
+// within the same function, but field types resolve across files.
 func Dir(root string) ([]Diagnostic, error) {
+	type pkgKey struct{ dir, name string }
+	fset := token.NewFileSet()
+	groups := map[pkgKey][]*ast.File{}
+	var keys []pkgKey
 	var diags []Diagnostic
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -136,16 +153,23 @@ func Dir(root string) ([]Diagnostic, error) {
 		if !strings.HasSuffix(path, ".go") {
 			return nil
 		}
-		fset := token.NewFileSet()
 		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
 		if perr != nil {
 			return fmt.Errorf("lint: %w", perr)
 		}
 		diags = append(diags, File(fset, f)...)
+		k := pkgKey{filepath.Dir(path), f.Name.Name}
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], f)
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, k := range keys {
+		diags = append(diags, typedChecks(fset, groups[k])...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

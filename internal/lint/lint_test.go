@@ -64,6 +64,85 @@ func TestParenthesizedIsClean(t *testing.T) {
 	}
 }
 
+// checkSrc lints a complete source buffer (the typed checks need full
+// declarations, not just an expression).
+func checkSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	diags, err := Source("test.go", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return diags
+}
+
+func onlyCheck(diags []Diagnostic, check string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Check == check {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestNilFuncCall(t *testing.T) {
+	// guardElsewhere makes hook nilable: the package nil-checks it, so
+	// every other call site must guard too.
+	const decl = `package p
+type m struct {
+	hook      func(int)
+	alwaysSet func(int)
+}
+func (x *m) method(int) {}
+func guardElsewhere(x *m) { if x.hook != nil { x.hook(0) } }
+`
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unguarded call of a guarded-elsewhere field", `func f(x *m) { x.hook(1) }`, 1},
+		{"guarded field call", `func f(x *m) { if x.hook != nil { x.hook(1) } }`, 0},
+		{"early-return guard", `func f(x *m) { if x.hook == nil { return }; x.hook(1) }`, 0},
+		{"bound local", `func f(x *m) { if h := x.hook; h != nil { h(1) } }`, 0},
+		{"method call is fine", `func f(x *m) { x.method(1) }`, 0},
+		{"never-guarded field presumed always set", `func f(x *m) { x.alwaysSet(1) }`, 0},
+		{"bind idiom marks the field nilable", `func g(x *m) { if h := x.alwaysSet; h != nil { h(0) } }
+func f(x *m) { x.alwaysSet(1) }`, 1},
+	} {
+		diags := onlyCheck(checkSrc(t, decl+tc.body+"\n"), "nilfunc-call")
+		if len(diags) != tc.want {
+			t.Errorf("%s: %d diagnostics %v, want %d", tc.name, len(diags), diags, tc.want)
+		}
+	}
+}
+
+func TestUnsignedSubCompare(t *testing.T) {
+	const decl = `package p
+var a, b, c uint64
+var i, j, k int
+`
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"uint64 sub in less-than", `var _ = a-b < c`, 1},
+		{"uint64 sub on right side", `var _ = c > a-b`, 1},
+		{"uint64 sub in >=", `func f() bool { return a-b >= c }`, 1},
+		{"signed ints are fine", `var _ = i-j < k`, 0},
+		{"equality is exempt", `var _ = a-b == 0`, 0},
+		{"additive rewrite is clean", `var _ = a < b+c`, 0},
+		{"parens mark the invariant", `var _ = (a - b) < c`, 0},
+		{"constant fold is exempt", `var _ = 8-4 < c`, 0},
+	} {
+		diags := onlyCheck(checkSrc(t, decl+tc.body+"\n"), "unsigned-sub-compare")
+		if len(diags) != tc.want {
+			t.Errorf("%s: %d diagnostics %v, want %d", tc.name, len(diags), diags, tc.want)
+		}
+	}
+}
+
 func TestDiagnosticFormat(t *testing.T) {
 	diags := check(t, "1<<16 - 1")
 	if len(diags) != 1 {

@@ -8,3 +8,21 @@ var x, mask uint32
 var _ = 1<<16 - 1<<15 // the PR-4 progen bug shape
 
 var _ = x&mask == 0 // C-precedence trap
+
+var next, now, minSkip uint64
+
+var _ = next-now < minSkip // unsigned-sub-compare trap: wraps when next < now
+
+type tracer struct {
+	hook func(uint64)
+}
+
+func fire(t *tracer) {
+	t.hook(next) // nilfunc-call trap: no guard in this function
+}
+
+func fireGuarded(t *tracer) {
+	if t.hook != nil {
+		t.hook(next) // clean: guarded
+	}
+}

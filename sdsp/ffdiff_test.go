@@ -1,0 +1,140 @@
+package sdsp_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/sdsp"
+)
+
+// Fast-forward neutrality differential: the idle-cycle fast-forward
+// (internal/core/ffwd.go) claims to be invisible — a run with it
+// enabled must be bit-identical to the same run stepped cycle by
+// cycle. This tier replays the robustness suite's 204 fault schedules
+// (four paper kernels × 1/2/4 threads × 17 seeds, the exact corpus of
+// TestFaultInjectionPreservesArchitecture) twice, fast-forward off
+// then on, and requires identical cycle counts, identical statistics
+// field for field (including injected-fault counters), and identical
+// coverage sets. Fault schedules are the adversarial case: injectors
+// fire on absolute cycle numbers, so a fast-forward that mis-replays
+// even one perturbation shifts every cycle after it.
+
+// runOnce executes one kernel/schedule combination and returns its
+// stats, coverage set, and how many cycles the fast-forward batched.
+func runOnce(t *testing.T, name string, threads int, seed uint64, noFF bool) (*sdsp.Stats, *cover.Set, uint64) {
+	t.Helper()
+	obj, err := sdsp.Workload(name, sdsp.WorkloadParams{Threads: threads})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	cfg := sdsp.DefaultConfig(threads)
+	cfg.NoFastForward = noFF
+	cfg.Injector = scheduleFor(seed) // fresh schedule: injectors are stateful
+	cfg.Coverage = cover.NewSet()
+	cfg.Watchdog = 200_000
+	m, err := sdsp.NewMachine(obj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run (noFF=%v): %v", noFF, err)
+	}
+	return st, cfg.Coverage, m.FFSkipped()
+}
+
+func TestFastForwardDifferential(t *testing.T) {
+	threadsList := []int{1, 2, 4}
+	seeds := 17
+	if testing.Short() {
+		seeds = 3
+	}
+	var engaged atomic.Uint64
+	// The inner group barrier means every parallel subtest has finished
+	// (and added its skip count) before the vacuity check below runs.
+	t.Run("group", func(t *testing.T) {
+		for _, name := range kernelsUnder {
+			for _, threads := range threadsList {
+				for s := 0; s < seeds; s++ {
+					name, threads := name, threads
+					seed := uint64(s)*1000 + uint64(threads)*10 + uint64(len(name))
+					t.Run(fmt.Sprintf("%s/t%d/seed%d", name, threads, seed), func(t *testing.T) {
+						t.Parallel()
+						base, baseCov, baseSkip := runOnce(t, name, threads, seed, true)
+						if baseSkip != 0 {
+							t.Fatalf("NoFastForward run still skipped %d cycles", baseSkip)
+						}
+						ff, ffCov, ffSkip := runOnce(t, name, threads, seed, false)
+						if base.Cycles != ff.Cycles {
+							t.Fatalf("cycle counts diverge: plain %d, fast-forward %d", base.Cycles, ff.Cycles)
+						}
+						diffCoverage(t, baseCov, ffCov)
+						// Stats carries the coverage pointer; null it on both so
+						// the remaining comparison is pure counters.
+						base.Coverage, ff.Coverage = nil, nil
+						if !reflect.DeepEqual(base, ff) {
+							t.Fatalf("stats diverge:\nplain:        %+v\nfast-forward: %+v", base, ff)
+						}
+						engaged.Add(ffSkip)
+					})
+				}
+			}
+		}
+	})
+	// Neutrality proven on a fast-forward that never engages would be
+	// vacuous; the corpus must include real skips.
+	if got := engaged.Load(); got == 0 {
+		t.Fatal("fast-forward never engaged across the whole 204-schedule corpus")
+	} else {
+		t.Logf("fast-forward batched %d cycles across the corpus", got)
+	}
+}
+
+// TestFuzzCorpusExercisesFastForward replays the pinned fast-forward
+// corpus entries of FuzzVerify and asserts they do what their comments
+// claim: the aggressive-threshold entry decodes to FFMinSkip=1 and
+// actually batches cycles, and the ff=31 entries decode to a disabled
+// fast-forward. Without this the threshold bits could drift and the
+// corpus would silently stop covering the fast-forward.
+func TestFuzzCorpusExercisesFastForward(t *testing.T) {
+	fc := buildFuzzCase(t, 2718, 6, 4, (1<<19)+4)
+	if fc.cfg.NoFastForward || fc.cfg.FFMinSkip != 1 {
+		t.Fatalf("aggressive entry decoded FFMinSkip=%d NoFastForward=%v, want 1/false",
+			fc.cfg.FFMinSkip, fc.cfg.NoFastForward)
+	}
+	m, err := sdsp.NewMachine(fc.obj, fc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.FFSkipped() == 0 {
+		t.Fatal("FFMinSkip=1 corpus entry never engaged the fast-forward")
+	}
+	if lazy := buildFuzzCase(t, -1414, (1<<16)+9, 2, (30<<19)+7); lazy.cfg.FFMinSkip != 30 {
+		t.Fatalf("lazy entry decoded FFMinSkip=%d, want 30", lazy.cfg.FFMinSkip)
+	}
+	for _, in := range [][4]uint64{{161803, 8, 5, (31 << 19) + 11}, {2718, 6, 4, (31 << 19) + 4}} {
+		if off := buildFuzzCase(t, int64(in[0]), in[1], in[2], in[3]); !off.cfg.NoFastForward {
+			t.Fatalf("entry %v did not decode to NoFastForward", in)
+		}
+	}
+}
+
+// diffCoverage compares two coverage sets event by event, naming any
+// mismatch (a raw DeepEqual failure on the whole set would not).
+func diffCoverage(t *testing.T, a, b *cover.Set) {
+	t.Helper()
+	for _, e := range cover.Events() {
+		if ca, cb := a.Count(e), b.Count(e); ca != cb {
+			t.Errorf("coverage %v diverges: plain %d, fast-forward %d", e, ca, cb)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}

@@ -29,13 +29,18 @@ type fuzzCase struct {
 //     select a heterogeneous pairing (0 = classic homogeneous run,
 //     1–3 = two progen programs with different register-budget splits)
 //     that only engages with at least two threads.
-//   - intensity%20 scales the fault rates; bits 16+ of intensity gate
-//     the memory hierarchy (bit 0 = L2, bit 1 = victim buffer, bit 2 =
-//     prefetcher), shrinking the L1 to 1 KB so fuzz-sized programs
-//     actually miss into the backside structures.
+//   - intensity%20 scales the fault rates; bits 16–18 of intensity gate
+//     the memory hierarchy (bit 16 = L2, bit 17 = victim buffer, bit
+//     18 = prefetcher), shrinking the L1 to 1 KB so fuzz-sized programs
+//     actually miss into the backside structures; bits 19–23 drive the
+//     idle-cycle fast-forward (0 = default, 1–30 = FFMinSkip, 31 =
+//     fast-forward disabled), so the fuzzer searches skip-threshold
+//     space — every skip length down to FFMinSkip=1 must stay
+//     bit-identical under Verify's differential.
 //
 // Every pre-existing corpus value is below 2^16 in the high halves, so
-// old entries keep exercising the paper-default single-level machine.
+// old entries keep exercising the paper-default single-level machine
+// with the default fast-forward.
 func buildFuzzCase(t *testing.T, progSeed int64, faultSeed, threads, intensity uint64) fuzzCase {
 	t.Helper()
 	n := int(threads%6) + 1
@@ -61,6 +66,12 @@ func buildFuzzCase(t *testing.T, progSeed int64, faultSeed, threads, intensity u
 		if (hier & 4) != 0 {
 			fc.cfg.Cache.Prefetch = true
 		}
+	}
+	switch ff := (intensity >> 19) % 32; {
+	case ff == 31:
+		fc.cfg.NoFastForward = true
+	case ff > 0:
+		fc.cfg.FFMinSkip = int(ff) // 1..30: aggressive through lazy thresholds
 	}
 	fc.cfg.CheckInvariants = true
 	fc.cfg.Watchdog = 200_000
@@ -141,12 +152,21 @@ func FuzzVerify(f *testing.F) {
 	// force victim-buffer hits and prefetch-triggered evictions; the
 	// counters are asserted non-zero by TestFuzzCorpusHitsHierarchy
 	// (hier_test.go), so these entries can't silently rot into no-ops.
-	f.Add(int64(383), uint64(9), uint64(4), uint64((7<<16)+11))                // full hierarchy: victim hits, L2 hits, prefetch hits AND evictions
-	f.Add(int64(326), uint64(9), uint64(4), uint64((7<<16)+11))                // heavy victim ping-pong (~200 victim hits) + prefetch evictions
-	f.Add(int64(382), uint64(9), uint64(4), uint64((7<<16)+11))                // victim + L2 + prefetch-eviction mix on a third access pattern
-	f.Add(int64(1618), uint64((1<<18)+4), uint64(2), uint64((2<<16)+3))        // heterogeneous pair (equal split) + victim-only hierarchy
+	f.Add(int64(383), uint64(9), uint64(4), uint64((7<<16)+11))                 // full hierarchy: victim hits, L2 hits, prefetch hits AND evictions
+	f.Add(int64(326), uint64(9), uint64(4), uint64((7<<16)+11))                 // heavy victim ping-pong (~200 victim hits) + prefetch evictions
+	f.Add(int64(382), uint64(9), uint64(4), uint64((7<<16)+11))                 // victim + L2 + prefetch-eviction mix on a third access pattern
+	f.Add(int64(1618), uint64((1<<18)+4), uint64(2), uint64((2<<16)+3))         // heterogeneous pair (equal split) + victim-only hierarchy
 	f.Add(int64(3141), uint64((2<<18)+(1<<16)+2), uint64(5), uint64((5<<16)+7)) // L2+prefetch, gshare, 6-thread mixed pair with a pinned 21-reg slot
-	f.Add(int64(-271), uint64((3<<18)+6), uint64(3), uint64((4<<16)+14))       // prefetch only, both slots on the 21-reg budget, heavy faults
+	f.Add(int64(-271), uint64((3<<18)+6), uint64(3), uint64((4<<16)+14))        // prefetch only, both slots on the 21-reg budget, heavy faults
+	// Fast-forward threshold entries (bits 19–23 of intensity) pin the
+	// extremes of the skip-threshold space the fuzzer now searches. The
+	// aggressive entry is asserted to actually batch cycles by
+	// TestFuzzCorpusExercisesFastForward (ffdiff_test.go), so it cannot
+	// silently rot into a no-op.
+	f.Add(int64(2718), uint64(6), uint64(4), uint64((1<<19)+4))           // FFMinSkip=1: every inert gap becomes a skip
+	f.Add(int64(-1414), uint64((1<<16)+9), uint64(2), uint64((30<<19)+7)) // FFMinSkip=30: only long stalls batch, gshare predictor
+	f.Add(int64(161803), uint64(8), uint64(5), uint64((31<<19)+11))       // fast-forward disabled: plain stepping under faults
+	f.Add(int64(2718), uint64(6), uint64(4), uint64((31<<19)+4))          // the FFMinSkip=1 case again with fast-forward off
 	f.Fuzz(func(t *testing.T, progSeed int64, faultSeed, threads, intensity uint64) {
 		fc := buildFuzzCase(t, progSeed, faultSeed, threads, intensity)
 		var err error
